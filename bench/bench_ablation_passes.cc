@@ -1,0 +1,122 @@
+// Ablation: what each optimizer pass contributes (DESIGN.md calls out the
+// pass pipeline as a design choice). Measures, per TPC-H query, the plan
+// size and execution time with passes selectively disabled:
+//   none            unoptimized codegen output
+//   +fold+cse+dce   scalar folding, dedup, dead-code only
+//   +mitosis        the full default pipeline (8 pieces)
+// Shape expectation: fold/cse/dce shrink or keep plan size (never hurt
+// runtime); mitosis grows the plan (more, smaller instructions) to buy
+// dataflow parallelism.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "engine/interpreter.h"
+#include "optimizer/pass.h"
+#include "sql/compiler.h"
+
+namespace {
+
+using namespace stetho;
+
+enum class PipelineKind : int { kNone = 0, kCleanupOnly = 1, kFull = 2 };
+
+optimizer::Pipeline MakePipeline(PipelineKind kind) {
+  optimizer::Pipeline pipeline;
+  if (kind == PipelineKind::kNone) return pipeline;
+  pipeline.Add(optimizer::MakeConstantFoldingPass());
+  pipeline.Add(optimizer::MakeCommonSubexpressionPass());
+  pipeline.Add(optimizer::MakeDeadCodePass());
+  if (kind == PipelineKind::kFull) {
+    pipeline.Add(optimizer::MakeMitosisPass(8));
+    pipeline.Add(optimizer::MakeDataflowMarkerPass());
+  }
+  return pipeline;
+}
+
+void RunAblation(benchmark::State& state, const char* query_id) {
+  PipelineKind kind = static_cast<PipelineKind>(state.range(0));
+  storage::Catalog& catalog = bench::SharedCatalog(0.01);
+  auto base = sql::Compiler::CompileSql(
+      &catalog, tpch::GetQuery(query_id).value().sql);
+  if (!base.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  mal::Program plan = std::move(base).value();
+  optimizer::Pipeline pipeline = MakePipeline(kind);
+  auto fired = pipeline.Run(&plan);
+  if (!fired.ok()) {
+    state.SkipWithError("pipeline failed");
+    return;
+  }
+  engine::Interpreter interp(&catalog);
+  engine::ExecOptions opts;
+  opts.num_threads = 4;
+  for (auto _ : state) {
+    auto r = interp.Execute(plan, opts);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["plan_instructions"] = static_cast<double>(plan.size());
+  switch (kind) {
+    case PipelineKind::kNone:
+      state.SetLabel("no passes");
+      break;
+    case PipelineKind::kCleanupOnly:
+      state.SetLabel("fold+cse+dce");
+      break;
+    case PipelineKind::kFull:
+      state.SetLabel("fold+cse+dce+mitosis(8)");
+      break;
+  }
+}
+
+void BM_AblationQ1(benchmark::State& state) { RunAblation(state, "q1"); }
+void BM_AblationQ3(benchmark::State& state) { RunAblation(state, "q3"); }
+void BM_AblationQ6(benchmark::State& state) { RunAblation(state, "q6"); }
+void BM_AblationScanHeavy(benchmark::State& state) {
+  RunAblation(state, "scan_heavy");
+}
+
+BENCHMARK(BM_AblationQ1)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AblationQ3)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AblationQ6)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AblationScanHeavy)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+/// CSE effectiveness in isolation: how many duplicate instructions each
+/// query's raw codegen carries.
+void BM_CseReduction(benchmark::State& state) {
+  storage::Catalog& catalog = bench::SharedCatalog(0.01);
+  size_t before_total = 0;
+  size_t after_total = 0;
+  for (auto _ : state) {
+    before_total = 0;
+    after_total = 0;
+    for (const auto& q : tpch::TpchQueries()) {
+      auto base = sql::Compiler::CompileSql(&catalog, q.sql);
+      if (!base.ok()) continue;
+      before_total += base.value().size();
+      mal::Program plan = std::move(base).value();
+      auto pass = optimizer::MakeCommonSubexpressionPass();
+      (void)pass->Run(&plan);
+      auto dce = optimizer::MakeDeadCodePass();
+      (void)dce->Run(&plan);
+      after_total += plan.size();
+    }
+  }
+  state.counters["instructions_before"] = static_cast<double>(before_total);
+  state.counters["instructions_after"] = static_cast<double>(after_total);
+}
+BENCHMARK(BM_CseReduction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// Experiment C1 (paper §4.2.1): "The Stethoscope uses the Java Event
+// Dispatch thread queuing framework for queuing up nodes to render. This
+// introduces a delay of up-to 150ms between rendering of consecutive
+// nodes."
+//
+// Measures the event-dispatch substitute: real task throughput without
+// pacing, and — on a virtual clock — the exact inter-render gap the pacing
+// imposes, plus how long a burst of N node-color updates takes to drain
+// (the paper's bottleneck for online coloring).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "common/clock.h"
+#include "viz/event_dispatch.h"
+
+namespace {
+
+using namespace stetho;
+
+void BM_PostNoPacing(benchmark::State& state) {
+  VirtualClock clock;
+  viz::EventDispatchThread edt(&clock, 0);
+  std::atomic<int64_t> executed{0};
+  for (auto _ : state) {
+    edt.Post([&] { executed.fetch_add(1, std::memory_order_relaxed); });
+  }
+  edt.Drain();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PostNoPacing);
+
+/// Burst of N renders with 150ms pacing on a virtual clock: the measured
+/// virtual drain time must be (N-1) * 150ms — the paper's rendering
+/// bottleneck, reproduced exactly.
+void BM_RenderBurstVirtualDrain(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    VirtualClock clock;
+    viz::EventDispatchThread edt(&clock, 150000);
+    for (int64_t i = 0; i < n; ++i) {
+      edt.PostRender([] {});
+    }
+    edt.Drain();
+    state.counters["virtual_drain_ms"] =
+        static_cast<double>(clock.NowMicros()) / 1000.0;
+    auto stats = edt.Stats();
+    int64_t min_gap = stats.render_gaps_us.empty()
+                          ? 0
+                          : *std::min_element(stats.render_gaps_us.begin(),
+                                              stats.render_gaps_us.end());
+    state.counters["min_gap_ms"] = static_cast<double>(min_gap) / 1000.0;
+    edt.Shutdown();
+  }
+  state.counters["nodes_per_s_at_150ms"] =
+      1e6 / 150000.0;  // the pacing-imposed ceiling
+}
+BENCHMARK(BM_RenderBurstVirtualDrain)->Arg(2)->Arg(10)->Arg(50)->Arg(200);
+
+/// Real-time pacing with a short interval: verifies the dispatcher also
+/// enforces intervals on a wall clock.
+void BM_RenderPacedRealClock(benchmark::State& state) {
+  const int64_t interval_us = state.range(0);
+  for (auto _ : state) {
+    viz::EventDispatchThread edt(SteadyClock::Default(), interval_us);
+    for (int i = 0; i < 5; ++i) {
+      edt.PostRender([] {});
+    }
+    edt.Drain();
+    auto stats = edt.Stats();
+    for (int64_t gap : stats.render_gaps_us) {
+      if (gap < interval_us) {
+        state.SkipWithError("pacing violated");
+        return;
+      }
+    }
+    edt.Shutdown();
+  }
+  state.SetLabel("5 renders per iteration");
+}
+BENCHMARK(BM_RenderPacedRealClock)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+/// Queue growth under a producer faster than the render rate — the paper's
+/// online-mode scenario where the trace outruns the display.
+void BM_QueueDepthUnderLoad(benchmark::State& state) {
+  for (auto _ : state) {
+    VirtualClock clock;
+    viz::EventDispatchThread edt(&clock, 150000);
+    for (int i = 0; i < 100; ++i) {
+      edt.PostRender([] {});
+    }
+    edt.Drain();
+    state.counters["max_queue_depth"] =
+        static_cast<double>(edt.Stats().max_queue_depth);
+    edt.Shutdown();
+  }
+}
+BENCHMARK(BM_QueueDepthUnderLoad);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stetho;
+  std::printf("=== C1: the 150ms event-dispatch rendering delay ===\n");
+  VirtualClock clock;
+  {
+    viz::EventDispatchThread edt(&clock, 150000);
+    for (int i = 0; i < 10; ++i) {
+      edt.PostRender([] {});
+    }
+    edt.Drain();
+    auto stats = edt.Stats();
+    std::printf("10-node burst drained in %lld virtual ms "
+                "(expected %d); gaps:",
+                static_cast<long long>(clock.NowMicros() / 1000), 9 * 150);
+    for (int64_t gap : stats.render_gaps_us) {
+      std::printf(" %lld", static_cast<long long>(gap / 1000));
+    }
+    std::printf(" ms\n\n");
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Experiment C2 (paper §4.2.1): the run-time coloring algorithms.
+//
+// Reproduces the paper's worked 6-statement example (exactly one RED node,
+// pc=3) and measures both algorithms — pair-sequence analysis and the
+// user-threshold variant — plus the gradient extension, over synthetic
+// buffers from 1e3 to 1e6 events. The pair-sequence algorithm must scale
+// linearly in the buffer size (it is rerun on every sampling tick online).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "scope/coloring.h"
+
+namespace {
+
+using namespace stetho;
+
+void BM_PairSequence(benchmark::State& state) {
+  auto buffer = bench::SyntheticTrace(static_cast<size_t>(state.range(0)));
+  size_t colored = 0;
+  for (auto _ : state) {
+    auto decisions = scope::PairSequenceColoring(buffer);
+    colored = decisions.size();
+    benchmark::DoNotOptimize(decisions);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(buffer.size()));
+  state.counters["buffer_events"] = static_cast<double>(buffer.size());
+  state.counters["decisions"] = static_cast<double>(colored);
+}
+BENCHMARK(BM_PairSequence)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_Threshold(benchmark::State& state) {
+  auto buffer = bench::SyntheticTrace(static_cast<size_t>(state.range(0)));
+  size_t colored = 0;
+  for (auto _ : state) {
+    auto decisions = scope::ThresholdColoring(buffer, /*threshold_us=*/1000);
+    colored = decisions.size();
+    benchmark::DoNotOptimize(decisions);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(buffer.size()));
+  state.counters["decisions"] = static_cast<double>(colored);
+}
+BENCHMARK(BM_Threshold)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_Gradient(benchmark::State& state) {
+  auto buffer = bench::SyntheticTrace(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto decisions = scope::GradientColoring(buffer);
+    benchmark::DoNotOptimize(decisions);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(buffer.size()));
+}
+BENCHMARK(BM_Gradient)->Arg(1000)->Arg(100000);
+
+/// Buffer composition sweep: mostly-paired (healthy plan) vs mostly
+/// long-running (pathological). Decision counts should track the unpaired
+/// fraction; runtime should not degrade.
+void BM_PairSequenceComposition(benchmark::State& state) {
+  double paired = static_cast<double>(state.range(0)) / 100.0;
+  auto buffer = bench::SyntheticTrace(100000, paired);
+  size_t colored = 0;
+  for (auto _ : state) {
+    auto decisions = scope::PairSequenceColoring(buffer);
+    colored = decisions.size();
+    benchmark::DoNotOptimize(decisions);
+  }
+  state.counters["paired_pct"] = static_cast<double>(state.range(0));
+  state.counters["decisions"] = static_cast<double>(colored);
+}
+BENCHMARK(BM_PairSequenceComposition)->Arg(95)->Arg(50)->Arg(5);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stetho;
+  using profiler::EventState;
+  std::printf("=== C2: the paper's worked example ===\n");
+  std::printf("buffer: {start,1},{done,1},{start,2},{done,2},{start,3},"
+              "{start,4}\n");
+  std::vector<profiler::TraceEvent> buffer;
+  auto ev = [](EventState s, int pc) {
+    profiler::TraceEvent e;
+    e.state = s;
+    e.pc = pc;
+    return e;
+  };
+  buffer = {ev(EventState::kStart, 1), ev(EventState::kDone, 1),
+            ev(EventState::kStart, 2), ev(EventState::kDone, 2),
+            ev(EventState::kStart, 3), ev(EventState::kStart, 4)};
+  auto decisions = scope::PairSequenceColoring(buffer);
+  for (const auto& d : decisions) {
+    std::printf("  pc=%d -> %s\n", d.pc, d.color.ToHex().c_str());
+  }
+  std::printf("(expected: exactly one decision, pc=3 RED)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

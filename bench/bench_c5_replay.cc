@@ -1,0 +1,152 @@
+// Experiment C5 (paper §5, offline demo): trace replay — "Step by step walk
+// through", "Fast-forward, rewind, and pause functionality of the trace
+// replay", "Finding costly instructions by coloring during trace replay",
+// "Birds eye view of the entire trace".
+//
+// Measures step throughput, fast-forward at speed multipliers ×1..×64 (on a
+// virtual clock, so the replay duration scaling is exact), seek/rewind
+// cost, costly-instruction clustering, and birds-eye rendering.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "dot/parser.h"
+#include "profiler/sink.h"
+#include "scope/analysis.h"
+#include "scope/replayer.h"
+
+namespace {
+
+using namespace stetho;
+
+struct Recorded {
+  dot::Graph graph;
+  std::vector<profiler::TraceEvent> events;
+};
+
+/// One recorded q1 execution, shared by all benchmarks in this binary.
+const Recorded& Recording() {
+  static const Recorded* recorded = [] {
+    server::MserverOptions options;
+    options.dop = 2;
+    options.mitosis_pieces = 8;
+    auto server = bench::MakeServer(options, 0.005);
+    auto ring = std::make_shared<profiler::RingBufferSink>(1 << 16);
+    server->profiler()->AddSink(ring);
+    auto outcome = server->ExecuteSql(tpch::GetQuery("q1").value().sql);
+    if (!outcome.ok()) std::abort();
+    auto graph = dot::ParseDot(outcome.value().dot);
+    if (!graph.ok()) std::abort();
+    auto* r = new Recorded{std::move(graph).value(), ring->Snapshot()};
+    // Normalize timestamps to a strict 100us cadence so speed sweeps are
+    // deterministic.
+    for (size_t i = 0; i < r->events.size(); ++i) {
+      r->events[i].time_us = static_cast<int64_t>(i) * 100;
+    }
+    return r;
+  }();
+  return *recorded;
+}
+
+std::unique_ptr<scope::OfflineReplayer> MakeReplayer(VirtualClock* clock) {
+  scope::ReplayOptions options;
+  options.clock = clock;
+  options.render_interval_us = 0;
+  auto r = scope::OfflineReplayer::Create(Recording().graph,
+                                          Recording().events, options);
+  if (!r.ok()) std::abort();
+  return std::move(r).value();
+}
+
+void BM_StepThroughput(benchmark::State& state) {
+  VirtualClock clock;
+  auto replayer = MakeReplayer(&clock);
+  for (auto _ : state) {
+    if (replayer->AtEnd()) replayer->Rewind();
+    (void)replayer->Step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StepThroughput);
+
+/// Fast-forward at ×speed: replaying the whole trace takes
+/// trace_duration / speed virtual time.
+void BM_PlayAtSpeed(benchmark::State& state) {
+  const double speed = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    VirtualClock clock;
+    auto replayer = MakeReplayer(&clock);
+    auto played = replayer->Play(speed, Recording().events.size());
+    if (!played.ok()) {
+      state.SkipWithError("play failed");
+      return;
+    }
+    state.counters["virtual_replay_ms"] =
+        static_cast<double>(clock.NowMicros()) / 1000.0;
+  }
+  int64_t trace_span =
+      Recording().events.back().time_us - Recording().events.front().time_us;
+  state.counters["trace_span_ms"] = static_cast<double>(trace_span) / 1000.0;
+  state.counters["speed_x"] = speed;
+}
+BENCHMARK(BM_PlayAtSpeed)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SeekToMiddle(benchmark::State& state) {
+  VirtualClock clock;
+  auto replayer = MakeReplayer(&clock);
+  size_t middle = Recording().events.size() / 2;
+  for (auto _ : state) {
+    (void)replayer->SeekTo(middle);
+    benchmark::DoNotOptimize(replayer->cursor());
+  }
+  state.SetLabel("recomputes colors from scratch");
+}
+BENCHMARK(BM_SeekToMiddle);
+
+void BM_RewindAfterFullPlay(benchmark::State& state) {
+  VirtualClock clock;
+  auto replayer = MakeReplayer(&clock);
+  for (auto _ : state) {
+    (void)replayer->Play(1e12, Recording().events.size());
+    replayer->Rewind();
+  }
+}
+BENCHMARK(BM_RewindAfterFullPlay);
+
+void BM_BirdsEyeView(benchmark::State& state) {
+  VirtualClock clock;
+  auto replayer = MakeReplayer(&clock);
+  (void)replayer->Play(1e12, Recording().events.size());
+  for (auto _ : state) {
+    viz::Frame frame = replayer->BirdsEyeView();
+    benchmark::DoNotOptimize(frame.commands.size());
+  }
+}
+BENCHMARK(BM_BirdsEyeView);
+
+void BM_CostlyClustering(benchmark::State& state) {
+  auto events = bench::SyntheticTrace(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto clusters = scope::FindCostlyClusters(events, 1000);
+    benchmark::DoNotOptimize(clusters);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_CostlyClustering)->Arg(10000)->Arg(100000);
+
+void BM_TooltipLookup(benchmark::State& state) {
+  VirtualClock clock;
+  auto replayer = MakeReplayer(&clock);
+  (void)replayer->Play(1e12, Recording().events.size());
+  for (auto _ : state) {
+    std::string tip = replayer->TooltipFor("n5");
+    benchmark::DoNotOptimize(tip);
+  }
+}
+BENCHMARK(BM_TooltipLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// Experiment F3 (paper Fig. 3): the MAL execution trace.
+//
+// Regenerates the trace excerpt and measures the profiler path: event
+// emission throughput, trace-line formatting/parsing, and the end-to-end
+// profiling overhead on query execution (profiler off vs ring buffer vs
+// file sink).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "profiler/profiler.h"
+#include "profiler/sink.h"
+
+namespace {
+
+using namespace stetho;
+
+void BM_ProfilerEmit(benchmark::State& state) {
+  VirtualClock clock;
+  profiler::Profiler prof(&clock);
+  auto ring = std::make_shared<profiler::RingBufferSink>(1 << 16);
+  prof.AddSink(ring);
+  std::string stmt = "X_5:bat[:dbl] := algebra.projection(X_3,X_4);";
+  int pc = 0;
+  for (auto _ : state) {
+    prof.EmitStart(pc, 0, 4096, stmt);
+    prof.EmitDone(pc, 0, 17, 4096, stmt);
+    ++pc;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ProfilerEmit);
+
+void BM_ProfilerEmitFiltered(benchmark::State& state) {
+  // Filter that drops everything: measures the filtering fast path.
+  VirtualClock clock;
+  profiler::Profiler prof(&clock);
+  auto ring = std::make_shared<profiler::RingBufferSink>(1 << 16);
+  prof.AddSink(ring);
+  profiler::EventFilter filter;
+  filter.PcRange(1 << 20, 1 << 21);
+  prof.SetFilter(filter);
+  std::string stmt = "io.print(X_5);";
+  for (auto _ : state) {
+    prof.EmitDone(3, 0, 17, 4096, stmt);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerEmitFiltered);
+
+void BM_TraceLineFormat(benchmark::State& state) {
+  auto events = bench::SyntheticTrace(1000);
+  size_t i = 0;
+  for (auto _ : state) {
+    std::string line = profiler::FormatTraceLine(events[i % events.size()]);
+    benchmark::DoNotOptimize(line);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceLineFormat);
+
+void BM_TraceLineParse(benchmark::State& state) {
+  auto events = bench::SyntheticTrace(1000);
+  std::vector<std::string> lines;
+  for (const auto& e : events) lines.push_back(profiler::FormatTraceLine(e));
+  size_t i = 0;
+  for (auto _ : state) {
+    auto event = profiler::ParseTraceLine(lines[i % lines.size()]);
+    benchmark::DoNotOptimize(event);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceLineParse);
+
+/// End-to-end profiling overhead on a real query.
+void BM_QueryProfiled(benchmark::State& state) {
+  server::MserverOptions options;
+  options.dop = 2;
+  auto server = bench::MakeServer(options);
+  std::shared_ptr<profiler::RingBufferSink> ring;
+  switch (state.range(0)) {
+    case 0:
+      server->profiler()->SetEnabled(false);
+      state.SetLabel("profiler off");
+      break;
+    case 1:
+      ring = std::make_shared<profiler::RingBufferSink>(1 << 16);
+      server->profiler()->AddSink(ring);
+      state.SetLabel("ring buffer sink");
+      break;
+    default: {
+      auto file = profiler::FileSink::Open("/tmp/stetho_bench_fig3.trace");
+      if (!file.ok()) {
+        state.SkipWithError("cannot open trace file");
+        return;
+      }
+      server->profiler()->AddSink(std::move(file).value());
+      state.SetLabel("trace file sink");
+    }
+  }
+  const std::string sql = tpch::GetQuery("q6").value().sql;
+  for (auto _ : state) {
+    auto outcome = server->ExecuteSql(sql);
+    if (!outcome.ok()) state.SkipWithError(outcome.status().ToString().c_str());
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_QueryProfiled)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stetho;
+  auto server = bench::MakeServer();
+  auto ring = std::make_shared<profiler::RingBufferSink>(1 << 16);
+  server->profiler()->AddSink(ring);
+  auto outcome =
+      server->ExecuteSql("select l_tax from lineitem where l_partkey = 1");
+  if (outcome.ok()) {
+    std::printf("=== Fig. 3: MAL plan execution trace (first 10 events) ===\n");
+    auto events = ring->Snapshot();
+    for (size_t i = 0; i < events.size() && i < 10; ++i) {
+      std::printf("%s\n", profiler::FormatTraceLine(events[i]).c_str());
+    }
+    std::printf("(%zu events total)\n\n", events.size());
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,90 @@
+#ifndef STETHO_BENCH_BENCH_UTIL_H_
+#define STETHO_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "profiler/event.h"
+#include "server/mserver.h"
+#include "storage/table.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace stetho::bench {
+
+/// Shared deterministic TPC-H catalog (generated once per binary).
+inline storage::Catalog& SharedCatalog(double scale_factor = 0.01) {
+  static storage::Catalog* catalog = [scale_factor] {
+    tpch::TpchConfig config;
+    config.scale_factor = scale_factor;
+    auto cat = tpch::GenerateTpch(config);
+    if (!cat.ok()) {
+      std::fprintf(stderr, "dbgen failed: %s\n",
+                   cat.status().ToString().c_str());
+      std::abort();
+    }
+    return new storage::Catalog(std::move(cat.value()));
+  }();
+  return *catalog;
+}
+
+/// Copies the shared catalog into a server with the given options.
+inline std::unique_ptr<server::Mserver> MakeServer(
+    server::MserverOptions options = {}, double scale_factor = 0.01) {
+  // Catalog holds shared_ptr tables: copying the catalog is cheap and the
+  // underlying columns are shared.
+  return std::make_unique<server::Mserver>(SharedCatalog(scale_factor),
+                                           options);
+}
+
+/// Synthetic trace of `n` events mimicking a mixed sequential/parallel
+/// execution: fraction `paired` of instructions appear as adjacent
+/// start/done pairs, the rest interleave (long-running).
+inline std::vector<profiler::TraceEvent> SyntheticTrace(size_t n,
+                                                        double paired = 0.8,
+                                                        uint64_t seed = 42) {
+  SplitMix64 rng(seed);
+  std::vector<profiler::TraceEvent> events;
+  events.reserve(n);
+  int64_t t = 0;
+  int pc = 0;
+  std::vector<int> open;
+  while (events.size() + 2 <= n) {
+    profiler::TraceEvent e;
+    e.time_us = t;
+    e.thread = static_cast<int>(rng.NextBounded(4));
+    e.rss_bytes = static_cast<int64_t>(rng.NextBounded(1 << 20));
+    e.stmt = "X_1:bat[:oid] := algebra.select(X_0,X_2,1,9);";
+    if (!open.empty() && rng.NextBool(0.5)) {
+      // Close a long-running instruction.
+      e.pc = open.back();
+      open.pop_back();
+      e.state = profiler::EventState::kDone;
+      e.usec = static_cast<int64_t>(rng.NextBounded(20000));
+      events.push_back(e);
+      t += 3;
+      continue;
+    }
+    if (rng.NextBool(paired)) {
+      e.pc = pc++;
+      e.state = profiler::EventState::kStart;
+      events.push_back(e);
+      e.state = profiler::EventState::kDone;
+      e.usec = static_cast<int64_t>(rng.NextBounded(50));
+      e.time_us = ++t;
+      events.push_back(e);
+    } else {
+      e.pc = pc++;
+      e.state = profiler::EventState::kStart;
+      events.push_back(e);
+      open.push_back(e.pc);
+    }
+    t += 2;
+  }
+  return events;
+}
+
+}  // namespace stetho::bench
+
+#endif  // STETHO_BENCH_BENCH_UTIL_H_

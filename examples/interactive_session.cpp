@@ -1,0 +1,85 @@
+// Interactive navigation (paper §5 demo features): a scripted session that
+// reproduces the demo walk-through — animated zoom, node-to-node
+// navigation, fisheye lens, step-by-step trace replay with tool-tip and
+// debug-window inspection, and a final birds-eye view.
+//
+// Pass commands as arguments to drive your own session, e.g.
+//   ./interactive_session "zoom fit" "focus n4" "lens on 4" "play 8 20" view
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "common/clock.h"
+#include "dot/parser.h"
+#include "profiler/sink.h"
+#include "scope/session.h"
+#include "server/mserver.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+using namespace stetho;
+
+int main(int argc, char** argv) {
+  // Record a query.
+  tpch::TpchConfig config;
+  config.scale_factor = 0.005;
+  auto catalog = tpch::GenerateTpch(config);
+  if (!catalog.ok()) return 1;
+  server::MserverOptions options;
+  options.dop = 2;
+  options.mitosis_pieces = 4;
+  server::Mserver server(std::move(catalog.value()), options);
+  auto ring = std::make_shared<profiler::RingBufferSink>(1 << 16);
+  server.profiler()->AddSink(ring);
+  auto outcome = server.ExecuteSql(tpch::GetQuery("q3").value().sql);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+  auto graph = dot::ParseDot(outcome.value().dot);
+  if (!graph.ok()) return 1;
+
+  // Build the replay scene and session (virtual clock: animations are
+  // deterministic and instantaneous in wall time).
+  VirtualClock clock;
+  scope::ReplayOptions replay;
+  replay.clock = &clock;
+  replay.render_interval_us = 1000;
+  auto replayer =
+      scope::OfflineReplayer::Create(graph.value(), ring->Snapshot(), replay);
+  if (!replayer.ok()) return 1;
+  scope::InteractiveSession session(replayer.value().get(), &clock);
+
+  std::vector<std::string> script;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) script.emplace_back(argv[i]);
+  } else {
+    script = {
+        "zoom fit",   "progress",    "step",      "step",     "step",
+        "tooltip n2", "focus n2",    "zoom in",   "zoom in",  "lens on 3",
+        "view",       "lens off",    "next",      "next",     "play 1e6 40",
+        "debug",      "seek 10",     "progress",  "rewind",   "play 1e6 100000",
+        "progress",   "zoom fit",    "birdseye",
+    };
+  }
+
+  std::printf("== interactive session over TPC-H Q3 (%zu plan nodes, %zu "
+              "trace events) ==\n\n",
+              graph.value().num_nodes(), replayer.value()->size());
+  for (const std::string& command : script) {
+    auto response = session.Execute(command);
+    std::printf("> %s\n", command.c_str());
+    if (response.ok()) {
+      std::printf("%s\n\n", response.value().c_str());
+    } else {
+      std::printf("error: %s\n\n", response.status().ToString().c_str());
+    }
+  }
+
+  std::ofstream("session_view.svg") << session.Render().ToSvg();
+  std::printf("wrote session_view.svg (%zu commands executed)\n",
+              session.transcript().size());
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Plan gallery: renders every TPC-H query's MAL plan through the full
+// dot → layout → SVG pipeline, plus one mitosis-inflated plan of >1000
+// nodes (the paper's Fig. 2 "large graph for a complex SQL query").
+
+#include <cstdio>
+#include <fstream>
+
+#include "dot/parser.h"
+#include "dot/writer.h"
+#include "layout/svg.h"
+#include "layout/sugiyama.h"
+#include "server/mserver.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+using namespace stetho;
+
+namespace {
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+/// Renders one plan, writes <name>.svg, prints stats.
+Status RenderPlan(const std::string& name, const std::string& dot_text) {
+  STETHO_ASSIGN_OR_RETURN(dot::Graph graph, dot::ParseDot(dot_text));
+  STETHO_ASSIGN_OR_RETURN(layout::GraphLayout layout,
+                          layout::LayoutGraph(graph));
+  int max_layer = 0;
+  for (const auto& n : layout.nodes) max_layer = std::max(max_layer, n.layer);
+  std::string svg = layout::LayoutToSvg(graph, layout);
+  std::ofstream(name + ".svg") << svg;
+  std::printf("  %-18s nodes=%-5zu edges=%-5zu layers=%-3d crossings=%-5lld "
+              "canvas=%.0fx%.0f -> %s.svg\n",
+              name.c_str(), graph.num_nodes(), graph.num_edges(),
+              max_layer + 1, static_cast<long long>(layout.crossings),
+              layout.width, layout.height, name.c_str());
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.001;
+  auto catalog = tpch::GenerateTpch(config);
+  if (!catalog.ok()) return Fail(catalog.status());
+
+  std::printf("== plan gallery (one SVG per query) ==\n");
+  {
+    server::MserverOptions options;
+    options.mitosis_pieces = 4;
+    server::Mserver server(std::move(catalog.value()), options);
+    for (const auto& q : tpch::TpchQueries()) {
+      auto plan = server.Explain(q.sql);
+      if (!plan.ok()) return Fail(plan.status());
+      dot::DotWriterOptions dot_options;
+      dot_options.graph_name = "user." + q.id;
+      dot_options.max_label_chars = 48;
+      std::string dot_text = dot::ProgramToDot(plan.value(), dot_options);
+      if (auto st = RenderPlan("plan_" + q.id, dot_text); !st.ok()) {
+        return Fail(st);
+      }
+    }
+  }
+
+  // Fig. 2: a very large plan graph. Heavy mitosis over the widest query
+  // pushes the node count beyond 1000.
+  std::printf("\n== large-graph rendering (paper Fig. 2, >1000 nodes) ==\n");
+  {
+    auto catalog2 = tpch::GenerateTpch(config);
+    if (!catalog2.ok()) return Fail(catalog2.status());
+    server::MserverOptions options;
+    options.mitosis_pieces = 128;
+    server::Mserver server(std::move(catalog2.value()), options);
+    auto plan = server.Explain(tpch::GetQuery("scan_heavy").value().sql);
+    if (!plan.ok()) return Fail(plan.status());
+    if (plan.value().size() <= 1000) {
+      std::fprintf(stderr, "expected >1000 nodes, got %zu\n",
+                   plan.value().size());
+      return 1;
+    }
+    dot::DotWriterOptions dot_options;
+    dot_options.graph_name = "user.large";
+    dot_options.max_label_chars = 24;
+    if (auto st = RenderPlan("plan_large",
+                             dot::ProgramToDot(plan.value(), dot_options));
+        !st.ok()) {
+      return Fail(st);
+    }
+  }
+  std::printf("\nplan gallery OK\n");
+  return 0;
+}

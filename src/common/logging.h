@@ -1,0 +1,50 @@
+#ifndef STETHO_COMMON_LOGGING_H_
+#define STETHO_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace stetho {
+
+/// Log severities in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the process-wide minimum level that is emitted (default: kWarning so
+/// tests stay quiet; examples raise it to kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction. Thread-safe emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace stetho
+
+#define STETHO_LOG(level)                                        \
+  ::stetho::internal::LogMessage(::stetho::LogLevel::k##level,   \
+                                 __FILE__, __LINE__)             \
+      .stream()
+
+/// Fatal invariant check: logs and aborts when `cond` is false. Used only for
+/// programmer errors (never for data-dependent failures, which use Status).
+#define STETHO_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      STETHO_LOG(Error) << "CHECK failed: " #cond;                      \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+#endif  // STETHO_COMMON_LOGGING_H_

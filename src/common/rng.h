@@ -1,0 +1,45 @@
+#ifndef STETHO_COMMON_RNG_H_
+#define STETHO_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace stetho {
+
+/// Deterministic 64-bit PRNG (SplitMix64). All randomness in the library —
+/// data generation, workload synthesis, jitter injection — flows through a
+/// seeded instance of this class so every run is reproducible.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int64_t NextRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace stetho
+
+#endif  // STETHO_COMMON_RNG_H_

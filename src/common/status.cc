@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace stetho {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kIoError:
+      return "io_error";
+    case StatusCode::kParseError:
+      return "parse_error";
+    case StatusCode::kTypeError:
+      return "type_error";
+    case StatusCode::kAborted:
+      return "aborted";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace stetho

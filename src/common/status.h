@@ -1,0 +1,146 @@
+#ifndef STETHO_COMMON_STATUS_H_
+#define STETHO_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace stetho {
+
+/// Error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kIoError,
+  kParseError,
+  kTypeError,
+  kAborted,
+  kResourceExhausted,
+};
+
+/// Returns the canonical lower-case name of a status code, e.g. "parse_error".
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight success/error value used across all public APIs.
+///
+/// The library does not throw exceptions across module boundaries; fallible
+/// operations return Status (or Result<T> when they produce a value).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error holder; the moral equivalent of absl::StatusOr<T>.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value keeps call sites terse:
+  /// `return some_value;`.
+  Result(T value) : data_(std::move(value)) {}
+  /// Implicit construction from a non-OK status: `return st;`.
+  Result(Status status) : data_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Returns the error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  /// Precondition: ok(). Accessing the value of an error Result aborts.
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define STETHO_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::stetho::Status _st = (expr);                     \
+    if (!_st.ok()) return _st;                         \
+  } while (0)
+
+/// Evaluates a Result-returning expression, assigning the value on success
+/// and propagating the Status on failure.
+#define STETHO_ASSIGN_OR_RETURN(lhs, expr)             \
+  STETHO_ASSIGN_OR_RETURN_IMPL(                        \
+      STETHO_STATUS_CONCAT(_res, __LINE__), lhs, expr)
+
+#define STETHO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)   \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define STETHO_STATUS_CONCAT_INNER(a, b) a##b
+#define STETHO_STATUS_CONCAT(a, b) STETHO_STATUS_CONCAT_INNER(a, b)
+
+}  // namespace stetho
+
+#endif  // STETHO_COMMON_STATUS_H_

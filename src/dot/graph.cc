@@ -1,0 +1,86 @@
+#include "dot/graph.h"
+
+#include <deque>
+
+namespace stetho::dot {
+
+GraphNode& Graph::AddNode(const std::string& id) {
+  auto it = index_.find(id);
+  if (it != index_.end()) return nodes_[static_cast<size_t>(it->second)];
+  index_[id] = static_cast<int>(nodes_.size());
+  nodes_.push_back(GraphNode{id, {}});
+  return nodes_.back();
+}
+
+GraphEdge& Graph::AddEdge(const std::string& from, const std::string& to) {
+  AddNode(from);
+  AddNode(to);
+  edges_.push_back(GraphEdge{from, to, {}});
+  return edges_.back();
+}
+
+int Graph::FindNode(const std::string& id) const {
+  auto it = index_.find(id);
+  return it != index_.end() ? it->second : -1;
+}
+
+std::vector<int> Graph::Roots() const {
+  std::vector<int> indegree(nodes_.size(), 0);
+  for (const GraphEdge& e : edges_) {
+    int to = FindNode(e.to);
+    if (to >= 0) ++indegree[static_cast<size_t>(to)];
+  }
+  std::vector<int> roots;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) roots.push_back(static_cast<int>(i));
+  }
+  return roots;
+}
+
+std::vector<std::vector<int>> Graph::OutAdjacency() const {
+  std::vector<std::vector<int>> adj(nodes_.size());
+  for (const GraphEdge& e : edges_) {
+    int from = FindNode(e.from);
+    int to = FindNode(e.to);
+    if (from >= 0 && to >= 0) adj[static_cast<size_t>(from)].push_back(to);
+  }
+  return adj;
+}
+
+std::vector<std::vector<int>> Graph::InAdjacency() const {
+  std::vector<std::vector<int>> adj(nodes_.size());
+  for (const GraphEdge& e : edges_) {
+    int from = FindNode(e.from);
+    int to = FindNode(e.to);
+    if (from >= 0 && to >= 0) adj[static_cast<size_t>(to)].push_back(from);
+  }
+  return adj;
+}
+
+Result<std::vector<int>> Graph::TopologicalOrder() const {
+  std::vector<int> indegree(nodes_.size(), 0);
+  auto out = OutAdjacency();
+  for (const auto& targets : out) {
+    for (int t : targets) ++indegree[static_cast<size_t>(t)];
+  }
+  std::deque<int> ready;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(static_cast<int>(i));
+  }
+  std::vector<int> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    int n = ready.front();
+    ready.pop_front();
+    order.push_back(n);
+    for (int t : out[static_cast<size_t>(n)]) {
+      if (--indegree[static_cast<size_t>(t)] == 0) ready.push_back(t);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    return Status::Internal("graph contains a cycle");
+  }
+  return order;
+}
+
+}  // namespace stetho::dot

@@ -1,0 +1,200 @@
+#include "dot/parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace stetho::dot {
+namespace {
+
+/// Minimal tokenizer for the dot language subset.
+class DotScanner {
+ public:
+  explicit DotScanner(const std::string& text) : text_(text) {}
+
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          ++pos_;
+        }
+        pos_ = pos_ + 2 <= text_.size() ? pos_ + 2 : text_.size();
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpaceAndComments();
+    return pos_ >= text_.size();
+  }
+
+  char Peek() {
+    SkipSpaceAndComments();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool Consume(char c) {
+    SkipSpaceAndComments();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// True when the next two characters form the given digraph edge op.
+  bool ConsumeArrow(bool* directed) {
+    SkipSpaceAndComments();
+    if (pos_ + 1 < text_.size() && text_[pos_] == '-') {
+      if (text_[pos_ + 1] == '>') {
+        pos_ += 2;
+        *directed = true;
+        return true;
+      }
+      if (text_[pos_ + 1] == '-') {
+        pos_ += 2;
+        *directed = false;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Reads an identifier: bare word, numeral, or quoted string.
+  Result<std::string> ReadId() {
+    SkipSpaceAndComments();
+    if (pos_ >= text_.size()) {
+      return Status::ParseError("unexpected end of dot input");
+    }
+    char c = text_[pos_];
+    if (c == '"') {
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        out.push_back(text_[pos_]);
+        ++pos_;
+      }
+      if (pos_ >= text_.size()) {
+        return Status::ParseError("unterminated quoted id in dot input");
+      }
+      ++pos_;
+      return out;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+        c == '-') {
+      size_t start = pos_;
+      while (pos_ < text_.size()) {
+        char d = text_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' ||
+            d == '.' || d == '-') {
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      return text_.substr(start, pos_ - start);
+    }
+    return Status::ParseError(
+        StrFormat("unexpected character '%c' at offset %zu in dot input", c,
+                  pos_));
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// Parses an optional [k=v, ...] attribute list.
+Result<std::map<std::string, std::string>> ParseAttrList(DotScanner* scan) {
+  std::map<std::string, std::string> attrs;
+  if (!scan->Consume('[')) return attrs;
+  if (scan->Consume(']')) return attrs;
+  while (true) {
+    STETHO_ASSIGN_OR_RETURN(std::string key, scan->ReadId());
+    if (!scan->Consume('=')) {
+      return Status::ParseError("expected '=' in attribute list");
+    }
+    STETHO_ASSIGN_OR_RETURN(std::string value, scan->ReadId());
+    attrs[key] = std::move(value);
+    if (scan->Consume(',') || scan->Consume(';')) continue;
+    if (scan->Consume(']')) break;
+    return Status::ParseError("expected ',' or ']' in attribute list");
+  }
+  return attrs;
+}
+
+}  // namespace
+
+Result<Graph> ParseDot(const std::string& text) {
+  DotScanner scan(text);
+  Graph graph;
+
+  STETHO_ASSIGN_OR_RETURN(std::string kind, scan.ReadId());
+  if (EqualsIgnoreCase(kind, "strict")) {
+    STETHO_ASSIGN_OR_RETURN(kind, scan.ReadId());
+  }
+  if (EqualsIgnoreCase(kind, "digraph")) {
+    graph.set_directed(true);
+  } else if (EqualsIgnoreCase(kind, "graph")) {
+    graph.set_directed(false);
+  } else {
+    return Status::ParseError("dot input must start with (di)graph");
+  }
+  if (scan.Peek() != '{') {
+    STETHO_ASSIGN_OR_RETURN(std::string name, scan.ReadId());
+    graph.set_name(std::move(name));
+  }
+  if (!scan.Consume('{')) return Status::ParseError("expected '{'");
+
+  while (!scan.Consume('}')) {
+    if (scan.AtEnd()) return Status::ParseError("missing '}' in dot input");
+    STETHO_ASSIGN_OR_RETURN(std::string id, scan.ReadId());
+
+    // Graph-level attribute: ID = ID ;
+    if (scan.Consume('=')) {
+      STETHO_ASSIGN_OR_RETURN(std::string value, scan.ReadId());
+      (void)value;  // graph attributes are not needed downstream
+      scan.Consume(';');
+      continue;
+    }
+
+    // Default attribute statements: node [...] / edge [...] / graph [...]
+    if ((EqualsIgnoreCase(id, "node") || EqualsIgnoreCase(id, "edge") ||
+         EqualsIgnoreCase(id, "graph")) &&
+        scan.Peek() == '[') {
+      STETHO_ASSIGN_OR_RETURN(auto attrs, ParseAttrList(&scan));
+      (void)attrs;
+      scan.Consume(';');
+      continue;
+    }
+
+    bool directed_edge = false;
+    if (scan.ConsumeArrow(&directed_edge)) {
+      STETHO_ASSIGN_OR_RETURN(std::string to, scan.ReadId());
+      GraphEdge& edge = graph.AddEdge(id, to);
+      STETHO_ASSIGN_OR_RETURN(edge.attrs, ParseAttrList(&scan));
+      scan.Consume(';');
+      continue;
+    }
+
+    GraphNode& node = graph.AddNode(id);
+    STETHO_ASSIGN_OR_RETURN(auto attrs, ParseAttrList(&scan));
+    for (auto& [k, v] : attrs) node.attrs[k] = std::move(v);
+    scan.Consume(';');
+  }
+  return graph;
+}
+
+}  // namespace stetho::dot

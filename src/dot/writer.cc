@@ -1,0 +1,91 @@
+#include "dot/writer.h"
+
+#include "common/string_util.h"
+
+namespace stetho::dot {
+namespace {
+
+std::string NodeName(int pc) { return StrFormat("n%d", pc); }
+
+std::string Truncate(const std::string& text, size_t limit) {
+  if (limit == 0 || text.size() <= limit) return text;
+  return text.substr(0, limit) + "...";
+}
+
+}  // namespace
+
+std::string ProgramToDot(const mal::Program& program,
+                         const DotWriterOptions& options) {
+  std::string out = "digraph \"" + EscapeQuoted(options.graph_name) + "\" {\n";
+  out += "  node [shape=" + options.node_shape + "];\n";
+  for (const mal::Instruction& ins : program.instructions()) {
+    std::string label =
+        Truncate(program.InstructionToString(ins), options.max_label_chars);
+    out += "  " + NodeName(ins.pc) + " [label=\"" + EscapeQuoted(label) +
+           "\"];\n";
+  }
+  auto deps = program.BuildDependencies();
+  for (size_t pc = 0; pc < deps.size(); ++pc) {
+    for (int producer : deps[pc]) {
+      // Dataflow direction: producer -> consumer.
+      out += "  " + NodeName(producer) + " -> " +
+             NodeName(static_cast<int>(pc)) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string GraphToDot(const Graph& graph) {
+  std::string out;
+  out += graph.directed() ? "digraph" : "graph";
+  out += " \"" + EscapeQuoted(graph.name()) + "\" {\n";
+  for (const GraphNode& node : graph.nodes()) {
+    out += "  " + node.id;
+    if (!node.attrs.empty()) {
+      out += " [";
+      bool first = true;
+      for (const auto& [k, v] : node.attrs) {
+        if (!first) out += ", ";
+        first = false;
+        out += k + "=\"" + EscapeQuoted(v) + "\"";
+      }
+      out += "]";
+    }
+    out += ";\n";
+  }
+  const char* arrow = graph.directed() ? " -> " : " -- ";
+  for (const GraphEdge& edge : graph.edges()) {
+    out += "  " + edge.from + arrow + edge.to;
+    if (!edge.attrs.empty()) {
+      out += " [";
+      bool first = true;
+      for (const auto& [k, v] : edge.attrs) {
+        if (!first) out += ", ";
+        first = false;
+        out += k + "=\"" + EscapeQuoted(v) + "\"";
+      }
+      out += "]";
+    }
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+Graph ProgramToGraph(const mal::Program& program) {
+  Graph graph(program.function_name());
+  for (const mal::Instruction& ins : program.instructions()) {
+    GraphNode& node = graph.AddNode(NodeName(ins.pc));
+    node.attrs["label"] = program.InstructionToString(ins);
+  }
+  auto deps = program.BuildDependencies();
+  for (size_t pc = 0; pc < deps.size(); ++pc) {
+    for (int producer : deps[pc]) {
+      graph.AddEdge(NodeName(producer), NodeName(static_cast<int>(pc)));
+    }
+  }
+  return graph;
+}
+
+}  // namespace stetho::dot

@@ -1,0 +1,269 @@
+#include "engine/interpreter.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace stetho::engine {
+namespace {
+
+/// All mutable state shared by the workers of one query execution.
+struct RunState {
+  const mal::Program* program = nullptr;
+  const ModuleRegistry* registry = nullptr;
+  ExecContext* ctx = nullptr;
+  const ExecOptions* options = nullptr;
+  Clock* clock = nullptr;
+
+  std::vector<RegisterValue> registers;
+  std::vector<std::string> stmt_text;          // rendered once per pc
+  std::vector<std::atomic<int>> var_consumers;  // pending readers per variable
+  std::atomic<int64_t> live_bytes{0};
+  std::atomic<int64_t> peak_bytes{0};
+  std::vector<InstructionStat> stats;
+
+  // Scheduler state (guarded by mu).
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<int> ready;
+  std::vector<int> indegree;
+  std::vector<std::vector<int>> dependents;
+  int unfinished = 0;
+  bool abort = false;
+  Status error;
+
+  explicit RunState(size_t num_vars)
+      : var_consumers(num_vars) {}
+
+  void AddLiveBytes(int64_t delta) {
+    int64_t now = live_bytes.fetch_add(delta, std::memory_order_relaxed) + delta;
+    int64_t peak = peak_bytes.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_bytes.compare_exchange_weak(peak, now,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// Executes one instruction on worker `thread_id`. Returns the kernel's
+/// status; scheduling bookkeeping stays in the caller.
+Status RunInstruction(RunState* state, int pc, int thread_id) {
+  const mal::Instruction& ins = state->program->instruction(pc);
+  const std::string& stmt = state->stmt_text[static_cast<size_t>(pc)];
+  profiler::Profiler* prof = state->options->profiler;
+
+  if (prof != nullptr) {
+    prof->EmitStart(pc, thread_id, state->live_bytes.load(std::memory_order_relaxed),
+                    stmt);
+  }
+  int64_t t0 = state->clock->NowMicros();
+
+  // Resolve the kernel.
+  auto kernel = state->registry->Lookup(ins.module, ins.function);
+  if (!kernel.ok()) return kernel.status();
+
+  // Materialize constants and collect argument registers.
+  KernelArgs args;
+  args.ins = &ins;
+  args.ctx = state->ctx;
+  std::vector<RegisterValue> const_storage;
+  const_storage.reserve(ins.args.size());
+  // Reserve first: pointers into const_storage must stay stable.
+  for (const mal::Argument& arg : ins.args) {
+    if (arg.kind == mal::Argument::Kind::kConst) {
+      const_storage.push_back(RegisterValue::Scalar(arg.constant));
+    }
+  }
+  size_t const_i = 0;
+  for (const mal::Argument& arg : ins.args) {
+    if (arg.kind == mal::Argument::Kind::kVar) {
+      args.args.push_back(&state->registers[static_cast<size_t>(arg.var)]);
+    } else {
+      args.args.push_back(&const_storage[const_i++]);
+    }
+  }
+  for (int r : ins.results) {
+    args.results.push_back(&state->registers[static_cast<size_t>(r)]);
+  }
+
+  Status st = (*kernel.value())(args);
+  if (!st.ok()) {
+    return Status(st.code(), StrFormat("pc=%d %s: %s", pc, stmt.c_str(),
+                                       st.message().c_str()));
+  }
+
+  if (state->options->pad_instruction_usec > 0) {
+    state->clock->SleepMicros(state->options->pad_instruction_usec);
+  }
+
+  // Memory accounting: results enter the live set...
+  int64_t result_bytes = 0;
+  for (int r : ins.results) {
+    result_bytes +=
+        static_cast<int64_t>(state->registers[static_cast<size_t>(r)].MemoryBytes());
+  }
+  if (result_bytes > 0) state->AddLiveBytes(result_bytes);
+
+  // ...and fully-consumed argument BATs leave it. The consumer counters were
+  // initialized to the number of instructions reading each variable; the
+  // last reader frees the register.
+  for (const mal::Argument& arg : ins.args) {
+    if (arg.kind != mal::Argument::Kind::kVar) continue;
+    std::atomic<int>& counter = state->var_consumers[static_cast<size_t>(arg.var)];
+    if (counter.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      RegisterValue& reg = state->registers[static_cast<size_t>(arg.var)];
+      int64_t bytes = static_cast<int64_t>(reg.MemoryBytes());
+      reg.bat.reset();
+      if (bytes > 0) state->AddLiveBytes(-bytes);
+    }
+  }
+  // Dead results (no consumers at all) are released immediately.
+  for (int r : ins.results) {
+    std::atomic<int>& counter = state->var_consumers[static_cast<size_t>(r)];
+    if (counter.load(std::memory_order_acquire) == 0) {
+      RegisterValue& reg = state->registers[static_cast<size_t>(r)];
+      int64_t bytes = static_cast<int64_t>(reg.MemoryBytes());
+      reg.bat.reset();
+      if (bytes > 0) state->AddLiveBytes(-bytes);
+    }
+  }
+
+  int64_t t1 = state->clock->NowMicros();
+  InstructionStat& stat = state->stats[static_cast<size_t>(pc)];
+  stat.pc = pc;
+  stat.thread = thread_id;
+  stat.start_us = t0;
+  stat.usec = t1 - t0;
+  stat.rss_after_bytes = state->live_bytes.load(std::memory_order_relaxed);
+
+  if (prof != nullptr) {
+    prof->EmitDone(pc, thread_id, t1 - t0, stat.rss_after_bytes, stmt);
+  }
+  return Status::OK();
+}
+
+/// Worker loop for the dataflow scheduler.
+void WorkerLoop(RunState* state, int thread_id) {
+  std::unique_lock<std::mutex> lock(state->mu);
+  while (true) {
+    state->cv.wait(lock, [state] {
+      return !state->ready.empty() || state->abort || state->unfinished == 0;
+    });
+    if (state->abort || (state->ready.empty() && state->unfinished == 0)) {
+      return;
+    }
+    if (state->ready.empty()) continue;
+    int pc = state->ready.front();
+    state->ready.pop_front();
+    lock.unlock();
+
+    Status st = RunInstruction(state, pc, thread_id);
+
+    lock.lock();
+    --state->unfinished;
+    if (!st.ok()) {
+      if (state->error.ok()) state->error = st;
+      state->abort = true;
+      state->cv.notify_all();
+      return;
+    }
+    for (int dep : state->dependents[static_cast<size_t>(pc)]) {
+      if (--state->indegree[static_cast<size_t>(dep)] == 0) {
+        state->ready.push_back(dep);
+      }
+    }
+    state->cv.notify_all();
+  }
+}
+
+}  // namespace
+
+Result<QueryResult> Interpreter::Execute(const mal::Program& program,
+                                         const ExecOptions& options) const {
+  STETHO_RETURN_IF_ERROR(program.Validate());
+
+  Clock* clock = options.clock != nullptr
+                     ? options.clock
+                     : static_cast<Clock*>(SteadyClock::Default());
+  ExecContext ctx(catalog_, clock);
+
+  RunState state(program.num_variables());
+  state.program = &program;
+  state.registry = registry_;
+  state.ctx = &ctx;
+  state.options = &options;
+  state.clock = clock;
+  state.registers.resize(program.num_variables());
+  state.stats.resize(program.size());
+
+  // Pre-render statement text (profiler payload) and consumer counts.
+  state.stmt_text.reserve(program.size());
+  for (const mal::Instruction& ins : program.instructions()) {
+    state.stmt_text.push_back(program.InstructionToString(ins));
+    for (const mal::Argument& arg : ins.args) {
+      if (arg.kind == mal::Argument::Kind::kVar) {
+        state.var_consumers[static_cast<size_t>(arg.var)].fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  int64_t run_start = clock->NowMicros();
+
+  int num_threads = options.num_threads > 0
+                        ? options.num_threads
+                        : static_cast<int>(std::thread::hardware_concurrency());
+  if (num_threads < 1) num_threads = 1;
+
+  if (!options.use_dataflow || num_threads == 1 || program.size() <= 1) {
+    // Sequential interpretation in plan order (valid: SSA implies defs
+    // precede uses).
+    for (size_t pc = 0; pc < program.size(); ++pc) {
+      Status st = RunInstruction(&state, static_cast<int>(pc), 0);
+      if (!st.ok()) return st;
+    }
+  } else {
+    // Dataflow scheduling: dependency counting + worker pool.
+    std::vector<std::vector<int>> deps = program.BuildDependencies();
+    state.dependents.resize(program.size());
+    state.indegree.assign(program.size(), 0);
+    for (size_t pc = 0; pc < program.size(); ++pc) {
+      state.indegree[pc] = static_cast<int>(deps[pc].size());
+      for (int d : deps[pc]) {
+        state.dependents[static_cast<size_t>(d)].push_back(static_cast<int>(pc));
+      }
+    }
+    state.unfinished = static_cast<int>(program.size());
+    for (size_t pc = 0; pc < program.size(); ++pc) {
+      if (state.indegree[pc] == 0) state.ready.push_back(static_cast<int>(pc));
+    }
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) {
+      workers.emplace_back(WorkerLoop, &state, t);
+    }
+    for (std::thread& t : workers) t.join();
+    if (!state.error.ok()) return state.error;
+    if (state.unfinished != 0) {
+      return Status::Internal(
+          StrFormat("dataflow scheduler stalled with %d unfinished "
+                    "instructions (cyclic plan?)",
+                    state.unfinished));
+    }
+  }
+
+  QueryResult result;
+  result.columns = ctx.TakeResults();
+  result.stats = std::move(state.stats);
+  result.total_usec = clock->NowMicros() - run_start;
+  result.peak_rss_bytes = state.peak_bytes.load(std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace stetho::engine

@@ -1,0 +1,74 @@
+#ifndef STETHO_ENGINE_INTERPRETER_H_
+#define STETHO_ENGINE_INTERPRETER_H_
+
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "engine/kernel.h"
+#include "mal/program.h"
+#include "profiler/profiler.h"
+#include "storage/table.h"
+
+namespace stetho::engine {
+
+/// Execution configuration for one query.
+struct ExecOptions {
+  /// Worker threads for the dataflow scheduler; 0 = hardware concurrency.
+  int num_threads = 0;
+  /// When false, instructions run sequentially in plan order on one thread —
+  /// the "sequential execution where multithreading was expected" anomaly the
+  /// paper's demo uncovers is produced exactly this way.
+  bool use_dataflow = true;
+  /// Optional MAL profiler receiving start/done events.
+  profiler::Profiler* profiler = nullptr;
+  /// Time source; nullptr = the process steady clock.
+  Clock* clock = nullptr;
+  /// Synthetic per-instruction padding (µs), for deterministic trace tests.
+  int64_t pad_instruction_usec = 0;
+};
+
+/// Post-mortem per-instruction record kept by the interpreter (independent
+/// of the profiler, which may be filtered or absent).
+struct InstructionStat {
+  int pc = 0;
+  int thread = 0;
+  int64_t start_us = 0;       ///< clock time at instruction start
+  int64_t usec = 0;           ///< elapsed microseconds
+  int64_t rss_after_bytes = 0;  ///< engine live bytes after completion
+};
+
+/// The outcome of executing a MAL program.
+struct QueryResult {
+  std::vector<ResultColumn> columns;       ///< sql.resultSet / io.print output
+  std::vector<InstructionStat> stats;      ///< indexed by pc
+  int64_t total_usec = 0;
+  /// Peak engine live-column memory observed during execution.
+  int64_t peak_rss_bytes = 0;
+};
+
+/// The MAL interpreter: executes a Program against a Catalog, scheduling
+/// independent instructions across a worker pool (MonetDB's dataflow
+/// execution). Stateless and const — one Interpreter may serve concurrent
+/// queries.
+class Interpreter {
+ public:
+  explicit Interpreter(storage::Catalog* catalog,
+                       const ModuleRegistry* registry = ModuleRegistry::Default())
+      : catalog_(catalog), registry_(registry) {}
+
+  /// Runs `program` to completion (or first error). The program must pass
+  /// Program::Validate().
+  Result<QueryResult> Execute(const mal::Program& program,
+                              const ExecOptions& options) const;
+
+  storage::Catalog* catalog() const { return catalog_; }
+
+ private:
+  storage::Catalog* catalog_;
+  const ModuleRegistry* registry_;
+};
+
+}  // namespace stetho::engine
+
+#endif  // STETHO_ENGINE_INTERPRETER_H_

@@ -1,0 +1,366 @@
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "engine/kernel.h"
+
+namespace stetho::engine {
+namespace {
+
+using storage::Column;
+using storage::ColumnPtr;
+using storage::DataType;
+using storage::Value;
+
+/// Comparison operators accepted by algebra.thetaselect.
+enum class Theta { kEq, kNe, kLt, kLe, kGt, kGe };
+
+Result<Theta> ParseTheta(const std::string& op) {
+  if (op == "==") return Theta::kEq;
+  if (op == "!=") return Theta::kNe;
+  if (op == "<") return Theta::kLt;
+  if (op == "<=") return Theta::kLe;
+  if (op == ">") return Theta::kGt;
+  if (op == ">=") return Theta::kGe;
+  return Status::InvalidArgument("unknown theta operator '" + op + "'");
+}
+
+bool ThetaHolds(Theta op, int cmp) {
+  switch (op) {
+    case Theta::kEq:
+      return cmp == 0;
+    case Theta::kNe:
+      return cmp != 0;
+    case Theta::kLt:
+      return cmp < 0;
+    case Theta::kLe:
+      return cmp <= 0;
+    case Theta::kGt:
+      return cmp > 0;
+    case Theta::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+/// SQL LIKE pattern match with '%' (any sequence) and '_' (any single char).
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  // Iterative two-pointer algorithm with backtracking on the last '%'.
+  size_t t = 0;
+  size_t p = 0;
+  size_t star_p = std::string_view::npos;
+  size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+/// algebra.select(col, cand, low, high) :bat[:oid]
+/// Positions (from the candidate list) whose value lies in [low, high].
+/// A NULL bound means unbounded on that side; NULL values never qualify.
+Status AlgebraSelect(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 4, 1));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr col, ArgBat(a, 0));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr cand, ArgBat(a, 1));
+  STETHO_ASSIGN_OR_RETURN(Value low, ArgScalar(a, 2));
+  STETHO_ASSIGN_OR_RETURN(Value high, ArgScalar(a, 3));
+
+  ColumnPtr out = Column::Make(DataType::kOid);
+  for (size_t k = 0; k < cand->size(); ++k) {
+    uint64_t pos = cand->OidAt(k);
+    if (pos >= col->size()) {
+      return Status::OutOfRange("algebra.select: candidate oid out of range");
+    }
+    if (col->IsNull(pos)) continue;
+    Value v = col->GetValue(pos);
+    if (!low.is_null() && v.Compare(low) < 0) continue;
+    if (!high.is_null() && v.Compare(high) > 0) continue;
+    out->AppendOid(pos);
+  }
+  *a.results[0] = RegisterValue::Bat(std::move(out));
+  return Status::OK();
+}
+
+/// algebra.thetaselect(col, cand, value, op) :bat[:oid]
+Status AlgebraThetaSelect(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 4, 1));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr col, ArgBat(a, 0));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr cand, ArgBat(a, 1));
+  STETHO_ASSIGN_OR_RETURN(Value pivot, ArgScalar(a, 2));
+  STETHO_ASSIGN_OR_RETURN(std::string op_name, ArgString(a, 3));
+  STETHO_ASSIGN_OR_RETURN(Theta op, ParseTheta(op_name));
+
+  ColumnPtr out = Column::Make(DataType::kOid);
+  for (size_t k = 0; k < cand->size(); ++k) {
+    uint64_t pos = cand->OidAt(k);
+    if (pos >= col->size()) {
+      return Status::OutOfRange("algebra.thetaselect: candidate oid out of range");
+    }
+    if (col->IsNull(pos)) continue;
+    if (ThetaHolds(op, col->GetValue(pos).Compare(pivot))) {
+      out->AppendOid(pos);
+    }
+  }
+  *a.results[0] = RegisterValue::Bat(std::move(out));
+  return Status::OK();
+}
+
+/// algebra.likeselect(col, cand, pattern) :bat[:oid] — SQL LIKE filter.
+Status AlgebraLikeSelect(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 3, 1));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr col, ArgBat(a, 0));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr cand, ArgBat(a, 1));
+  STETHO_ASSIGN_OR_RETURN(std::string pattern, ArgString(a, 2));
+  if (col->type() != DataType::kString) {
+    return Status::TypeError("algebra.likeselect: column must be :str");
+  }
+  ColumnPtr out = Column::Make(DataType::kOid);
+  for (size_t k = 0; k < cand->size(); ++k) {
+    uint64_t pos = cand->OidAt(k);
+    if (pos >= col->size()) {
+      return Status::OutOfRange("algebra.likeselect: candidate oid out of range");
+    }
+    if (col->IsNull(pos)) continue;
+    if (LikeMatch(col->StringAt(pos), pattern)) out->AppendOid(pos);
+  }
+  *a.results[0] = RegisterValue::Bat(std::move(out));
+  return Status::OK();
+}
+
+/// algebra.selectmask(cand, mask) :bat[:oid] — keeps the candidates whose
+/// aligned :bit mask entry is true (used for complex WHERE residuals).
+Status AlgebraSelectMask(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 2, 1));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr cand, ArgBat(a, 0));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr mask, ArgBat(a, 1));
+  if (mask->type() != DataType::kBool) {
+    return Status::TypeError("algebra.selectmask: mask must be :bit");
+  }
+  if (mask->size() != cand->size()) {
+    return Status::InvalidArgument(
+        "algebra.selectmask: mask not aligned with candidates");
+  }
+  ColumnPtr out = Column::Make(DataType::kOid);
+  for (size_t k = 0; k < cand->size(); ++k) {
+    if (!mask->IsNull(k) && mask->BoolAt(k)) out->AppendOid(cand->OidAt(k));
+  }
+  *a.results[0] = RegisterValue::Bat(std::move(out));
+  return Status::OK();
+}
+
+/// algebra.projection(cand, col) :bat — col values at the candidate oids.
+Status AlgebraProjection(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 2, 1));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr cand, ArgBat(a, 0));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr col, ArgBat(a, 1));
+  std::vector<int64_t> positions;
+  positions.reserve(cand->size());
+  for (size_t k = 0; k < cand->size(); ++k) {
+    positions.push_back(static_cast<int64_t>(cand->OidAt(k)));
+  }
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr out, col->Gather(positions));
+  *a.results[0] = RegisterValue::Bat(std::move(out));
+  return Status::OK();
+}
+
+/// Hash key for join build sides: canonicalizes numerics to a bit pattern.
+struct JoinKey {
+  uint64_t bits;
+  bool operator==(const JoinKey& other) const = default;
+};
+struct JoinKeyHash {
+  size_t operator()(const JoinKey& k) const {
+    return std::hash<uint64_t>()(k.bits * 0x9E3779B97F4A7C15ULL);
+  }
+};
+
+Result<JoinKey> NumericKey(const ColumnPtr& col, size_t i) {
+  switch (col->type()) {
+    case DataType::kInt64:
+    case DataType::kOid:
+    case DataType::kBool: {
+      // Encode integers via their double representation so an :lng column
+      // joins correctly against a :dbl column holding integral values.
+      double d = static_cast<double>(col->IntAt(i));
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return JoinKey{bits};
+    }
+    case DataType::kDouble: {
+      double d = col->DoubleAt(i);
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return JoinKey{bits};
+    }
+    default:
+      return Status::TypeError("join key column is not numeric");
+  }
+}
+
+/// algebra.join(l, r) (:bat[:oid], :bat[:oid]) — positions of matching value
+/// pairs (hash equi-join; NULLs never match).
+Status AlgebraJoin(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 2, 2));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr l, ArgBat(a, 0));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr r, ArgBat(a, 1));
+
+  ColumnPtr lout = Column::Make(DataType::kOid);
+  ColumnPtr rout = Column::Make(DataType::kOid);
+
+  if (l->type() == DataType::kString || r->type() == DataType::kString) {
+    if (l->type() != DataType::kString || r->type() != DataType::kString) {
+      return Status::TypeError("algebra.join: cannot join :str with numeric");
+    }
+    std::unordered_map<std::string_view, std::vector<uint64_t>> build;
+    build.reserve(r->size());
+    for (size_t i = 0; i < r->size(); ++i) {
+      if (!r->IsNull(i)) build[r->StringAt(i)].push_back(i);
+    }
+    for (size_t i = 0; i < l->size(); ++i) {
+      if (l->IsNull(i)) continue;
+      auto it = build.find(l->StringAt(i));
+      if (it == build.end()) continue;
+      for (uint64_t j : it->second) {
+        lout->AppendOid(i);
+        rout->AppendOid(j);
+      }
+    }
+  } else {
+    std::unordered_map<JoinKey, std::vector<uint64_t>, JoinKeyHash> build;
+    build.reserve(r->size());
+    for (size_t i = 0; i < r->size(); ++i) {
+      if (r->IsNull(i)) continue;
+      STETHO_ASSIGN_OR_RETURN(JoinKey key, NumericKey(r, i));
+      build[key].push_back(i);
+    }
+    for (size_t i = 0; i < l->size(); ++i) {
+      if (l->IsNull(i)) continue;
+      STETHO_ASSIGN_OR_RETURN(JoinKey key, NumericKey(l, i));
+      auto it = build.find(key);
+      if (it == build.end()) continue;
+      for (uint64_t j : it->second) {
+        lout->AppendOid(i);
+        rout->AppendOid(j);
+      }
+    }
+  }
+  *a.results[0] = RegisterValue::Bat(std::move(lout));
+  *a.results[1] = RegisterValue::Bat(std::move(rout));
+  return Status::OK();
+}
+
+/// Sort permutation of `col` (stable; NULLs first; ascending unless reverse).
+std::vector<int64_t> SortOrder(const ColumnPtr& col, bool reverse) {
+  std::vector<int64_t> order(col->size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    int c = col->GetValue(static_cast<size_t>(x))
+                .Compare(col->GetValue(static_cast<size_t>(y)));
+    return reverse ? c > 0 : c < 0;
+  });
+  return order;
+}
+
+/// algebra.sort(col, reverse) (:bat, :bat[:oid]) — sorted values plus the
+/// permutation that produced them.
+Status AlgebraSort(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 2, 2));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr col, ArgBat(a, 0));
+  STETHO_ASSIGN_OR_RETURN(Value rev, ArgScalar(a, 1));
+  bool reverse = rev.type() == DataType::kBool && rev.AsBool();
+  std::vector<int64_t> order = SortOrder(col, reverse);
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr sorted, col->Gather(order));
+  ColumnPtr perm = Column::Make(DataType::kOid);
+  perm->Reserve(order.size());
+  for (int64_t i : order) perm->AppendOid(static_cast<uint64_t>(i));
+  *a.results[0] = RegisterValue::Bat(std::move(sorted));
+  *a.results[1] = RegisterValue::Bat(std::move(perm));
+  return Status::OK();
+}
+
+/// algebra.slice(col, lo, hi) :bat — rows [lo, hi) (LIMIT/OFFSET).
+Status AlgebraSlice(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 3, 1));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr col, ArgBat(a, 0));
+  STETHO_ASSIGN_OR_RETURN(int64_t lo, ArgInt(a, 1));
+  STETHO_ASSIGN_OR_RETURN(int64_t hi, ArgInt(a, 2));
+  if (lo < 0 || hi < lo) {
+    return Status::InvalidArgument("algebra.slice: bad range");
+  }
+  *a.results[0] = RegisterValue::Bat(
+      col->Slice(static_cast<size_t>(lo), static_cast<size_t>(hi)));
+  return Status::OK();
+}
+
+/// algebra.firstn(col, n, asc) :bat[:oid] — positions of the n smallest
+/// (asc) or largest (!asc) values, in sorted order.
+Status AlgebraFirstn(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 3, 1));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr col, ArgBat(a, 0));
+  STETHO_ASSIGN_OR_RETURN(int64_t n, ArgInt(a, 1));
+  STETHO_ASSIGN_OR_RETURN(Value asc_v, ArgScalar(a, 2));
+  bool asc = !(asc_v.type() == DataType::kBool && !asc_v.AsBool());
+  if (n < 0) return Status::InvalidArgument("algebra.firstn: negative n");
+  std::vector<int64_t> order = SortOrder(col, /*reverse=*/!asc);
+  if (static_cast<size_t>(n) < order.size()) order.resize(static_cast<size_t>(n));
+  ColumnPtr out = Column::Make(DataType::kOid);
+  out->Reserve(order.size());
+  for (int64_t i : order) out->AppendOid(static_cast<uint64_t>(i));
+  *a.results[0] = RegisterValue::Bat(std::move(out));
+  return Status::OK();
+}
+
+/// batcalc.like(col, pattern) :bat[:bit] — per-row LIKE mask (used when a
+/// LIKE lands inside a residual OR expression rather than a pushdown).
+Status BatcalcLike(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 2, 1));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr col, ArgBat(a, 0));
+  STETHO_ASSIGN_OR_RETURN(Value pat, ArgScalar(a, 1));
+  if (col->type() != DataType::kString ||
+      pat.type() != DataType::kString) {
+    return Status::TypeError("batcalc.like: needs :str column and pattern");
+  }
+  ColumnPtr out = Column::Make(DataType::kBool);
+  out->Reserve(col->size());
+  for (size_t i = 0; i < col->size(); ++i) {
+    if (col->IsNull(i)) {
+      out->AppendNull();
+    } else {
+      out->AppendBool(LikeMatch(col->StringAt(i), pat.AsString()));
+    }
+  }
+  *a.results[0] = RegisterValue::Bat(std::move(out));
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterAlgebraKernels(ModuleRegistry* r) {
+  STETHO_CHECK_REGISTER(r->Register("batcalc", "like", BatcalcLike));
+  STETHO_CHECK_REGISTER(r->Register("algebra", "select", AlgebraSelect));
+  STETHO_CHECK_REGISTER(r->Register("algebra", "thetaselect", AlgebraThetaSelect));
+  STETHO_CHECK_REGISTER(r->Register("algebra", "likeselect", AlgebraLikeSelect));
+  STETHO_CHECK_REGISTER(r->Register("algebra", "selectmask", AlgebraSelectMask));
+  STETHO_CHECK_REGISTER(r->Register("algebra", "projection", AlgebraProjection));
+  STETHO_CHECK_REGISTER(r->Register("algebra", "join", AlgebraJoin));
+  STETHO_CHECK_REGISTER(r->Register("algebra", "sort", AlgebraSort));
+  STETHO_CHECK_REGISTER(r->Register("algebra", "slice", AlgebraSlice));
+  STETHO_CHECK_REGISTER(r->Register("algebra", "firstn", AlgebraFirstn));
+}
+
+}  // namespace stetho::engine

@@ -1,0 +1,762 @@
+#include <cmath>
+
+#include "common/string_util.h"
+#include "engine/kernel.h"
+
+namespace stetho::engine {
+namespace {
+
+using storage::Column;
+using storage::ColumnPtr;
+using storage::DataType;
+using storage::Value;
+
+// ---------------------------------------------------------------------------
+// sql module: catalog access.
+// ---------------------------------------------------------------------------
+
+/// sql.mvc() :lng — returns the session/transaction handle (always 0 here;
+/// exists so generated plans match MonetDB's shape).
+Status SqlMvc(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 0, 1));
+  *a.results[0] = RegisterValue::Scalar(Value::Int(0));
+  return Status::OK();
+}
+
+/// sql.tid(mvc, schema, table) :bat[:oid] — all visible row ids of a table.
+Status SqlTid(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 3, 1));
+  STETHO_ASSIGN_OR_RETURN(std::string table, ArgString(a, 2));
+  STETHO_ASSIGN_OR_RETURN(storage::TablePtr t, a.ctx->catalog()->GetTable(table));
+  *a.results[0] =
+      RegisterValue::Bat(Column::MakeOidRange(0, t->num_rows()));
+  return Status::OK();
+}
+
+/// sql.bind(mvc, schema, table, column, access) :bat — a full base column.
+Status SqlBind(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 5, 1));
+  STETHO_ASSIGN_OR_RETURN(std::string table, ArgString(a, 2));
+  STETHO_ASSIGN_OR_RETURN(std::string column, ArgString(a, 3));
+  STETHO_ASSIGN_OR_RETURN(storage::TablePtr t, a.ctx->catalog()->GetTable(table));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr col, t->GetColumn(column));
+  *a.results[0] = RegisterValue::Bat(std::move(col));
+  return Status::OK();
+}
+
+/// sql.resultSet(name, value) — appends one named output column (or scalar).
+Status SqlResultSet(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 2, 0));
+  STETHO_ASSIGN_OR_RETURN(std::string name, ArgString(a, 0));
+  ResultColumn rc;
+  rc.name = std::move(name);
+  rc.order = static_cast<int64_t>(a.ins->pc) << 8;
+  if (a.args[1]->is_bat()) {
+    rc.column = a.args[1]->bat;
+  } else {
+    rc.is_scalar = true;
+    rc.scalar = a.args[1]->scalar;
+  }
+  a.ctx->AddResult(std::move(rc));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// bat module: BAT bookkeeping.
+// ---------------------------------------------------------------------------
+
+/// bat.mirror(b) :bat[:oid] — the positions of b as oids.
+Status BatMirror(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 1, 1));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr b, ArgBat(a, 0));
+  *a.results[0] = RegisterValue::Bat(Column::MakeOidRange(0, b->size()));
+  return Status::OK();
+}
+
+/// bat.partition(b, pieces, index) :bat — the index-th of `pieces`
+/// near-equal horizontal slices of b (the mitosis optimizer's workhorse).
+Status BatPartition(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 3, 1));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr b, ArgBat(a, 0));
+  STETHO_ASSIGN_OR_RETURN(int64_t pieces, ArgInt(a, 1));
+  STETHO_ASSIGN_OR_RETURN(int64_t index, ArgInt(a, 2));
+  if (pieces <= 0 || index < 0 || index >= pieces) {
+    return Status::InvalidArgument(
+        StrFormat("bat.partition: bad (pieces=%lld, index=%lld)",
+                  static_cast<long long>(pieces), static_cast<long long>(index)));
+  }
+  size_t n = b->size();
+  size_t lo = (n * static_cast<size_t>(index)) / static_cast<size_t>(pieces);
+  size_t hi =
+      (n * static_cast<size_t>(index + 1)) / static_cast<size_t>(pieces);
+  *a.results[0] = RegisterValue::Bat(b->Slice(lo, hi));
+  return Status::OK();
+}
+
+/// bat.densebat(n) :bat[:oid] — oids [0, n).
+Status BatDense(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 1, 1));
+  STETHO_ASSIGN_OR_RETURN(int64_t n, ArgInt(a, 0));
+  if (n < 0) return Status::InvalidArgument("bat.densebat: negative size");
+  *a.results[0] =
+      RegisterValue::Bat(Column::MakeOidRange(0, static_cast<uint64_t>(n)));
+  return Status::OK();
+}
+
+/// bat.append(a, b) :bat — concatenation of two BATs of the same type.
+Status BatAppend(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 2, 1));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr x, ArgBat(a, 0));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr y, ArgBat(a, 1));
+  if (x->type() != y->type()) {
+    return Status::TypeError("bat.append: element type mismatch");
+  }
+  ColumnPtr out = x->Slice(0, x->size());
+  for (size_t i = 0; i < y->size(); ++i) {
+    if (y->IsNull(i)) {
+      out->AppendNull();
+    } else {
+      STETHO_RETURN_IF_ERROR(out->AppendValue(y->GetValue(i)));
+    }
+  }
+  *a.results[0] = RegisterValue::Bat(std::move(out));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// mat module: merge partitioned intermediates (mergetable).
+// ---------------------------------------------------------------------------
+
+/// mat.pack(b1, b2, ...) :bat — concatenates any number of same-typed BATs;
+/// rejoins mitosis slices.
+Status MatPack(KernelArgs& a) {
+  if (a.results.size() != 1 || a.args.empty()) {
+    return Status::InvalidArgument("mat.pack: needs >=1 args, 1 result");
+  }
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr first, ArgBat(a, 0));
+  ColumnPtr out = Column::Make(first->type());
+  for (size_t k = 0; k < a.args.size(); ++k) {
+    STETHO_ASSIGN_OR_RETURN(ColumnPtr piece, ArgBat(a, k));
+    if (piece->type() != first->type()) {
+      return Status::TypeError("mat.pack: element type mismatch");
+    }
+    for (size_t i = 0; i < piece->size(); ++i) {
+      if (piece->IsNull(i)) {
+        out->AppendNull();
+      } else {
+        STETHO_RETURN_IF_ERROR(out->AppendValue(piece->GetValue(i)));
+      }
+    }
+  }
+  *a.results[0] = RegisterValue::Bat(std::move(out));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// calc / batcalc modules: scalar and vectorized arithmetic.
+// ---------------------------------------------------------------------------
+
+enum class BinOp { kAdd, kSub, kMul, kDiv, kEq, kNe, kLt, kLe, kGt, kGe };
+
+bool IsComparison(BinOp op) {
+  return op == BinOp::kEq || op == BinOp::kNe || op == BinOp::kLt ||
+         op == BinOp::kLe || op == BinOp::kGt || op == BinOp::kGe;
+}
+
+Result<double> ApplyDouble(BinOp op, double x, double y) {
+  switch (op) {
+    case BinOp::kAdd:
+      return x + y;
+    case BinOp::kSub:
+      return x - y;
+    case BinOp::kMul:
+      return x * y;
+    case BinOp::kDiv:
+      if (y == 0.0) return Status::InvalidArgument("division by zero");
+      return x / y;
+    default:
+      return Status::Internal("ApplyDouble on comparison op");
+  }
+}
+
+bool ApplyCompare(BinOp op, double x, double y) {
+  switch (op) {
+    case BinOp::kEq:
+      return x == y;
+    case BinOp::kNe:
+      return x != y;
+    case BinOp::kLt:
+      return x < y;
+    case BinOp::kLe:
+      return x <= y;
+    case BinOp::kGt:
+      return x > y;
+    case BinOp::kGe:
+      return x >= y;
+    default:
+      return false;
+  }
+}
+
+/// A numeric operand: broadcast scalar or full column.
+struct NumOperand {
+  ColumnPtr bat;       // null => scalar
+  double scalar = 0;
+  bool scalar_is_double = false;
+
+  size_t size() const { return bat ? bat->size() : 0; }
+  bool is_double() const {
+    if (bat) return bat->type() == DataType::kDouble;
+    return scalar_is_double;
+  }
+  bool IsNull(size_t i) const { return bat ? bat->IsNull(i) : false; }
+  double At(size_t i) const {
+    if (!bat) return scalar;
+    return bat->type() == DataType::kDouble
+               ? bat->DoubleAt(i)
+               : static_cast<double>(bat->IntAt(i));
+  }
+};
+
+Result<NumOperand> MakeOperand(const KernelArgs& a, size_t i) {
+  NumOperand op;
+  if (a.args[i]->is_bat()) {
+    op.bat = a.args[i]->bat;
+    DataType t = op.bat->type();
+    if (t != DataType::kInt64 && t != DataType::kDouble &&
+        t != DataType::kBool && t != DataType::kOid) {
+      return Status::TypeError(
+          StrFormat("%s: argument %zu is not numeric", a.ins->FullName().c_str(), i));
+    }
+    return op;
+  }
+  STETHO_ASSIGN_OR_RETURN(double v, ArgDouble(a, i));
+  op.scalar = v;
+  op.scalar_is_double = a.args[i]->scalar.type() == DataType::kDouble;
+  return op;
+}
+
+/// String operand for vectorized comparisons: broadcast scalar or column.
+struct StrOperand {
+  ColumnPtr bat;
+  std::string scalar;
+
+  bool IsNull(size_t i) const { return bat ? bat->IsNull(i) : false; }
+  const std::string& At(size_t i) const {
+    return bat ? bat->StringAt(i) : scalar;
+  }
+};
+
+Result<StrOperand> MakeStrOperand(const KernelArgs& a, size_t i) {
+  StrOperand op;
+  if (a.args[i]->is_bat()) {
+    op.bat = a.args[i]->bat;
+    if (op.bat->type() != DataType::kString) {
+      return Status::TypeError(StrFormat("%s: argument %zu is not a string",
+                                         a.ins->FullName().c_str(), i));
+    }
+    return op;
+  }
+  if (a.args[i]->scalar.type() != DataType::kString) {
+    return Status::TypeError(StrFormat("%s: argument %zu is not a string",
+                                       a.ins->FullName().c_str(), i));
+  }
+  op.scalar = a.args[i]->scalar.AsString();
+  return op;
+}
+
+/// String comparison path of BatBinOp.
+Status BatStringCompare(BinOp op, KernelArgs& a) {
+  STETHO_ASSIGN_OR_RETURN(StrOperand lhs, MakeStrOperand(a, 0));
+  STETHO_ASSIGN_OR_RETURN(StrOperand rhs, MakeStrOperand(a, 1));
+  if (!lhs.bat && !rhs.bat) {
+    return Status::TypeError(a.ins->FullName() + ": needs at least one BAT");
+  }
+  if (lhs.bat && rhs.bat && lhs.bat->size() != rhs.bat->size()) {
+    return Status::InvalidArgument(a.ins->FullName() + ": BAT size mismatch");
+  }
+  size_t n = lhs.bat ? lhs.bat->size() : rhs.bat->size();
+  ColumnPtr out = Column::Make(DataType::kBool);
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (lhs.IsNull(i) || rhs.IsNull(i)) {
+      out->AppendNull();
+      continue;
+    }
+    int c = lhs.At(i).compare(rhs.At(i));
+    bool r;
+    switch (op) {
+      case BinOp::kEq:
+        r = c == 0;
+        break;
+      case BinOp::kNe:
+        r = c != 0;
+        break;
+      case BinOp::kLt:
+        r = c < 0;
+        break;
+      case BinOp::kLe:
+        r = c <= 0;
+        break;
+      case BinOp::kGt:
+        r = c > 0;
+        break;
+      default:
+        r = c >= 0;
+        break;
+    }
+    out->AppendBool(r);
+  }
+  *a.results[0] = RegisterValue::Bat(std::move(out));
+  return Status::OK();
+}
+
+/// Vectorized binary op with scalar broadcasting; at least one side is a BAT.
+Status BatBinOp(BinOp op, KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 2, 1));
+  // Comparisons dispatch to the string path when either side is a string.
+  auto is_string_arg = [&](size_t i) {
+    if (a.args[i]->is_bat()) {
+      return a.args[i]->bat->type() == DataType::kString;
+    }
+    return a.args[i]->scalar.type() == DataType::kString;
+  };
+  if (IsComparison(op) && (is_string_arg(0) || is_string_arg(1))) {
+    return BatStringCompare(op, a);
+  }
+  STETHO_ASSIGN_OR_RETURN(NumOperand lhs, MakeOperand(a, 0));
+  STETHO_ASSIGN_OR_RETURN(NumOperand rhs, MakeOperand(a, 1));
+  if (!lhs.bat && !rhs.bat) {
+    return Status::TypeError(a.ins->FullName() + ": needs at least one BAT");
+  }
+  if (lhs.bat && rhs.bat && lhs.bat->size() != rhs.bat->size()) {
+    return Status::InvalidArgument(
+        StrFormat("%s: BAT size mismatch %zu vs %zu", a.ins->FullName().c_str(),
+                  lhs.bat->size(), rhs.bat->size()));
+  }
+  size_t n = lhs.bat ? lhs.size() : rhs.size();
+
+  if (IsComparison(op)) {
+    ColumnPtr out = Column::Make(DataType::kBool);
+    out->Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (lhs.IsNull(i) || rhs.IsNull(i)) {
+        out->AppendNull();
+      } else {
+        out->AppendBool(ApplyCompare(op, lhs.At(i), rhs.At(i)));
+      }
+    }
+    *a.results[0] = RegisterValue::Bat(std::move(out));
+    return Status::OK();
+  }
+
+  bool as_double = lhs.is_double() || rhs.is_double() || op == BinOp::kDiv;
+  ColumnPtr out = Column::Make(as_double ? DataType::kDouble : DataType::kInt64);
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (lhs.IsNull(i) || rhs.IsNull(i)) {
+      out->AppendNull();
+      continue;
+    }
+    STETHO_ASSIGN_OR_RETURN(double v, ApplyDouble(op, lhs.At(i), rhs.At(i)));
+    if (as_double) {
+      out->AppendDouble(v);
+    } else {
+      out->AppendInt(static_cast<int64_t>(v));
+    }
+  }
+  *a.results[0] = RegisterValue::Bat(std::move(out));
+  return Status::OK();
+}
+
+/// Scalar binary op.
+Status CalcBinOp(BinOp op, KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 2, 1));
+  STETHO_ASSIGN_OR_RETURN(Value x, ArgScalar(a, 0));
+  STETHO_ASSIGN_OR_RETURN(Value y, ArgScalar(a, 1));
+  if (x.is_null() || y.is_null()) {
+    *a.results[0] = RegisterValue::Scalar(Value::Null());
+    return Status::OK();
+  }
+  // String comparison path.
+  if (x.type() == DataType::kString && y.type() == DataType::kString &&
+      IsComparison(op)) {
+    int c = x.Compare(y);
+    bool r;
+    switch (op) {
+      case BinOp::kEq:
+        r = c == 0;
+        break;
+      case BinOp::kNe:
+        r = c != 0;
+        break;
+      case BinOp::kLt:
+        r = c < 0;
+        break;
+      case BinOp::kLe:
+        r = c <= 0;
+        break;
+      case BinOp::kGt:
+        r = c > 0;
+        break;
+      default:
+        r = c >= 0;
+        break;
+    }
+    *a.results[0] = RegisterValue::Scalar(Value::Bool(r));
+    return Status::OK();
+  }
+  STETHO_ASSIGN_OR_RETURN(double dx, x.ToDouble());
+  STETHO_ASSIGN_OR_RETURN(double dy, y.ToDouble());
+  if (IsComparison(op)) {
+    *a.results[0] = RegisterValue::Scalar(Value::Bool(ApplyCompare(op, dx, dy)));
+    return Status::OK();
+  }
+  STETHO_ASSIGN_OR_RETURN(double v, ApplyDouble(op, dx, dy));
+  bool as_double = x.type() == DataType::kDouble ||
+                   y.type() == DataType::kDouble || op == BinOp::kDiv;
+  *a.results[0] = RegisterValue::Scalar(
+      as_double ? Value::Double(v) : Value::Int(static_cast<int64_t>(v)));
+  return Status::OK();
+}
+
+/// calc.lng / calc.dbl / calc.str casts.
+Status CalcCast(DataType target, KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 1, 1));
+  STETHO_ASSIGN_OR_RETURN(Value v, ArgScalar(a, 0));
+  if (v.is_null()) {
+    *a.results[0] = RegisterValue::Scalar(Value::Null());
+    return Status::OK();
+  }
+  switch (target) {
+    case DataType::kInt64: {
+      if (v.type() == DataType::kDouble) {
+        *a.results[0] = RegisterValue::Scalar(
+            Value::Int(static_cast<int64_t>(v.AsDouble())));
+        return Status::OK();
+      }
+      STETHO_ASSIGN_OR_RETURN(int64_t i, v.ToInt());
+      *a.results[0] = RegisterValue::Scalar(Value::Int(i));
+      return Status::OK();
+    }
+    case DataType::kDouble: {
+      STETHO_ASSIGN_OR_RETURN(double d, v.ToDouble());
+      *a.results[0] = RegisterValue::Scalar(Value::Double(d));
+      return Status::OK();
+    }
+    case DataType::kString: {
+      if (v.type() == DataType::kString) {
+        *a.results[0] = RegisterValue::Scalar(v);
+      } else {
+        *a.results[0] = RegisterValue::Scalar(Value::String(v.ToString()));
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::Unimplemented("calc cast target");
+  }
+}
+
+/// Boolean operand: broadcast scalar bool or :bit BAT.
+struct BoolOperand {
+  ColumnPtr bat;
+  bool scalar = false;
+
+  bool IsNull(size_t i) const { return bat ? bat->IsNull(i) : false; }
+  bool At(size_t i) const { return bat ? bat->BoolAt(i) : scalar; }
+};
+
+Result<BoolOperand> MakeBoolOperand(const KernelArgs& a, size_t i) {
+  BoolOperand op;
+  if (a.args[i]->is_bat()) {
+    op.bat = a.args[i]->bat;
+    if (op.bat->type() != DataType::kBool) {
+      return Status::TypeError(
+          StrFormat("%s: argument %zu must be :bit", a.ins->FullName().c_str(), i));
+    }
+    return op;
+  }
+  const Value& v = a.args[i]->scalar;
+  if (v.type() != DataType::kBool) {
+    return Status::TypeError(
+        StrFormat("%s: argument %zu must be :bit", a.ins->FullName().c_str(), i));
+  }
+  op.scalar = v.AsBool();
+  return op;
+}
+
+enum class BoolOp { kAnd, kOr };
+
+/// batcalc.and / batcalc.or over :bit BATs with scalar broadcast.
+/// NULL semantics follow SQL three-valued logic.
+Status BatBoolOp(BoolOp op, KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 2, 1));
+  STETHO_ASSIGN_OR_RETURN(BoolOperand lhs, MakeBoolOperand(a, 0));
+  STETHO_ASSIGN_OR_RETURN(BoolOperand rhs, MakeBoolOperand(a, 1));
+  if (!lhs.bat && !rhs.bat) {
+    return Status::TypeError(a.ins->FullName() + ": needs at least one BAT");
+  }
+  if (lhs.bat && rhs.bat && lhs.bat->size() != rhs.bat->size()) {
+    return Status::InvalidArgument(a.ins->FullName() + ": BAT size mismatch");
+  }
+  size_t n = lhs.bat ? lhs.bat->size() : rhs.bat->size();
+  ColumnPtr out = Column::Make(DataType::kBool);
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool ln = lhs.IsNull(i);
+    bool rn = rhs.IsNull(i);
+    bool lv = ln ? false : lhs.At(i);
+    bool rv = rn ? false : rhs.At(i);
+    if (op == BoolOp::kAnd) {
+      if ((!ln && !lv) || (!rn && !rv)) {
+        out->AppendBool(false);
+      } else if (ln || rn) {
+        out->AppendNull();
+      } else {
+        out->AppendBool(true);
+      }
+    } else {
+      if ((!ln && lv) || (!rn && rv)) {
+        out->AppendBool(true);
+      } else if (ln || rn) {
+        out->AppendNull();
+      } else {
+        out->AppendBool(false);
+      }
+    }
+  }
+  *a.results[0] = RegisterValue::Bat(std::move(out));
+  return Status::OK();
+}
+
+/// batcalc.not(b) :bat[:bit].
+Status BatNot(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 1, 1));
+  STETHO_ASSIGN_OR_RETURN(BoolOperand v, MakeBoolOperand(a, 0));
+  if (!v.bat) return Status::TypeError("batcalc.not: needs a BAT");
+  size_t n = v.bat->size();
+  ColumnPtr out = Column::Make(DataType::kBool);
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (v.IsNull(i)) {
+      out->AppendNull();
+    } else {
+      out->AppendBool(!v.At(i));
+    }
+  }
+  *a.results[0] = RegisterValue::Bat(std::move(out));
+  return Status::OK();
+}
+
+/// batcalc.ifthenelse(mask, then, else) :bat — per-row conditional with
+/// scalar broadcast on the value operands (SQL CASE WHEN).
+Status BatIfThenElse(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 3, 1));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr mask, ArgBat(a, 0));
+  if (mask->type() != DataType::kBool) {
+    return Status::TypeError("batcalc.ifthenelse: mask must be :bit");
+  }
+  size_t n = mask->size();
+  auto value_at = [&](size_t arg, size_t i) -> Value {
+    if (a.args[arg]->is_bat()) return a.args[arg]->bat->GetValue(i);
+    return a.args[arg]->scalar;
+  };
+  for (size_t arg = 1; arg <= 2; ++arg) {
+    if (a.args[arg]->is_bat() && a.args[arg]->bat->size() != n) {
+      return Status::InvalidArgument("batcalc.ifthenelse: operand size mismatch");
+    }
+  }
+  // Result element type: prefer the then-branch's type, widening to double
+  // when either branch is double.
+  auto branch_type = [&](size_t arg) -> DataType {
+    if (a.args[arg]->is_bat()) return a.args[arg]->bat->type();
+    return a.args[arg]->scalar.type();
+  };
+  DataType t1 = branch_type(1);
+  DataType t2 = branch_type(2);
+  DataType out_type = t1;
+  if (t1 == DataType::kNull) out_type = t2;
+  if (t1 == DataType::kDouble || t2 == DataType::kDouble) {
+    out_type = DataType::kDouble;
+  }
+  if (out_type == DataType::kNull) out_type = DataType::kInt64;
+  ColumnPtr out = Column::Make(out_type);
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (mask->IsNull(i)) {
+      out->AppendNull();
+      continue;
+    }
+    Value v = mask->BoolAt(i) ? value_at(1, i) : value_at(2, i);
+    STETHO_RETURN_IF_ERROR(out->AppendValue(v));
+  }
+  *a.results[0] = RegisterValue::Bat(std::move(out));
+  return Status::OK();
+}
+
+/// calc.and / calc.or / calc.not on scalar :bit values.
+Status CalcBoolOp(BoolOp op, KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 2, 1));
+  STETHO_ASSIGN_OR_RETURN(Value x, ArgScalar(a, 0));
+  STETHO_ASSIGN_OR_RETURN(Value y, ArgScalar(a, 1));
+  auto known_false = [](const Value& v) {
+    return !v.is_null() && v.type() == DataType::kBool && !v.AsBool();
+  };
+  auto known_true = [](const Value& v) {
+    return !v.is_null() && v.type() == DataType::kBool && v.AsBool();
+  };
+  if (op == BoolOp::kAnd) {
+    if (known_false(x) || known_false(y)) {
+      *a.results[0] = RegisterValue::Scalar(Value::Bool(false));
+    } else if (x.is_null() || y.is_null()) {
+      *a.results[0] = RegisterValue::Scalar(Value::Null());
+    } else {
+      *a.results[0] = RegisterValue::Scalar(Value::Bool(x.AsBool() && y.AsBool()));
+    }
+  } else {
+    if (known_true(x) || known_true(y)) {
+      *a.results[0] = RegisterValue::Scalar(Value::Bool(true));
+    } else if (x.is_null() || y.is_null()) {
+      *a.results[0] = RegisterValue::Scalar(Value::Null());
+    } else {
+      *a.results[0] = RegisterValue::Scalar(Value::Bool(x.AsBool() || y.AsBool()));
+    }
+  }
+  return Status::OK();
+}
+
+Status CalcNot(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 1, 1));
+  STETHO_ASSIGN_OR_RETURN(Value x, ArgScalar(a, 0));
+  if (x.is_null()) {
+    *a.results[0] = RegisterValue::Scalar(Value::Null());
+  } else if (x.type() != DataType::kBool) {
+    return Status::TypeError("calc.not: argument must be :bit");
+  } else {
+    *a.results[0] = RegisterValue::Scalar(Value::Bool(!x.AsBool()));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// language / io / debug modules.
+// ---------------------------------------------------------------------------
+
+/// language.dataflow() — marker inserted by the dataflow optimizer; no-op at
+/// run time (the scheduler parallelizes the whole plan).
+Status LanguageDataflow(KernelArgs& a) {
+  (void)a;
+  return Status::OK();
+}
+
+/// language.pass(x) — explicit end-of-lifetime marker; no-op (the
+/// interpreter's reference counting frees registers).
+Status LanguagePass(KernelArgs& a) {
+  (void)a;
+  return Status::OK();
+}
+
+/// io.print(v...) — appends each argument as an unnamed result column.
+Status IoPrint(KernelArgs& a) {
+  if (!a.results.empty()) {
+    return Status::InvalidArgument("io.print returns nothing");
+  }
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    ResultColumn rc;
+    rc.name = StrFormat("column_%zu", i);
+    rc.order = (static_cast<int64_t>(a.ins->pc) << 8) | static_cast<int64_t>(i);
+    if (a.args[i]->is_bat()) {
+      rc.column = a.args[i]->bat;
+    } else {
+      rc.is_scalar = true;
+      rc.scalar = a.args[i]->scalar;
+    }
+    a.ctx->AddResult(std::move(rc));
+  }
+  return Status::OK();
+}
+
+/// debug.sleep(usec) — blocks the worker for `usec` microseconds. Used to
+/// synthesize long-running instructions in tests and benchmarks.
+Status DebugSleep(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 1, 0));
+  STETHO_ASSIGN_OR_RETURN(int64_t usec, ArgInt(a, 0));
+  a.ctx->clock()->SleepMicros(usec);
+  return Status::OK();
+}
+
+/// debug.spin(iterations) :lng — burns CPU deterministically; returns a
+/// checksum so the optimizer cannot remove it.
+Status DebugSpin(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 1, 1));
+  STETHO_ASSIGN_OR_RETURN(int64_t iters, ArgInt(a, 0));
+  volatile int64_t acc = 0;
+  for (int64_t i = 0; i < iters; ++i) acc = acc + i * 2654435761LL;
+  *a.results[0] = RegisterValue::Scalar(Value::Int(acc));
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterCoreKernels(ModuleRegistry* r) {
+  STETHO_CHECK_REGISTER(r->Register("sql", "mvc", SqlMvc));
+  STETHO_CHECK_REGISTER(r->Register("sql", "tid", SqlTid));
+  STETHO_CHECK_REGISTER(r->Register("sql", "bind", SqlBind));
+  STETHO_CHECK_REGISTER(r->Register("sql", "resultSet", SqlResultSet));
+
+  STETHO_CHECK_REGISTER(r->Register("bat", "mirror", BatMirror));
+  STETHO_CHECK_REGISTER(r->Register("bat", "partition", BatPartition));
+  STETHO_CHECK_REGISTER(r->Register("bat", "densebat", BatDense));
+  STETHO_CHECK_REGISTER(r->Register("bat", "append", BatAppend));
+  STETHO_CHECK_REGISTER(r->Register("mat", "pack", MatPack));
+
+  const struct {
+    const char* name;
+    BinOp op;
+  } kBinOps[] = {
+      {"add", BinOp::kAdd}, {"sub", BinOp::kSub}, {"mul", BinOp::kMul},
+      {"div", BinOp::kDiv}, {"eq", BinOp::kEq},   {"ne", BinOp::kNe},
+      {"lt", BinOp::kLt},   {"le", BinOp::kLe},   {"gt", BinOp::kGt},
+      {"ge", BinOp::kGe},
+  };
+  for (const auto& e : kBinOps) {
+    BinOp op = e.op;
+    STETHO_CHECK_REGISTER(r->Register(
+        "calc", e.name, [op](KernelArgs& a) { return CalcBinOp(op, a); }));
+    STETHO_CHECK_REGISTER(r->Register(
+        "batcalc", e.name, [op](KernelArgs& a) { return BatBinOp(op, a); }));
+  }
+  STETHO_CHECK_REGISTER(r->Register("calc", "lng", [](KernelArgs& a) {
+    return CalcCast(DataType::kInt64, a);
+  }));
+  STETHO_CHECK_REGISTER(r->Register("calc", "dbl", [](KernelArgs& a) {
+    return CalcCast(DataType::kDouble, a);
+  }));
+  STETHO_CHECK_REGISTER(r->Register("calc", "str", [](KernelArgs& a) {
+    return CalcCast(DataType::kString, a);
+  }));
+
+  STETHO_CHECK_REGISTER(r->Register("batcalc", "and", [](KernelArgs& a) {
+    return BatBoolOp(BoolOp::kAnd, a);
+  }));
+  STETHO_CHECK_REGISTER(r->Register("batcalc", "or", [](KernelArgs& a) {
+    return BatBoolOp(BoolOp::kOr, a);
+  }));
+  STETHO_CHECK_REGISTER(r->Register("batcalc", "not", BatNot));
+  STETHO_CHECK_REGISTER(r->Register("batcalc", "ifthenelse", BatIfThenElse));
+  STETHO_CHECK_REGISTER(r->Register("calc", "and", [](KernelArgs& a) {
+    return CalcBoolOp(BoolOp::kAnd, a);
+  }));
+  STETHO_CHECK_REGISTER(r->Register("calc", "or", [](KernelArgs& a) {
+    return CalcBoolOp(BoolOp::kOr, a);
+  }));
+  STETHO_CHECK_REGISTER(r->Register("calc", "not", CalcNot));
+
+  STETHO_CHECK_REGISTER(r->Register("language", "dataflow", LanguageDataflow));
+  STETHO_CHECK_REGISTER(r->Register("language", "pass", LanguagePass));
+  STETHO_CHECK_REGISTER(r->Register("io", "print", IoPrint));
+  STETHO_CHECK_REGISTER(r->Register("debug", "sleep", DebugSleep));
+  STETHO_CHECK_REGISTER(r->Register("debug", "spin", DebugSpin));
+}
+
+}  // namespace stetho::engine

@@ -1,0 +1,266 @@
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "engine/kernel.h"
+
+namespace stetho::engine {
+namespace {
+
+using storage::Column;
+using storage::ColumnPtr;
+using storage::DataType;
+using storage::Value;
+
+/// Serializes the grouping key of row i (optionally combined with a prior
+/// group id) into an exact byte string. NULL gets a distinct tag so all
+/// NULLs land in one group.
+void AppendKeyBytes(const ColumnPtr& col, size_t i, std::string* key) {
+  if (col->IsNull(i)) {
+    key->push_back('\0');
+    key->push_back('N');
+    return;
+  }
+  switch (col->type()) {
+    case DataType::kInt64:
+    case DataType::kOid:
+    case DataType::kBool: {
+      key->push_back('\1');
+      int64_t v = col->IntAt(i);
+      key->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+    case DataType::kDouble: {
+      key->push_back('\2');
+      double v = col->DoubleAt(i);
+      key->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+    case DataType::kString: {
+      key->push_back('\3');
+      key->append(col->StringAt(i));
+      break;
+    }
+    default:
+      key->push_back('?');
+  }
+}
+
+/// Shared implementation for group.group / group.subgroup. `prior` may be
+/// null (initial grouping).
+Status GroupImpl(const ColumnPtr& col, const ColumnPtr& prior,
+                 KernelArgs& a) {
+  if (prior != nullptr && prior->size() != col->size()) {
+    return Status::InvalidArgument(
+        "group.subgroup: prior groups not aligned with column");
+  }
+  ColumnPtr groups = Column::Make(DataType::kOid);
+  ColumnPtr extents = Column::Make(DataType::kOid);
+  ColumnPtr histo = Column::Make(DataType::kInt64);
+  groups->Reserve(col->size());
+
+  std::unordered_map<std::string, uint64_t> ids;
+  std::vector<int64_t> counts;
+  std::string key;
+  for (size_t i = 0; i < col->size(); ++i) {
+    key.clear();
+    if (prior != nullptr) {
+      uint64_t g = prior->OidAt(i);
+      key.append(reinterpret_cast<const char*>(&g), sizeof(g));
+    }
+    AppendKeyBytes(col, i, &key);
+    auto [it, inserted] = ids.emplace(key, ids.size());
+    if (inserted) {
+      extents->AppendOid(i);
+      counts.push_back(0);
+    }
+    groups->AppendOid(it->second);
+    ++counts[it->second];
+  }
+  for (int64_t c : counts) histo->AppendInt(c);
+
+  *a.results[0] = RegisterValue::Bat(std::move(groups));
+  *a.results[1] = RegisterValue::Bat(std::move(extents));
+  *a.results[2] = RegisterValue::Bat(std::move(histo));
+  return Status::OK();
+}
+
+/// group.group(col) (:bat[:oid], :bat[:oid], :bat[:lng]) — group id per row,
+/// representative row per group, group sizes.
+Status GroupGroup(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 1, 3));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr col, ArgBat(a, 0));
+  return GroupImpl(col, nullptr, a);
+}
+
+/// group.subgroup(col, groups) — refines an existing grouping by `col`.
+Status GroupSubgroup(KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 2, 3));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr col, ArgBat(a, 0));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr prior, ArgBat(a, 1));
+  return GroupImpl(col, prior, a);
+}
+
+/// Numeric view of col[i] for aggregation.
+Result<double> NumAt(const ColumnPtr& col, size_t i) {
+  switch (col->type()) {
+    case DataType::kInt64:
+    case DataType::kOid:
+    case DataType::kBool:
+      return static_cast<double>(col->IntAt(i));
+    case DataType::kDouble:
+      return col->DoubleAt(i);
+    default:
+      return Status::TypeError("aggregate over non-numeric column");
+  }
+}
+
+enum class AggKind { kSum, kMin, kMax, kAvg, kCount };
+
+/// Scalar aggregates: aggr.sum/min/max/avg/count(col).
+Status ScalarAgg(AggKind kind, KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 1, 1));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr col, ArgBat(a, 0));
+
+  if (kind == AggKind::kCount) {
+    int64_t n = 0;
+    for (size_t i = 0; i < col->size(); ++i) {
+      if (!col->IsNull(i)) ++n;
+    }
+    *a.results[0] = RegisterValue::Scalar(Value::Int(n));
+    return Status::OK();
+  }
+
+  double acc = kind == AggKind::kMin ? std::numeric_limits<double>::infinity()
+               : kind == AggKind::kMax
+                   ? -std::numeric_limits<double>::infinity()
+                   : 0.0;
+  int64_t n = 0;
+  for (size_t i = 0; i < col->size(); ++i) {
+    if (col->IsNull(i)) continue;
+    STETHO_ASSIGN_OR_RETURN(double v, NumAt(col, i));
+    switch (kind) {
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        acc += v;
+        break;
+      case AggKind::kMin:
+        acc = v < acc ? v : acc;
+        break;
+      case AggKind::kMax:
+        acc = v > acc ? v : acc;
+        break;
+      default:
+        break;
+    }
+    ++n;
+  }
+  if (n == 0) {
+    *a.results[0] = RegisterValue::Scalar(Value::Null());
+    return Status::OK();
+  }
+  bool int_result = col->type() != DataType::kDouble && kind != AggKind::kAvg;
+  double out = kind == AggKind::kAvg ? acc / static_cast<double>(n) : acc;
+  *a.results[0] = RegisterValue::Scalar(
+      int_result ? Value::Int(static_cast<int64_t>(out)) : Value::Double(out));
+  return Status::OK();
+}
+
+/// Grouped aggregates: aggr.subX(col, groups, extents) :bat — one value per
+/// group, aligned with `extents`.
+Status GroupedAgg(AggKind kind, KernelArgs& a) {
+  STETHO_RETURN_IF_ERROR(ExpectArity(a, 3, 1));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr col, ArgBat(a, 0));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr groups, ArgBat(a, 1));
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr extents, ArgBat(a, 2));
+  if (groups->size() != col->size()) {
+    return Status::InvalidArgument(a.ins->FullName() +
+                                   ": groups not aligned with column");
+  }
+  size_t ngroups = extents->size();
+  std::vector<double> acc(
+      ngroups, kind == AggKind::kMin ? std::numeric_limits<double>::infinity()
+               : kind == AggKind::kMax
+                   ? -std::numeric_limits<double>::infinity()
+                   : 0.0);
+  std::vector<int64_t> counts(ngroups, 0);
+  for (size_t i = 0; i < col->size(); ++i) {
+    uint64_t g = groups->OidAt(i);
+    if (g >= ngroups) {
+      return Status::OutOfRange(a.ins->FullName() + ": group id out of range");
+    }
+    if (col->IsNull(i)) continue;
+    STETHO_ASSIGN_OR_RETURN(double v, NumAt(col, i));
+    switch (kind) {
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        acc[g] += v;
+        break;
+      case AggKind::kMin:
+        acc[g] = v < acc[g] ? v : acc[g];
+        break;
+      case AggKind::kMax:
+        acc[g] = v > acc[g] ? v : acc[g];
+        break;
+      default:
+        break;
+    }
+    ++counts[g];
+  }
+
+  if (kind == AggKind::kCount) {
+    ColumnPtr out = Column::Make(DataType::kInt64);
+    out->Reserve(ngroups);
+    for (size_t g = 0; g < ngroups; ++g) out->AppendInt(counts[g]);
+    *a.results[0] = RegisterValue::Bat(std::move(out));
+    return Status::OK();
+  }
+
+  bool int_result = col->type() != DataType::kDouble && kind != AggKind::kAvg;
+  ColumnPtr out =
+      Column::Make(int_result ? DataType::kInt64 : DataType::kDouble);
+  out->Reserve(ngroups);
+  for (size_t g = 0; g < ngroups; ++g) {
+    if (counts[g] == 0) {
+      out->AppendNull();
+      continue;
+    }
+    double v = kind == AggKind::kAvg ? acc[g] / static_cast<double>(counts[g])
+                                     : acc[g];
+    if (int_result) {
+      out->AppendInt(static_cast<int64_t>(v));
+    } else {
+      out->AppendDouble(v);
+    }
+  }
+  *a.results[0] = RegisterValue::Bat(std::move(out));
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterGroupAggrKernels(ModuleRegistry* r) {
+  STETHO_CHECK_REGISTER(r->Register("group", "group", GroupGroup));
+  STETHO_CHECK_REGISTER(r->Register("group", "subgroup", GroupSubgroup));
+
+  const struct {
+    const char* scalar_name;
+    const char* grouped_name;
+    AggKind kind;
+  } kAggs[] = {
+      {"sum", "subsum", AggKind::kSum},     {"min", "submin", AggKind::kMin},
+      {"max", "submax", AggKind::kMax},     {"avg", "subavg", AggKind::kAvg},
+      {"count", "subcount", AggKind::kCount},
+  };
+  for (const auto& e : kAggs) {
+    AggKind kind = e.kind;
+    STETHO_CHECK_REGISTER(r->Register(
+        "aggr", e.scalar_name, [kind](KernelArgs& a) { return ScalarAgg(kind, a); }));
+    STETHO_CHECK_REGISTER(r->Register(
+        "aggr", e.grouped_name,
+        [kind](KernelArgs& a) { return GroupedAgg(kind, a); }));
+  }
+}
+
+}  // namespace stetho::engine

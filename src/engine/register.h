@@ -1,0 +1,35 @@
+#ifndef STETHO_ENGINE_REGISTER_H_
+#define STETHO_ENGINE_REGISTER_H_
+
+#include "storage/column.h"
+#include "storage/value.h"
+
+namespace stetho::engine {
+
+/// Runtime value of one MAL variable: either a scalar or a BAT reference.
+/// Registers are written exactly once (plans are SSA) and read by dependent
+/// instructions after the dataflow scheduler establishes happens-before.
+struct RegisterValue {
+  storage::Value scalar;
+  storage::ColumnPtr bat;  // non-null iff the register holds a BAT
+
+  bool is_bat() const { return bat != nullptr; }
+
+  static RegisterValue Scalar(storage::Value v) {
+    RegisterValue r;
+    r.scalar = std::move(v);
+    return r;
+  }
+  static RegisterValue Bat(storage::ColumnPtr b) {
+    RegisterValue r;
+    r.bat = std::move(b);
+    return r;
+  }
+
+  /// Approximate heap bytes held (0 for scalars).
+  size_t MemoryBytes() const { return bat ? bat->MemoryBytes() : 0; }
+};
+
+}  // namespace stetho::engine
+
+#endif  // STETHO_ENGINE_REGISTER_H_

@@ -1,0 +1,180 @@
+#include "layout/sugiyama.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace stetho::layout {
+namespace {
+
+/// Assigns each node the longest path length from any root.
+Result<std::vector<int>> AssignLayers(const dot::Graph& graph) {
+  STETHO_ASSIGN_OR_RETURN(std::vector<int> order, graph.TopologicalOrder());
+  auto in = graph.InAdjacency();
+  std::vector<int> layer(graph.num_nodes(), 0);
+  for (int n : order) {
+    int best = 0;
+    for (int p : in[static_cast<size_t>(n)]) {
+      best = std::max(best, layer[static_cast<size_t>(p)] + 1);
+    }
+    layer[static_cast<size_t>(n)] = best;
+  }
+  return layer;
+}
+
+/// Median helper for barycenter ordering: average position of neighbors.
+double Barycenter(const std::vector<int>& neighbors,
+                  const std::vector<double>& position, double fallback) {
+  if (neighbors.empty()) return fallback;
+  double sum = 0;
+  for (int n : neighbors) sum += position[static_cast<size_t>(n)];
+  return sum / static_cast<double>(neighbors.size());
+}
+
+}  // namespace
+
+Result<GraphLayout> LayoutGraph(const dot::Graph& graph,
+                                const LayoutOptions& options) {
+  GraphLayout layout;
+  size_t n = graph.num_nodes();
+  layout.nodes.resize(n);
+  layout.edges.resize(graph.num_edges());
+  if (n == 0) return layout;
+
+  STETHO_ASSIGN_OR_RETURN(std::vector<int> layer, AssignLayers(graph));
+  int num_layers = 1 + *std::max_element(layer.begin(), layer.end());
+
+  // Group nodes per layer, initial order = insertion order.
+  std::vector<std::vector<int>> layers(static_cast<size_t>(num_layers));
+  for (size_t i = 0; i < n; ++i) {
+    layers[static_cast<size_t>(layer[i])].push_back(static_cast<int>(i));
+  }
+
+  auto out_adj = graph.OutAdjacency();
+  auto in_adj = graph.InAdjacency();
+
+  // Barycenter crossing reduction: alternate downward (order by parents)
+  // and upward (order by children) sweeps.
+  std::vector<double> position(n, 0);
+  auto refresh_positions = [&] {
+    for (const auto& lay : layers) {
+      for (size_t i = 0; i < lay.size(); ++i) {
+        position[static_cast<size_t>(lay[i])] = static_cast<double>(i);
+      }
+    }
+  };
+  refresh_positions();
+  for (int sweep = 0; sweep < options.barycenter_sweeps; ++sweep) {
+    bool down = (sweep % 2 == 0);
+    for (int li = down ? 1 : num_layers - 2;
+         down ? li < num_layers : li >= 0; down ? ++li : --li) {
+      auto& lay = layers[static_cast<size_t>(li)];
+      std::stable_sort(lay.begin(), lay.end(), [&](int a, int b) {
+        const auto& na = down ? in_adj[static_cast<size_t>(a)]
+                              : out_adj[static_cast<size_t>(a)];
+        const auto& nb = down ? in_adj[static_cast<size_t>(b)]
+                              : out_adj[static_cast<size_t>(b)];
+        double ba = Barycenter(na, position, position[static_cast<size_t>(a)]);
+        double bb = Barycenter(nb, position, position[static_cast<size_t>(b)]);
+        return ba < bb;
+      });
+      for (size_t i = 0; i < lay.size(); ++i) {
+        position[static_cast<size_t>(lay[i])] = static_cast<double>(i);
+      }
+    }
+    refresh_positions();
+  }
+
+  // Node sizes from labels.
+  for (size_t i = 0; i < n; ++i) {
+    NodeLayout& nl = layout.nodes[i];
+    nl.node = static_cast<int>(i);
+    nl.layer = layer[i];
+    double w = options.min_node_width +
+               options.char_width * static_cast<double>(graph.node(i).label().size());
+    nl.width = std::min(w, options.max_node_width);
+    nl.height = options.node_height;
+  }
+
+  // Coordinate assignment: lay out each layer left-to-right, then center
+  // every layer horizontally against the widest one.
+  std::vector<double> layer_width(static_cast<size_t>(num_layers), 0);
+  for (int li = 0; li < num_layers; ++li) {
+    const auto& lay = layers[static_cast<size_t>(li)];
+    double w = 0;
+    for (size_t i = 0; i < lay.size(); ++i) {
+      if (i > 0) w += options.node_gap;
+      w += layout.nodes[static_cast<size_t>(lay[i])].width;
+    }
+    layer_width[static_cast<size_t>(li)] = w;
+  }
+  double max_width = *std::max_element(layer_width.begin(), layer_width.end());
+
+  for (int li = 0; li < num_layers; ++li) {
+    const auto& lay = layers[static_cast<size_t>(li)];
+    double x = options.margin +
+               (max_width - layer_width[static_cast<size_t>(li)]) / 2.0;
+    double y = options.margin + options.node_height / 2.0 +
+               static_cast<double>(li) * (options.node_height + options.layer_gap);
+    for (int node : lay) {
+      NodeLayout& nl = layout.nodes[static_cast<size_t>(node)];
+      nl.x = x + nl.width / 2.0;
+      nl.y = y;
+      x += nl.width + options.node_gap;
+    }
+  }
+
+  layout.width = max_width + 2 * options.margin;
+  layout.height = options.margin * 2 + options.node_height +
+                  static_cast<double>(num_layers - 1) *
+                      (options.node_height + options.layer_gap);
+
+  // Edge routing: straight polyline bottom-port -> top-port.
+  for (size_t e = 0; e < graph.num_edges(); ++e) {
+    const dot::GraphEdge& edge = graph.edges()[e];
+    int from = graph.FindNode(edge.from);
+    int to = graph.FindNode(edge.to);
+    EdgeLayout& el = layout.edges[e];
+    el.edge = static_cast<int>(e);
+    if (from < 0 || to < 0) continue;
+    const NodeLayout& a = layout.nodes[static_cast<size_t>(from)];
+    const NodeLayout& b = layout.nodes[static_cast<size_t>(to)];
+    el.points.push_back({a.x, a.y + a.height / 2.0});
+    el.points.push_back({b.x, b.y - b.height / 2.0});
+  }
+
+  layout.crossings = CountCrossings(graph, layout);
+  return layout;
+}
+
+int64_t CountCrossings(const dot::Graph& graph, const GraphLayout& layout) {
+  // For each pair of edges between the same pair of consecutive layers,
+  // count an inversion when their endpoints interleave.
+  struct Span {
+    int layer;
+    double x_from;
+    double x_to;
+  };
+  std::vector<Span> spans;
+  spans.reserve(graph.num_edges());
+  for (const dot::GraphEdge& edge : graph.edges()) {
+    int from = graph.FindNode(edge.from);
+    int to = graph.FindNode(edge.to);
+    if (from < 0 || to < 0) continue;
+    const NodeLayout& a = layout.nodes[static_cast<size_t>(from)];
+    const NodeLayout& b = layout.nodes[static_cast<size_t>(to)];
+    if (b.layer != a.layer + 1) continue;  // long edges approximated away
+    spans.push_back({a.layer, a.x, b.x});
+  }
+  int64_t crossings = 0;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    for (size_t j = i + 1; j < spans.size(); ++j) {
+      if (spans[i].layer != spans[j].layer) continue;
+      double d1 = spans[i].x_from - spans[j].x_from;
+      double d2 = spans[i].x_to - spans[j].x_to;
+      if (d1 * d2 < 0) ++crossings;
+    }
+  }
+  return crossings;
+}
+
+}  // namespace stetho::layout

@@ -1,0 +1,317 @@
+#include "mal/parser.h"
+
+#include <cctype>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace stetho::mal {
+namespace {
+
+using storage::DataType;
+using storage::Value;
+
+/// Character-cursor scanner over the MAL listing.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '#') {  // comment to end of line
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    SkipSpace();
+    size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      size_t end = pos_ + len;
+      if (end >= text_.size() || !IsIdentChar(text_[end])) {
+        pos_ = end;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Reads an identifier (letters, digits, '_').
+  Result<std::string> ReadIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+    if (pos_ == start) {
+      return Status::ParseError(
+          StrFormat("expected identifier at offset %zu", pos_));
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  /// Reads a `:type` or `:bat[:type]` annotation starting at the cursor.
+  Result<MalType> ReadType() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != ':') {
+      return Status::ParseError(
+          StrFormat("expected type annotation at offset %zu", pos_));
+    }
+    ++pos_;  // ':'
+    return ReadTypeBody();
+  }
+
+  /// Reads the part of a type annotation after the leading ':' has been
+  /// consumed: "bat[:elem]" or a bare scalar type name.
+  Result<MalType> ReadTypeBody() {
+    SkipSpace();
+    size_t start = pos_;
+    if (text_.compare(pos_, 4, "bat[") == 0) {
+      while (pos_ < text_.size() && text_[pos_] != ']') ++pos_;
+      if (pos_ >= text_.size()) return Status::ParseError("unterminated bat[ type");
+      ++pos_;  // ']'
+      return ParseMalType(text_.substr(start, pos_ - start));
+    }
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+    if (pos_ == start) {
+      return Status::ParseError(
+          StrFormat("expected type name at offset %zu", pos_));
+    }
+    return ParseMalType(":" + text_.substr(start, pos_ - start));
+  }
+
+  /// Reads a literal: number (int/float/oid), string, true/false, nil.
+  Result<Value> ReadLiteral() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Status::ParseError("expected literal at end of input");
+    char c = text_[pos_];
+    if (c == '"') {
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        out.push_back(text_[pos_]);
+        ++pos_;
+      }
+      if (pos_ >= text_.size()) return Status::ParseError("unterminated string literal");
+      ++pos_;  // closing quote
+      return Value::String(std::move(out));
+    }
+    if (ConsumeWord("true")) return Value::Bool(true);
+    if (ConsumeWord("false")) return Value::Bool(false);
+    if (ConsumeWord("nil") || ConsumeWord("NULL")) return Value::Null();
+    // Number: [-]digits[.digits][eE...] optionally followed by @0 (oid).
+    size_t start = pos_;
+    if (c == '-' || c == '+') ++pos_;
+    bool is_float = false;
+    while (pos_ < text_.size()) {
+      char d = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(d))) {
+        ++pos_;
+      } else if (d == '.' || d == 'e' || d == 'E') {
+        is_float = true;
+        ++pos_;
+        if (d != '.' && pos_ < text_.size() &&
+            (text_[pos_] == '+' || text_[pos_] == '-')) {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      return Status::ParseError(
+          StrFormat("expected literal at offset %zu ('%c')", start, c));
+    }
+    std::string num = text_.substr(start, pos_ - start);
+    if (pos_ + 1 < text_.size() && text_[pos_] == '@' && text_[pos_ + 1] == '0') {
+      pos_ += 2;
+      STETHO_ASSIGN_OR_RETURN(int64_t v, ParseInt64(num));
+      return Value::Oid(static_cast<uint64_t>(v));
+    }
+    if (is_float) {
+      STETHO_ASSIGN_OR_RETURN(double v, ParseDouble(num));
+      return Value::Double(v);
+    }
+    STETHO_ASSIGN_OR_RETURN(int64_t v, ParseInt64(num));
+    return Value::Int(v);
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// Resolves `name` in the program's variable table, creating an untyped
+/// variable if unseen (tolerant mode for hand-written listings).
+int ResolveVariable(Program* program, const std::string& name, MalType type) {
+  int id = program->FindVariable(name);
+  if (id >= 0) return id;
+  return program->AddNamedVariable(name, type);
+}
+
+/// Parses "name[:type]" into a variable id.
+Result<int> ParseTypedVariable(Scanner* scan, Program* program) {
+  STETHO_ASSIGN_OR_RETURN(std::string name, scan->ReadIdent());
+  MalType type = MalType::Void();
+  if (scan->Peek() == ':') {
+    STETHO_ASSIGN_OR_RETURN(type, scan->ReadType());
+  }
+  return ResolveVariable(program, name, type);
+}
+
+Status ParseStatement(Scanner* scan, Program* program) {
+  std::vector<int> results;
+  std::vector<Argument> args;
+
+  // Lookahead: statement either starts with '(' (multi-assign), or with an
+  // identifier that is followed by ':='/'.':
+  if (scan->Consume('(')) {
+    while (true) {
+      STETHO_ASSIGN_OR_RETURN(int var, ParseTypedVariable(scan, program));
+      results.push_back(var);
+      if (scan->Consume(',')) continue;
+      break;
+    }
+    if (!scan->Consume(')')) return Status::ParseError("expected ')' after result list");
+    if (!(scan->Consume(':') && scan->Consume('='))) {
+      return Status::ParseError("expected ':=' after result list");
+    }
+  }
+
+  STETHO_ASSIGN_OR_RETURN(std::string first, scan->ReadIdent());
+  std::string module;
+  std::string function;
+  if (results.empty() && scan->Peek() != '.') {
+    // "X_3:bat[:oid] := module.function(...)" — `first` was the result var.
+    MalType type = MalType::Void();
+    if (scan->Peek() == ':') {
+      // Could be ':=' (untyped result) or a ':type' annotation followed by
+      // ':='. Disambiguate after consuming the ':': '=' means assignment.
+      scan->Consume(':');
+      if (!scan->Consume('=')) {
+        STETHO_ASSIGN_OR_RETURN(type, scan->ReadTypeBody());
+        if (!(scan->Consume(':') && scan->Consume('='))) {
+          return Status::ParseError("expected ':=' after typed result");
+        }
+      }
+      results.push_back(ResolveVariable(program, first, type));
+      STETHO_ASSIGN_OR_RETURN(module, scan->ReadIdent());
+    } else {
+      return Status::ParseError(StrFormat(
+          "expected ':=' or '.' after identifier '%s'", first.c_str()));
+    }
+  } else {
+    module = first;
+  }
+
+  if (!results.empty() && module.empty()) {
+    STETHO_ASSIGN_OR_RETURN(module, scan->ReadIdent());
+  }
+  if (!scan->Consume('.')) return Status::ParseError("expected '.' in call");
+  STETHO_ASSIGN_OR_RETURN(function, scan->ReadIdent());
+  if (!scan->Consume('(')) return Status::ParseError("expected '(' in call");
+  if (!scan->Consume(')')) {
+    while (true) {
+      char c = scan->Peek();
+      if (c == 'X' || std::isalpha(static_cast<unsigned char>(c))) {
+        // Could be a variable or a word literal (true/false/nil).
+        size_t save = scan->pos();
+        STETHO_ASSIGN_OR_RETURN(std::string word, scan->ReadIdent());
+        if (word == "true") {
+          args.push_back(Argument::Const(Value::Bool(true)));
+        } else if (word == "false") {
+          args.push_back(Argument::Const(Value::Bool(false)));
+        } else if (word == "nil" || word == "NULL") {
+          args.push_back(Argument::Const(Value::Null()));
+        } else {
+          (void)save;
+          int id = program->FindVariable(word);
+          if (id < 0) {
+            id = program->AddNamedVariable(word, MalType::Void());
+          }
+          args.push_back(Argument::Var(id));
+        }
+      } else {
+        STETHO_ASSIGN_OR_RETURN(Value lit, scan->ReadLiteral());
+        args.push_back(Argument::Const(std::move(lit)));
+      }
+      if (scan->Consume(',')) continue;
+      break;
+    }
+    if (!scan->Consume(')')) return Status::ParseError("expected ')' after arguments");
+  }
+  if (!scan->Consume(';')) return Status::ParseError("expected ';' after statement");
+
+  program->Add(std::move(module), std::move(function), std::move(results),
+               std::move(args));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Program> ParseProgram(const std::string& text) {
+  Scanner scan(text);
+  Program program;
+
+  if (!scan.ConsumeWord("function")) {
+    return Status::ParseError("MAL listing must start with 'function'");
+  }
+  STETHO_ASSIGN_OR_RETURN(std::string ns, scan.ReadIdent());
+  if (!scan.Consume('.')) return Status::ParseError("expected '.' in function name");
+  STETHO_ASSIGN_OR_RETURN(std::string fname, scan.ReadIdent());
+  program.set_function_name(ns + "." + fname);
+  if (!scan.Consume('(')) return Status::ParseError("expected '(' in function header");
+  if (!scan.Consume(')')) return Status::ParseError("expected ')' in function header");
+  if (scan.Peek() == ':') {
+    STETHO_ASSIGN_OR_RETURN(MalType ret, scan.ReadType());
+    (void)ret;
+  }
+  if (!scan.Consume(';')) return Status::ParseError("expected ';' after function header");
+
+  while (!scan.AtEnd()) {
+    if (scan.ConsumeWord("end")) {
+      // `end user.main;` — consume the rest of the line permissively.
+      while (!scan.AtEnd() && !scan.Consume(';')) {
+        STETHO_ASSIGN_OR_RETURN(std::string tok, scan.ReadIdent());
+        (void)tok;
+        scan.Consume('.');
+      }
+      STETHO_RETURN_IF_ERROR(program.Validate());
+      return program;
+    }
+    STETHO_RETURN_IF_ERROR(ParseStatement(&scan, &program));
+  }
+  return Status::ParseError("missing 'end' in MAL listing");
+}
+
+}  // namespace stetho::mal

@@ -1,0 +1,19 @@
+#ifndef STETHO_MAL_PARSER_H_
+#define STETHO_MAL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "mal/program.h"
+
+namespace stetho::mal {
+
+/// Parses a MAL listing in the format emitted by Program::ToString()
+/// (the paper's Fig. 1 format) back into a Program. Supports single- and
+/// multi-result statements, typed variable annotations, and literal operands
+/// (integers, floats, strings, oids `N@0`, booleans, nil).
+Result<Program> ParseProgram(const std::string& text);
+
+}  // namespace stetho::mal
+
+#endif  // STETHO_MAL_PARSER_H_

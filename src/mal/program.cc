@@ -1,0 +1,147 @@
+#include "mal/program.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace stetho::mal {
+
+int Program::AddVariable(MalType type) {
+  int id = static_cast<int>(variables_.size());
+  variables_.push_back(Variable{id, StrFormat("X_%d", id), type});
+  return id;
+}
+
+int Program::AddNamedVariable(std::string name, MalType type) {
+  int id = static_cast<int>(variables_.size());
+  variables_.push_back(Variable{id, std::move(name), type});
+  return id;
+}
+
+int Program::FindVariable(const std::string& name) const {
+  for (const Variable& v : variables_) {
+    if (v.name == name) return v.id;
+  }
+  return -1;
+}
+
+int Program::Add(std::string module, std::string function,
+                 std::vector<int> results, std::vector<Argument> args) {
+  Instruction ins;
+  ins.pc = static_cast<int>(instructions_.size());
+  ins.module = std::move(module);
+  ins.function = std::move(function);
+  ins.results = std::move(results);
+  ins.args = std::move(args);
+  instructions_.push_back(std::move(ins));
+  return instructions_.back().pc;
+}
+
+void Program::ReplaceInstructions(std::vector<Instruction> instructions) {
+  instructions_ = std::move(instructions);
+  for (size_t i = 0; i < instructions_.size(); ++i) {
+    instructions_[i].pc = static_cast<int>(i);
+  }
+}
+
+std::vector<std::vector<int>> Program::BuildDependencies() const {
+  // writer[v] = pc of the instruction that most recently assigned variable v.
+  std::vector<int> writer(variables_.size(), -1);
+  std::vector<std::vector<int>> deps(instructions_.size());
+  for (const Instruction& ins : instructions_) {
+    std::vector<int>& d = deps[static_cast<size_t>(ins.pc)];
+    for (const Argument& arg : ins.args) {
+      if (arg.kind != Argument::Kind::kVar) continue;
+      int w = writer[static_cast<size_t>(arg.var)];
+      if (w >= 0) {
+        bool seen = false;
+        for (int existing : d) {
+          if (existing == w) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) d.push_back(w);
+      }
+    }
+    for (int r : ins.results) writer[static_cast<size_t>(r)] = ins.pc;
+  }
+  return deps;
+}
+
+std::string Program::InstructionToString(const Instruction& ins) const {
+  std::string out;
+  if (!ins.results.empty()) {
+    if (ins.results.size() > 1) out += "(";
+    for (size_t i = 0; i < ins.results.size(); ++i) {
+      if (i > 0) out += ",";
+      const Variable& v = variables_[static_cast<size_t>(ins.results[i])];
+      out += v.name;
+      out += v.type.ToString();
+    }
+    if (ins.results.size() > 1) out += ")";
+    out += " := ";
+  }
+  out += ins.module;
+  out += ".";
+  out += ins.function;
+  out += "(";
+  for (size_t i = 0; i < ins.args.size(); ++i) {
+    if (i > 0) out += ",";
+    const Argument& a = ins.args[i];
+    if (a.kind == Argument::Kind::kVar) {
+      out += variables_[static_cast<size_t>(a.var)].name;
+    } else {
+      out += a.constant.ToString();
+    }
+  }
+  out += ");";
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::string out = "function " + function_name_ + "():void;\n";
+  for (const Instruction& ins : instructions_) {
+    out += "    ";
+    out += InstructionToString(ins);
+    out += "\n";
+  }
+  out += "end " + function_name_ + ";\n";
+  return out;
+}
+
+Status Program::Validate() const {
+  std::vector<bool> defined(variables_.size(), false);
+  std::vector<bool> assigned(variables_.size(), false);
+  for (const Instruction& ins : instructions_) {
+    for (const Argument& arg : ins.args) {
+      if (arg.kind != Argument::Kind::kVar) continue;
+      if (arg.var < 0 || static_cast<size_t>(arg.var) >= variables_.size()) {
+        return Status::Internal(
+            StrFormat("pc=%d references out-of-range variable %d", ins.pc,
+                      arg.var));
+      }
+      if (!defined[static_cast<size_t>(arg.var)]) {
+        return Status::Internal(StrFormat(
+            "pc=%d uses variable %s before definition", ins.pc,
+            variables_[static_cast<size_t>(arg.var)].name.c_str()));
+      }
+    }
+    for (int r : ins.results) {
+      if (r < 0 || static_cast<size_t>(r) >= variables_.size()) {
+        return Status::Internal(
+            StrFormat("pc=%d assigns out-of-range variable %d", ins.pc, r));
+      }
+      if (assigned[static_cast<size_t>(r)]) {
+        return Status::Internal(StrFormat(
+            "pc=%d violates SSA: variable %s assigned twice", ins.pc,
+            variables_[static_cast<size_t>(r)].name.c_str()));
+      }
+      assigned[static_cast<size_t>(r)] = true;
+      defined[static_cast<size_t>(r)] = true;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace stetho::mal

@@ -1,0 +1,120 @@
+#ifndef STETHO_MAL_PROGRAM_H_
+#define STETHO_MAL_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mal/types.h"
+#include "storage/value.h"
+
+namespace stetho::mal {
+
+/// A MAL variable ("X_12"). Our code generator emits SSA form: each variable
+/// has exactly one defining instruction.
+struct Variable {
+  int id = -1;
+  std::string name;  // "X_<id>" unless explicitly named
+  MalType type;
+};
+
+/// One operand of a MAL instruction: either a variable reference or an
+/// inline constant.
+struct Argument {
+  enum class Kind { kVar, kConst };
+
+  Kind kind = Kind::kConst;
+  int var = -1;               // valid when kind == kVar
+  storage::Value constant;    // valid when kind == kConst
+
+  static Argument Var(int id) {
+    Argument a;
+    a.kind = Kind::kVar;
+    a.var = id;
+    return a;
+  }
+  static Argument Const(storage::Value v) {
+    Argument a;
+    a.kind = Kind::kConst;
+    a.constant = std::move(v);
+    return a;
+  }
+};
+
+/// One MAL statement: `(results) := module.function(args);`. `pc` is the
+/// statement's index inside its program — the key the profiler trace and the
+/// DOT node names ("n<pc>") are both derived from.
+struct Instruction {
+  int pc = -1;
+  std::string module;
+  std::string function;
+  std::vector<int> results;    // variable ids; empty for :void statements
+  std::vector<Argument> args;
+
+  /// "module.function" — the profiler's operator identity.
+  std::string FullName() const { return module + "." + function; }
+};
+
+/// A MAL program (one `function user.main():void; ... end user.main;` body).
+/// Owns the variable table and the instruction sequence.
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::string function_name)
+      : function_name_(std::move(function_name)) {}
+
+  const std::string& function_name() const { return function_name_; }
+  void set_function_name(std::string n) { function_name_ = std::move(n); }
+
+  /// --- Variables ---
+  /// Creates a fresh variable "X_<id>" of `type` and returns its id.
+  int AddVariable(MalType type);
+  /// Creates a variable with an explicit name (parser use).
+  int AddNamedVariable(std::string name, MalType type);
+  const Variable& variable(int id) const { return variables_[static_cast<size_t>(id)]; }
+  size_t num_variables() const { return variables_.size(); }
+  /// Id of the variable named `name`, or -1.
+  int FindVariable(const std::string& name) const;
+
+  /// --- Instructions ---
+  /// Appends an instruction; assigns and returns its pc.
+  int Add(std::string module, std::string function, std::vector<int> results,
+          std::vector<Argument> args);
+  const Instruction& instruction(int pc) const {
+    return instructions_[static_cast<size_t>(pc)];
+  }
+  Instruction& mutable_instruction(int pc) {
+    return instructions_[static_cast<size_t>(pc)];
+  }
+  size_t size() const { return instructions_.size(); }
+  const std::vector<Instruction>& instructions() const { return instructions_; }
+
+  /// Replaces the instruction sequence (optimizer passes); re-numbers pcs.
+  void ReplaceInstructions(std::vector<Instruction> instructions);
+
+  /// --- Analysis ---
+  /// For each instruction, the pcs of the instructions producing its variable
+  /// arguments (dataflow dependencies). Because codegen emits SSA, this is
+  /// the last/only writer of each argument variable.
+  std::vector<std::vector<int>> BuildDependencies() const;
+
+  /// Renders one statement, e.g.
+  /// `X_7:bat[:dbl] := algebra.projection(X_5,X_3);`.
+  std::string InstructionToString(const Instruction& ins) const;
+
+  /// Renders the whole program in the paper's Fig. 1 listing format.
+  std::string ToString() const;
+
+  /// Structural validation: argument/result variable ids in range, SSA
+  /// single-assignment holds, arguments defined before use.
+  Status Validate() const;
+
+ private:
+  std::string function_name_ = "user.main";
+  std::vector<Variable> variables_;
+  std::vector<Instruction> instructions_;
+};
+
+}  // namespace stetho::mal
+
+#endif  // STETHO_MAL_PROGRAM_H_

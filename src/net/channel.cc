@@ -1,0 +1,61 @@
+#include "net/channel.h"
+
+#include <chrono>
+
+namespace stetho::net {
+
+class Channel::Sender : public DatagramSender {
+ public:
+  explicit Sender(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  Status Send(const std::string& payload) override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->closed) return Status::Aborted("channel closed");
+    // UDP drops on overload; the channel mirrors that instead of blocking.
+    if (state_->queue.size() >= state_->max_queue) return Status::OK();
+    state_->queue.push_back(payload);
+    state_->cv.notify_one();
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+class Channel::Receiver : public DatagramReceiver {
+ public:
+  explicit Receiver(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  ~Receiver() override { Close(); }
+
+  Result<bool> Receive(std::string* payload, int timeout_ms) override {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    bool got = state_->cv.wait_for(
+        lock, std::chrono::milliseconds(timeout_ms),
+        [this] { return !state_->queue.empty() || state_->closed; });
+    if (!got || state_->queue.empty()) {
+      if (state_->closed) return Status::Aborted("channel closed");
+      return false;
+    }
+    *payload = std::move(state_->queue.front());
+    state_->queue.pop_front();
+    return true;
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->closed = true;
+    state_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+std::pair<std::unique_ptr<DatagramSender>, std::unique_ptr<DatagramReceiver>>
+Channel::CreatePair(size_t max_queue) {
+  auto state = std::make_shared<State>();
+  state->max_queue = max_queue;
+  return {std::make_unique<Sender>(state), std::make_unique<Receiver>(state)};
+}
+
+}  // namespace stetho::net

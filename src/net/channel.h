@@ -1,0 +1,39 @@
+#ifndef STETHO_NET_CHANNEL_H_
+#define STETHO_NET_CHANNEL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/datagram.h"
+
+namespace stetho::net {
+
+/// In-process datagram channel with the same semantics as loopback UDP
+/// (unbounded-ish queue, message boundaries preserved). Used where the demo
+/// runs server and Stethoscope in one process, and by deterministic tests.
+class Channel {
+ public:
+  /// Creates a connected (sender, receiver) pair sharing a queue.
+  static std::pair<std::unique_ptr<DatagramSender>,
+                   std::unique_ptr<DatagramReceiver>>
+  CreatePair(size_t max_queue = 1 << 16);
+
+ private:
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::string> queue;
+    size_t max_queue;
+    bool closed = false;
+  };
+
+  class Sender;
+  class Receiver;
+};
+
+}  // namespace stetho::net
+
+#endif  // STETHO_NET_CHANNEL_H_

@@ -1,0 +1,37 @@
+#ifndef STETHO_NET_DATAGRAM_H_
+#define STETHO_NET_DATAGRAM_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace stetho::net {
+
+/// Receiving end of a datagram transport. Implementations: loopback UDP
+/// (the paper's transport) and an in-process channel (for deterministic
+/// tests and single-binary demos).
+class DatagramReceiver {
+ public:
+  virtual ~DatagramReceiver() = default;
+
+  /// Blocks up to `timeout_ms` for one datagram. Returns true and fills
+  /// `payload` on receipt; false on timeout; error Status on failure or
+  /// closed transport.
+  virtual Result<bool> Receive(std::string* payload, int timeout_ms) = 0;
+
+  /// Unblocks pending and future receives.
+  virtual void Close() = 0;
+};
+
+/// Sending end of a datagram transport.
+class DatagramSender {
+ public:
+  virtual ~DatagramSender() = default;
+  /// Sends one datagram (best-effort, like UDP).
+  virtual Status Send(const std::string& payload) = 0;
+};
+
+}  // namespace stetho::net
+
+#endif  // STETHO_NET_DATAGRAM_H_

@@ -1,0 +1,22 @@
+#include "net/trace_stream.h"
+
+#include "common/string_util.h"
+
+namespace stetho::net {
+
+Status SendDotFile(DatagramSender* sender, const std::string& query_name,
+                   const std::string& dot_content) {
+  STETHO_RETURN_IF_ERROR(
+      sender->Send(std::string(StreamFraming::kDotBegin) + query_name));
+  for (const std::string& line : Split(dot_content, '\n')) {
+    if (line.empty()) continue;
+    STETHO_RETURN_IF_ERROR(sender->Send(std::string(StreamFraming::kDotLine) + line));
+  }
+  return sender->Send(std::string(StreamFraming::kDotEnd) + query_name);
+}
+
+Status SendEof(DatagramSender* sender, const std::string& query_name) {
+  return sender->Send(std::string(StreamFraming::kEof) + query_name);
+}
+
+}  // namespace stetho::net

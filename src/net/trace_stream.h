@@ -1,0 +1,58 @@
+#ifndef STETHO_NET_TRACE_STREAM_H_
+#define STETHO_NET_TRACE_STREAM_H_
+
+#include <memory>
+#include <string>
+
+#include "net/datagram.h"
+#include "profiler/sink.h"
+
+namespace stetho::net {
+
+/// Wire framing of the profiler stream (one datagram per line):
+///
+///   %DOT-BEGIN <query-name>       the plan's dot file follows
+///   %DOT <dot-file line>          one line of dot content
+///   %DOT-END <query-name>         dot file complete; execution starts next
+///   [ ...trace event line... ]    profiler events (profiler/event.h format)
+///   %EOF <query-name>             query finished
+///
+/// This mirrors the paper's protocol: the server pushes the dot file over
+/// the UDP stream before query execution begins, then streams the trace;
+/// the textual Stethoscope demultiplexes the two (paper §4.2).
+struct StreamFraming {
+  static constexpr const char* kDotBegin = "%DOT-BEGIN ";
+  static constexpr const char* kDotLine = "%DOT ";
+  static constexpr const char* kDotEnd = "%DOT-END ";
+  static constexpr const char* kEof = "%EOF ";
+};
+
+/// Profiler sink that forwards each event as one datagram. Thread-safe
+/// (serializes sends).
+class DatagramTraceSink : public profiler::EventSink {
+ public:
+  explicit DatagramTraceSink(std::shared_ptr<DatagramSender> sender)
+      : sender_(std::move(sender)) {}
+
+  void Consume(const profiler::TraceEvent& event) override {
+    // Best-effort, like the UDP stream in the paper: send failures are
+    // dropped events, not engine errors.
+    (void)sender_->Send(profiler::FormatTraceLine(event));
+  }
+
+  DatagramSender* sender() const { return sender_.get(); }
+
+ private:
+  std::shared_ptr<DatagramSender> sender_;
+};
+
+/// Sends a dot file over the stream using the framing above.
+Status SendDotFile(DatagramSender* sender, const std::string& query_name,
+                   const std::string& dot_content);
+
+/// Sends the end-of-query marker.
+Status SendEof(DatagramSender* sender, const std::string& query_name);
+
+}  // namespace stetho::net
+
+#endif  // STETHO_NET_TRACE_STREAM_H_

@@ -1,0 +1,102 @@
+#include "net/udp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace stetho::net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+UdpReceiver::~UdpReceiver() { Close(); }
+
+Result<std::unique_ptr<UdpReceiver>> UdpReceiver::Bind(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("bind");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Errno("getsockname");
+  }
+  return std::unique_ptr<UdpReceiver>(
+      new UdpReceiver(fd, ntohs(addr.sin_port)));
+}
+
+Result<bool> UdpReceiver::Receive(std::string* payload, int timeout_ms) {
+  if (fd_ < 0) return Status::Aborted("receiver closed");
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  fd_set readset;
+  FD_ZERO(&readset);
+  FD_SET(fd_, &readset);
+  int rc = ::select(fd_ + 1, &readset, nullptr, nullptr, &tv);
+  if (rc < 0) {
+    if (errno == EINTR || errno == EBADF) return false;
+    return Errno("select");
+  }
+  if (rc == 0) return false;  // timeout
+  char buf[65536];
+  ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+  if (n < 0) {
+    if (errno == EBADF) return Status::Aborted("receiver closed");
+    return Errno("recv");
+  }
+  payload->assign(buf, static_cast<size_t>(n));
+  return true;
+}
+
+void UdpReceiver::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UdpSender::~UdpSender() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<UdpSender>> UdpSender::Connect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("connect");
+  }
+  return std::unique_ptr<UdpSender>(new UdpSender(fd));
+}
+
+Status UdpSender::Send(const std::string& payload) {
+  if (fd_ < 0) return Status::Aborted("sender closed");
+  ssize_t n = ::send(fd_, payload.data(), payload.size(), 0);
+  if (n < 0) return Errno("send");
+  return Status::OK();
+}
+
+}  // namespace stetho::net

@@ -1,0 +1,49 @@
+#ifndef STETHO_NET_UDP_H_
+#define STETHO_NET_UDP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/datagram.h"
+
+namespace stetho::net {
+
+/// Real UDP socket bound to 127.0.0.1. The MonetDB profiler streams events
+/// to the textual Stethoscope over exactly this kind of socket (paper §3.2).
+class UdpReceiver : public DatagramReceiver {
+ public:
+  ~UdpReceiver() override;
+
+  /// Binds to 127.0.0.1:`port`; port 0 picks an ephemeral port (see port()).
+  static Result<std::unique_ptr<UdpReceiver>> Bind(uint16_t port);
+
+  Result<bool> Receive(std::string* payload, int timeout_ms) override;
+  void Close() override;
+
+  /// The bound port.
+  uint16_t port() const { return port_; }
+
+ private:
+  UdpReceiver(int fd, uint16_t port) : fd_(fd), port_(port) {}
+  int fd_;
+  uint16_t port_;
+};
+
+/// UDP sender addressed at 127.0.0.1:port.
+class UdpSender : public DatagramSender {
+ public:
+  ~UdpSender() override;
+
+  static Result<std::unique_ptr<UdpSender>> Connect(uint16_t port);
+
+  Status Send(const std::string& payload) override;
+
+ private:
+  explicit UdpSender(int fd) : fd_(fd) {}
+  int fd_;
+};
+
+}  // namespace stetho::net
+
+#endif  // STETHO_NET_UDP_H_

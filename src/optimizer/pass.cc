@@ -1,0 +1,37 @@
+#include "optimizer/pass.h"
+
+namespace stetho::optimizer {
+
+bool IsPureOperation(const std::string& module, const std::string& function) {
+  if (module == "io" || module == "debug" || module == "language") return false;
+  if (module == "sql") {
+    return function == "bind" || function == "tid" || function == "mvc";
+  }
+  return module == "algebra" || module == "bat" || module == "mat" ||
+         module == "calc" || module == "batcalc" || module == "group" ||
+         module == "aggr";
+}
+
+Result<std::vector<std::string>> Pipeline::Run(mal::Program* program) const {
+  std::vector<std::string> fired;
+  for (const auto& pass : passes_) {
+    STETHO_ASSIGN_OR_RETURN(bool changed, pass->Run(program));
+    STETHO_RETURN_IF_ERROR(program->Validate());
+    if (changed) fired.push_back(pass->name());
+  }
+  return fired;
+}
+
+Pipeline Pipeline::Default(int mitosis_pieces) {
+  Pipeline pipeline;
+  pipeline.Add(MakeConstantFoldingPass());
+  pipeline.Add(MakeCommonSubexpressionPass());
+  pipeline.Add(MakeDeadCodePass());
+  if (mitosis_pieces > 1) {
+    pipeline.Add(MakeMitosisPass(mitosis_pieces));
+  }
+  pipeline.Add(MakeDataflowMarkerPass());
+  return pipeline;
+}
+
+}  // namespace stetho::optimizer

@@ -1,0 +1,107 @@
+#include "profiler/event.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace stetho::profiler {
+
+const char* EventStateName(EventState state) {
+  switch (state) {
+    case EventState::kStart:
+      return "start";
+    case EventState::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+std::string FormatTraceLine(const TraceEvent& e) {
+  return StrFormat(
+      "[ %lld,\t%lld,\t%d,\t%d,\t\"%s\",\t%lld,\t%lld,\t\"%s\" ]",
+      static_cast<long long>(e.event), static_cast<long long>(e.time_us),
+      e.pc, e.thread, EventStateName(e.state), static_cast<long long>(e.usec),
+      static_cast<long long>(e.rss_bytes), EscapeQuoted(e.stmt).c_str());
+}
+
+namespace {
+
+/// Splits the inside of the brackets on commas that are not inside quotes.
+Result<std::vector<std::string>> SplitFields(std::string_view body) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quote = false;
+  for (size_t i = 0; i < body.size(); ++i) {
+    char c = body[i];
+    if (in_quote) {
+      if (c == '\\' && i + 1 < body.size()) {
+        cur.push_back(c);
+        cur.push_back(body[++i]);
+        continue;
+      }
+      if (c == '"') in_quote = false;
+      cur.push_back(c);
+      continue;
+    }
+    if (c == '"') {
+      in_quote = true;
+      cur.push_back(c);
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+      continue;
+    }
+    cur.push_back(c);
+  }
+  if (in_quote) return Status::ParseError("unterminated quote in trace line");
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+/// Strips surrounding quotes (after trimming) and unescapes.
+Result<std::string> Unquote(std::string_view field) {
+  std::string_view t = TrimView(field);
+  if (t.size() < 2 || t.front() != '"' || t.back() != '"') {
+    return Status::ParseError("expected quoted field: " + std::string(field));
+  }
+  return UnescapeQuoted(t.substr(1, t.size() - 2));
+}
+
+}  // namespace
+
+Result<TraceEvent> ParseTraceLine(std::string_view line) {
+  std::string_view t = TrimView(line);
+  if (t.size() < 2 || t.front() != '[' || t.back() != ']') {
+    return Status::ParseError("trace line must be bracketed: " +
+                              std::string(line.substr(0, 60)));
+  }
+  STETHO_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                          SplitFields(t.substr(1, t.size() - 2)));
+  if (fields.size() != 8) {
+    return Status::ParseError(
+        StrFormat("trace line has %zu fields, expected 8", fields.size()));
+  }
+  TraceEvent e;
+  STETHO_ASSIGN_OR_RETURN(e.event, ParseInt64(fields[0]));
+  STETHO_ASSIGN_OR_RETURN(e.time_us, ParseInt64(fields[1]));
+  STETHO_ASSIGN_OR_RETURN(int64_t pc, ParseInt64(fields[2]));
+  e.pc = static_cast<int>(pc);
+  STETHO_ASSIGN_OR_RETURN(int64_t thread, ParseInt64(fields[3]));
+  e.thread = static_cast<int>(thread);
+  STETHO_ASSIGN_OR_RETURN(std::string state, Unquote(fields[4]));
+  if (state == "start") {
+    e.state = EventState::kStart;
+  } else if (state == "done") {
+    e.state = EventState::kDone;
+  } else {
+    return Status::ParseError("unknown event state '" + state + "'");
+  }
+  STETHO_ASSIGN_OR_RETURN(e.usec, ParseInt64(fields[5]));
+  STETHO_ASSIGN_OR_RETURN(e.rss_bytes, ParseInt64(fields[6]));
+  STETHO_ASSIGN_OR_RETURN(e.stmt, Unquote(fields[7]));
+  return e;
+}
+
+}  // namespace stetho::profiler

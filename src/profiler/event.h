@@ -1,0 +1,50 @@
+#ifndef STETHO_PROFILER_EVENT_H_
+#define STETHO_PROFILER_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace stetho::profiler {
+
+/// Execution state reported by a trace event. Every MAL instruction is
+/// represented in the trace by two events: a "start" marking the beginning
+/// of interpretation and a "done" marking its end (paper §3.3).
+enum class EventState {
+  kStart = 0,
+  kDone = 1,
+};
+
+const char* EventStateName(EventState state);
+
+/// One profiled MAL-instruction event — the unit streamed over UDP to the
+/// textual Stethoscope and written to trace files. Field set mirrors the
+/// paper's Fig. 3: event sequence number, timestamp, program counter, worker
+/// thread, state, elapsed microseconds, resident memory, and the MAL
+/// statement text.
+struct TraceEvent {
+  int64_t event = 0;       ///< global sequence number ("event" attribute)
+  int64_t time_us = 0;     ///< server clock at emission, microseconds
+  int pc = 0;              ///< program counter: index into the MAL plan
+  int thread = 0;          ///< executing worker thread id
+  EventState state = EventState::kStart;
+  int64_t usec = 0;        ///< instruction elapsed time (0 for start events)
+  int64_t rss_bytes = 0;   ///< engine-wide live column memory at emission
+  std::string stmt;        ///< rendered MAL statement
+
+  bool operator==(const TraceEvent& other) const = default;
+};
+
+/// Renders the single-line trace format:
+///   [ event, time_us, pc, thread, "state", usec, rss_bytes, "stmt" ]
+std::string FormatTraceLine(const TraceEvent& event);
+
+/// Parses a line produced by FormatTraceLine. Tolerates surrounding
+/// whitespace; ParseError on malformed lines.
+Result<TraceEvent> ParseTraceLine(std::string_view line);
+
+}  // namespace stetho::profiler
+
+#endif  // STETHO_PROFILER_EVENT_H_

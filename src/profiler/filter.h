@@ -1,0 +1,60 @@
+#ifndef STETHO_PROFILER_FILTER_H_
+#define STETHO_PROFILER_FILTER_H_
+
+#include <string>
+#include <vector>
+
+#include "profiler/event.h"
+
+namespace stetho::profiler {
+
+/// Server-side filter options (paper §3: "The profiler accepts filter options
+/// set through Stethoscope, which enables it to profile only a subset of
+/// event types"). The default filter passes everything.
+class EventFilter {
+ public:
+  EventFilter() = default;
+
+  /// --- Builders (chainable) ---
+  /// Pass only start or only done events.
+  EventFilter& OnlyState(EventState state) {
+    pass_start_ = (state == EventState::kStart);
+    pass_done_ = (state == EventState::kDone);
+    return *this;
+  }
+  /// Restrict to instructions of the given MAL modules (e.g. "algebra").
+  EventFilter& AddModule(std::string module) {
+    modules_.push_back(std::move(module));
+    return *this;
+  }
+  /// Drop done events faster than this threshold (µs). Start events pass.
+  EventFilter& MinUsec(int64_t usec) {
+    min_usec_ = usec;
+    return *this;
+  }
+  /// Restrict to a pc window [lo, hi].
+  EventFilter& PcRange(int lo, int hi) {
+    pc_lo_ = lo;
+    pc_hi_ = hi;
+    return *this;
+  }
+
+  /// Returns true when `event` passes all configured criteria.
+  bool Matches(const TraceEvent& event) const;
+
+  /// Serializes to "key=value;..." so a client can ship filters to a server.
+  std::string Serialize() const;
+  static Result<EventFilter> Deserialize(const std::string& text);
+
+ private:
+  bool pass_start_ = true;
+  bool pass_done_ = true;
+  std::vector<std::string> modules_;  // empty = all modules
+  int64_t min_usec_ = 0;
+  int pc_lo_ = 0;
+  int pc_hi_ = 1 << 30;
+};
+
+}  // namespace stetho::profiler
+
+#endif  // STETHO_PROFILER_FILTER_H_

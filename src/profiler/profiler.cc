@@ -1,0 +1,77 @@
+#include "profiler/profiler.h"
+
+namespace stetho::profiler {
+
+void Profiler::AddSink(std::shared_ptr<EventSink> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.push_back(std::move(sink));
+}
+
+void Profiler::ClearSinks() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.clear();
+}
+
+size_t Profiler::num_sinks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sinks_.size();
+}
+
+void Profiler::SetFilter(EventFilter filter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  filter_ = std::move(filter);
+}
+
+EventFilter Profiler::GetFilter() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return filter_;
+}
+
+void Profiler::Emit(TraceEvent event) {
+  if (!enabled()) return;
+  event.event = next_event_.fetch_add(1, std::memory_order_relaxed);
+  event.time_us = clock_->NowMicros();
+
+  // Copy the sink list under the lock, dispatch outside it so slow sinks
+  // (file IO, UDP) never serialize worker threads against each other more
+  // than necessary.
+  std::vector<std::shared_ptr<EventSink>> sinks;
+  EventFilter filter;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sinks = sinks_;
+    filter = filter_;
+  }
+  if (!filter.Matches(event)) {
+    filtered_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  for (const auto& sink : sinks) sink->Consume(event);
+}
+
+void Profiler::EmitStart(int pc, int thread, int64_t rss_bytes,
+                         std::string stmt) {
+  TraceEvent e;
+  e.pc = pc;
+  e.thread = thread;
+  e.state = EventState::kStart;
+  e.usec = 0;
+  e.rss_bytes = rss_bytes;
+  e.stmt = std::move(stmt);
+  Emit(std::move(e));
+}
+
+void Profiler::EmitDone(int pc, int thread, int64_t usec, int64_t rss_bytes,
+                        std::string stmt) {
+  TraceEvent e;
+  e.pc = pc;
+  e.thread = thread;
+  e.state = EventState::kDone;
+  e.usec = usec;
+  e.rss_bytes = rss_bytes;
+  e.stmt = std::move(stmt);
+  Emit(std::move(e));
+}
+
+}  // namespace stetho::profiler

@@ -1,0 +1,59 @@
+#include "profiler/sink.h"
+
+namespace stetho::profiler {
+
+void RingBufferSink::Consume(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer_.push_back(event);
+  ++total_;
+  while (buffer_.size() > capacity_) buffer_.pop_front();
+}
+
+std::vector<TraceEvent> RingBufferSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TraceEvent>(buffer_.begin(), buffer_.end());
+}
+
+size_t RingBufferSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffer_.size();
+}
+
+int64_t RingBufferSink::total_consumed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void RingBufferSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer_.clear();
+}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<FileSink>> FileSink::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace file '" + path + "' for writing");
+  }
+  return std::unique_ptr<FileSink>(new FileSink(path, f));
+}
+
+void FileSink::Consume(const TraceEvent& event) {
+  std::string line = FormatTraceLine(event);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fputs(line.c_str(), file_);
+  std::fputc('\n', file_);
+}
+
+Status FileSink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("flush failed for '" + path_ + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace stetho::profiler

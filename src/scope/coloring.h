@@ -1,0 +1,47 @@
+#ifndef STETHO_SCOPE_COLORING_H_
+#define STETHO_SCOPE_COLORING_H_
+
+#include <vector>
+
+#include "profiler/event.h"
+#include "viz/color.h"
+
+namespace stetho::scope {
+
+/// One coloring verdict for a plan node.
+struct ColorDecision {
+  int pc = -1;
+  viz::Color color;
+};
+
+/// Algorithm 1 (paper §4.2.1): pair-sequence analysis over the sampled
+/// event buffer.
+///
+/// Instructions whose start and done events appear *adjacent* in the buffer
+/// (with more instructions following the pair) executed in the least time
+/// and are not colored. An instruction whose start is not immediately
+/// followed by its done — and which is not the final event (still
+/// unjudged) — is colored RED (long-running). A done event not part of an
+/// adjacent pair turns its node GREEN (it had been colored RED earlier).
+///
+/// The paper's worked example — {start,1},{done,1},{start,2},{done,2},
+/// {start,3},{start,4} — yields exactly one decision: pc 3 RED.
+std::vector<ColorDecision> PairSequenceColoring(
+    const std::vector<profiler::TraceEvent>& buffer);
+
+/// Algorithm 2 (paper §4.2.1, closing remark): the user supplies an
+/// execution-time threshold. Done events at or above the threshold color
+/// RED (costly); below-threshold done events are uncolored; instructions
+/// still running at the end of the buffer color ORANGE.
+std::vector<ColorDecision> ThresholdColoring(
+    const std::vector<profiler::TraceEvent>& buffer, int64_t threshold_us);
+
+/// Extension (paper §6 future work): gradient coloring displaying a range
+/// of execution times — each completed instruction gets a white→red ramp
+/// color proportional to its share of the buffer's maximum duration.
+std::vector<ColorDecision> GradientColoring(
+    const std::vector<profiler::TraceEvent>& buffer);
+
+}  // namespace stetho::scope
+
+#endif  // STETHO_SCOPE_COLORING_H_

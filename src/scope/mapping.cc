@@ -1,0 +1,17 @@
+#include "scope/mapping.h"
+
+#include "common/string_util.h"
+
+namespace stetho::scope {
+
+Result<int> PcForNode(std::string_view node_id) {
+  if (node_id.size() < 2 || node_id[0] != 'n') {
+    return Status::ParseError("node id is not of the form n<pc>: " +
+                              std::string(node_id));
+  }
+  STETHO_ASSIGN_OR_RETURN(int64_t pc, ParseInt64(node_id.substr(1)));
+  if (pc < 0) return Status::ParseError("negative pc in node id");
+  return static_cast<int>(pc);
+}
+
+}  // namespace stetho::scope

@@ -1,0 +1,21 @@
+#ifndef STETHO_SCOPE_MAPPING_H_
+#define STETHO_SCOPE_MAPPING_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace stetho::scope {
+
+/// Trace ↔ dot-file mapping (paper §3.3): the program counter of a trace
+/// event maps to node "n<pc>" in the dot file, and the event's "stmt" field
+/// maps to the node's "label" attribute.
+inline std::string NodeForPc(int pc) { return "n" + std::to_string(pc); }
+
+/// Inverse mapping; ParseError for ids not of the form n<digits>.
+Result<int> PcForNode(std::string_view node_id);
+
+}  // namespace stetho::scope
+
+#endif  // STETHO_SCOPE_MAPPING_H_

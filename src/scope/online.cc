@@ -1,0 +1,150 @@
+#include "scope/online.h"
+
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "common/string_util.h"
+#include "dot/parser.h"
+#include "net/channel.h"
+#include "scope/mapping.h"
+
+namespace stetho::scope {
+
+using profiler::TraceEvent;
+
+Result<OnlineReport> OnlineMonitor::MonitorQuery(const std::string& sql) {
+  OnlineReport report;
+
+  // Wire the server's profiler stream into a textual Stethoscope. The demo
+  // runs single-process, so an in-process channel stands in for the UDP
+  // loopback pair (the UDP path is exercised separately; both implement
+  // DatagramSender/Receiver).
+  auto [sender, receiver] = net::Channel::CreatePair();
+  TextualOptions topt;
+  topt.trace_path = options_.trace_path;
+  topt.filter = options_.filter;
+  topt.buffer_capacity = options_.buffer_capacity;
+  TextualStethoscope textual(topt);
+  STETHO_RETURN_IF_ERROR(textual.AddServer("server0", std::move(receiver)));
+  server_->AttachStream(std::shared_ptr<net::DatagramSender>(std::move(sender)));
+
+  // Launch the query in its own thread (paper §4.2: "The query whose
+  // execution plan needs to be analyzed is launched next in a separate
+  // thread").
+  Status query_status;
+  server::QueryOutcome outcome;
+  std::atomic<bool> query_done{false};
+  std::thread query_thread([&] {
+    auto r = server_->ExecuteSql(sql);
+    if (r.ok()) {
+      outcome = std::move(r).value();
+    } else {
+      query_status = r.status();
+    }
+    query_done.store(true, std::memory_order_release);
+  });
+
+  // The dot file is a prerequisite for graph-structure generation; the
+  // server pushes it over the stream before execution begins.
+  std::string query_name;
+  std::string dot_text;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (true) {
+    auto dots = textual.CompletedDots();
+    if (!dots.empty()) {
+      query_name = dots.back();
+      auto dot = textual.DotFor(query_name);
+      if (dot.ok()) {
+        dot_text = std::move(dot).value();
+        break;
+      }
+    }
+    // A failed compilation never emits a dot file — surface the error
+    // instead of waiting out the deadline.
+    if (query_done.load(std::memory_order_acquire) &&
+        textual.CompletedDots().empty()) {
+      query_thread.join();
+      server_->DetachStreams();
+      if (!query_status.ok()) return query_status;
+      return Status::Internal("query finished without emitting a dot file");
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      query_thread.join();
+      server_->DetachStreams();
+      if (!query_status.ok()) return query_status;
+      return Status::Internal("no dot file received from the server stream");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  STETHO_ASSIGN_OR_RETURN(dot::Graph graph, dot::ParseDot(dot_text));
+  report.dot = dot_text;
+  report.graph_nodes = graph.num_nodes();
+
+  ReplayOptions scene_options;
+  scene_options.render_interval_us = options_.render_interval_us;
+  scene_options.viewport_width = options_.viewport_width;
+  scene_options.viewport_height = options_.viewport_height;
+  STETHO_ASSIGN_OR_RETURN(
+      scene_, OfflineReplayer::Create(graph, {}, scene_options));
+
+  // Monitoring loop: sample the buffer, run the §4.2.1 pair-sequence
+  // algorithm, and push color changes through the render-paced EDT.
+  std::map<int, viz::Color> applied;
+  auto analyze_once = [&] {
+    std::vector<TraceEvent> buffer = textual.BufferSnapshot();
+    report.progress_series.push_back(
+        EstimateProgress(buffer, report.graph_nodes));
+    std::vector<ColorDecision> decisions = PairSequenceColoring(buffer);
+    for (const ColorDecision& d : decisions) {
+      auto it = applied.find(d.pc);
+      if (it != applied.end() && it->second == d.color) continue;
+      applied[d.pc] = d.color;
+      int glyph = scene_->space()->ShapeFor(NodeForPc(d.pc));
+      if (glyph < 0) continue;
+      viz::Color color = d.color;
+      viz::VirtualSpace* space = scene_->space();
+      scene_->dispatcher()->PostRender([space, glyph, color] {
+        (void)space->MutateGlyph(glyph,
+                                 [&](viz::Glyph* g) { g->fill = color; });
+      });
+      ++report.color_updates;
+    }
+    ++report.analysis_rounds;
+  };
+
+  while (!textual.QueryFinished(query_name)) {
+    analyze_once();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.analysis_period_us));
+  }
+  query_thread.join();
+  analyze_once();  // final sweep over the complete buffer
+  scene_->dispatcher()->Drain();
+  server_->DetachStreams();
+  textual.Stop();
+  STETHO_RETURN_IF_ERROR(textual.Flush());
+
+  if (!query_status.ok()) return query_status;
+
+  report.outcome = std::move(outcome);
+  report.events = textual.BufferSnapshot();
+  report.events_received = textual.events_received();
+  report.events_filtered = textual.events_filtered();
+  report.utilization = AnalyzeThreadUtilization(report.events);
+  // The *expected* degree of parallelism is what the analyst configured —
+  // if the server silently ran sequentially (the demo's anomaly), the
+  // diagnosis below is exactly what flags it.
+  report.parallelism = DiagnoseParallelism(
+      report.events,
+      server_->options().dop > 0
+          ? server_->options().dop
+          : static_cast<int>(std::thread::hardware_concurrency()));
+  report.operators = AnalyzeOperators(report.events);
+  report.final_progress =
+      EstimateProgress(report.events, report.outcome.plan.size());
+  return report;
+}
+
+}  // namespace stetho::scope

@@ -1,0 +1,84 @@
+#ifndef STETHO_SCOPE_ONLINE_H_
+#define STETHO_SCOPE_ONLINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "scope/analysis.h"
+#include "scope/coloring.h"
+#include "scope/replayer.h"
+#include "scope/textual.h"
+#include "server/mserver.h"
+
+namespace stetho::scope {
+
+/// Options for an online monitoring session.
+struct OnlineOptions {
+  /// EDT render pacing (the paper's 150 ms Java limitation).
+  int64_t render_interval_us = 150000;
+  /// Sampling-buffer analysis period: the monitoring thread re-runs the
+  /// pair-sequence algorithm this often.
+  int64_t analysis_period_us = 20000;
+  /// Client-side filter.
+  profiler::EventFilter filter;
+  /// Trace file the textual stethoscope redirects the stream into
+  /// ("" = memory only).
+  std::string trace_path;
+  size_t buffer_capacity = 8192;
+  double viewport_width = 1280;
+  double viewport_height = 800;
+};
+
+/// Result of monitoring one query online.
+struct OnlineReport {
+  server::QueryOutcome outcome;            ///< the query's server-side result
+  std::string dot;                         ///< dot received over the stream
+  size_t graph_nodes = 0;
+  std::vector<profiler::TraceEvent> events;  ///< trace as received (sampled)
+  int64_t events_received = 0;
+  int64_t events_filtered = 0;
+  size_t analysis_rounds = 0;              ///< buffer analyses performed
+  size_t color_updates = 0;                ///< node color changes posted
+  /// Progress estimate captured at every analysis round — the data behind
+  /// the demo's "monitor the progress of query plan execution" window.
+  std::vector<double> progress_series;
+  UtilizationReport utilization;
+  ParallelismDiagnosis parallelism;
+  std::vector<OperatorStats> operators;
+  double final_progress = 0;
+};
+
+/// Online mode (paper §4.2): multi-threaded pipeline wiring a running
+/// Mserver to live plan-graph coloring.
+///
+///  - the textual Stethoscope listens for the UDP stream in its own thread;
+///  - the query is launched in a separate thread;
+///  - the dot file arrives over the stream before execution and is turned
+///    into the in-memory graph + glyph scene;
+///  - a monitoring thread samples the trace buffer and applies the
+///    pair-sequence coloring algorithm (§4.2.1) through the render-paced
+///    event-dispatch thread.
+class OnlineMonitor {
+ public:
+  OnlineMonitor(server::Mserver* server, OnlineOptions options)
+      : server_(server), options_(std::move(options)) {}
+
+  /// Monitors one query end-to-end and returns the full report.
+  Result<OnlineReport> MonitorQuery(const std::string& sql);
+
+  /// The replayer-equivalent scene of the last monitored query (valid after
+  /// MonitorQuery returns OK); exposes the colored glyph space, camera,
+  /// tooltips...
+  OfflineReplayer* scene() { return scene_.get(); }
+
+ private:
+  server::Mserver* server_;
+  OnlineOptions options_;
+  std::unique_ptr<OfflineReplayer> scene_;
+};
+
+}  // namespace stetho::scope
+
+#endif  // STETHO_SCOPE_ONLINE_H_

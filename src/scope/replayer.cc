@@ -1,0 +1,293 @@
+#include "scope/replayer.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "scope/mapping.h"
+
+namespace stetho::scope {
+
+using profiler::EventState;
+using profiler::TraceEvent;
+
+Result<std::unique_ptr<OfflineReplayer>> OfflineReplayer::Create(
+    const dot::Graph& graph, std::vector<TraceEvent> events,
+    const ReplayOptions& options) {
+  STETHO_ASSIGN_OR_RETURN(layout::GraphLayout layout,
+                          layout::LayoutGraph(graph));
+  return std::unique_ptr<OfflineReplayer>(new OfflineReplayer(
+      graph, std::move(layout), std::move(events), options));
+}
+
+OfflineReplayer::OfflineReplayer(const dot::Graph& graph,
+                                 layout::GraphLayout layout,
+                                 std::vector<TraceEvent> events,
+                                 const ReplayOptions& options)
+    : graph_(graph),
+      layout_(std::move(layout)),
+      all_events_(std::move(events)),
+      events_(all_events_),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : static_cast<Clock*>(SteadyClock::Default())),
+      camera_(options.viewport_width, options.viewport_height),
+      animator_(clock_) {
+  viz::BuildScene(graph_, layout_, &space_);
+  edt_ = std::make_unique<viz::EventDispatchThread>(
+      clock_, options_.render_interval_us);
+  camera_.FitRect(0, 0, layout_.width, layout_.height);
+  int max_pc = 0;
+  for (const TraceEvent& e : events_) max_pc = std::max(max_pc, e.pc);
+  usec_by_pc_.assign(static_cast<size_t>(max_pc) + 1, 0);
+}
+
+OfflineReplayer::~OfflineReplayer() {
+  if (edt_ != nullptr) edt_->Shutdown();
+}
+
+void OfflineReplayer::PostColor(int pc, viz::Color color) {
+  int glyph = space_.ShapeFor(NodeForPc(pc));
+  if (glyph < 0) return;  // trace event without a plan node: ignore
+  if (options_.color_fade_us > 0) {
+    // Animated transition: the render task *starts* the fade; the fade
+    // itself progresses on Animator ticks.
+    int64_t fade = options_.color_fade_us;
+    edt_->PostRender([this, glyph, color, fade] {
+      animator_.AnimateGlyphFill(&space_, glyph, color, fade);
+    });
+    return;
+  }
+  edt_->PostRender([this, glyph, color] {
+    (void)space_.MutateGlyph(glyph, [&](viz::Glyph* g) { g->fill = color; });
+  });
+}
+
+void OfflineReplayer::FinishPendingColorWork() {
+  edt_->Drain();
+  if (options_.color_fade_us > 0) {
+    animator_.RunToCompletion(options_.color_fade_us / 8 + 1);
+  }
+}
+
+void OfflineReplayer::ResetColors() {
+  std::vector<viz::Glyph> glyphs = space_.Snapshot();
+  for (const viz::Glyph& g : glyphs) {
+    if (g.kind != viz::GlyphKind::kShape) continue;
+    (void)space_.MutateGlyph(g.id, [](viz::Glyph* gg) {
+      gg->fill = viz::Color::Gray();
+    });
+  }
+  std::fill(usec_by_pc_.begin(), usec_by_pc_.end(), 0);
+}
+
+void OfflineReplayer::ApplyEvent(size_t index) {
+  const TraceEvent& e = events_[index];
+  if (e.state == EventState::kDone && static_cast<size_t>(e.pc) < usec_by_pc_.size()) {
+    usec_by_pc_[static_cast<size_t>(e.pc)] += e.usec;
+  }
+  switch (options_.mode) {
+    case ColoringMode::kState:
+      PostColor(e.pc, e.state == EventState::kStart ? viz::Color::Red()
+                                                    : viz::Color::Green());
+      break;
+    case ColoringMode::kThreshold:
+      if (e.state == EventState::kDone && e.usec >= options_.threshold_us) {
+        PostColor(e.pc, viz::Color::Red());
+      }
+      break;
+    case ColoringMode::kGradient: {
+      if (e.state != EventState::kDone) break;
+      int64_t max_usec = 1;
+      for (int64_t u : usec_by_pc_) max_usec = std::max(max_usec, u);
+      double t = static_cast<double>(usec_by_pc_[static_cast<size_t>(e.pc)]) /
+                 static_cast<double>(max_usec);
+      PostColor(e.pc,
+                viz::Color::Lerp(viz::Color::White(), viz::Color::Red(), t));
+      break;
+    }
+  }
+}
+
+Status OfflineReplayer::Step() {
+  if (AtEnd()) return Status::OutOfRange("end of trace");
+  ApplyEvent(cursor_);
+  ++cursor_;
+  FinishPendingColorWork();
+  return Status::OK();
+}
+
+Status OfflineReplayer::StepBack() {
+  if (cursor_ == 0) return Status::OutOfRange("already at start of trace");
+  return SeekTo(cursor_ - 1);
+}
+
+Result<size_t> OfflineReplayer::Play(double speed, size_t count) {
+  if (speed <= 0) return Status::InvalidArgument("speed must be positive");
+  size_t applied = 0;
+  while (applied < count && !AtEnd()) {
+    if (applied > 0 && cursor_ > 0) {
+      int64_t gap = events_[cursor_].time_us - events_[cursor_ - 1].time_us;
+      if (gap > 0) {
+        clock_->SleepMicros(static_cast<int64_t>(
+            static_cast<double>(gap) / speed));
+      }
+    }
+    ApplyEvent(cursor_);
+    ++cursor_;
+    ++applied;
+    // Advance any in-flight color fades alongside the replay.
+    animator_.Tick();
+  }
+  FinishPendingColorWork();
+  return applied;
+}
+
+Status OfflineReplayer::SeekTo(size_t index) {
+  if (index > events_.size()) return Status::OutOfRange("seek beyond trace");
+  RecomputeColors(index);
+  cursor_ = index;
+  return Status::OK();
+}
+
+void OfflineReplayer::Rewind() {
+  ResetColors();
+  cursor_ = 0;
+  edt_->Drain();
+}
+
+void OfflineReplayer::SetFilter(profiler::EventFilter filter) {
+  events_.clear();
+  for (const TraceEvent& e : all_events_) {
+    if (filter.Matches(e)) events_.push_back(e);
+  }
+  filtered_ = true;
+  Rewind();
+}
+
+void OfflineReplayer::ClearFilter() {
+  events_ = all_events_;
+  filtered_ = false;
+  Rewind();
+}
+
+void OfflineReplayer::RecomputeColors(size_t count) {
+  // Rebuild color state from scratch without render pacing (a seek is a
+  // single visual update, not an animation).
+  ResetColors();
+  // Final color per pc after `count` events, replayed with the same rules.
+  std::vector<viz::Color> final_color(usec_by_pc_.size(), viz::Color::Gray());
+  std::vector<bool> touched(usec_by_pc_.size(), false);
+  for (size_t i = 0; i < count; ++i) {
+    const TraceEvent& e = events_[i];
+    size_t pc = static_cast<size_t>(e.pc);
+    if (pc >= usec_by_pc_.size()) continue;
+    if (e.state == EventState::kDone) usec_by_pc_[pc] += e.usec;
+    switch (options_.mode) {
+      case ColoringMode::kState:
+        final_color[pc] = e.state == EventState::kStart ? viz::Color::Red()
+                                                        : viz::Color::Green();
+        touched[pc] = true;
+        break;
+      case ColoringMode::kThreshold:
+        if (e.state == EventState::kDone && e.usec >= options_.threshold_us) {
+          final_color[pc] = viz::Color::Red();
+          touched[pc] = true;
+        }
+        break;
+      case ColoringMode::kGradient:
+        break;  // handled after the loop (needs the final max)
+    }
+  }
+  if (options_.mode == ColoringMode::kGradient) {
+    int64_t max_usec = 1;
+    for (int64_t u : usec_by_pc_) max_usec = std::max(max_usec, u);
+    for (size_t pc = 0; pc < usec_by_pc_.size(); ++pc) {
+      if (usec_by_pc_[pc] <= 0) continue;
+      double t = static_cast<double>(usec_by_pc_[pc]) /
+                 static_cast<double>(max_usec);
+      final_color[pc] =
+          viz::Color::Lerp(viz::Color::White(), viz::Color::Red(), t);
+      touched[pc] = true;
+    }
+  }
+  for (size_t pc = 0; pc < final_color.size(); ++pc) {
+    if (!touched[pc]) continue;
+    int glyph = space_.ShapeFor(NodeForPc(static_cast<int>(pc)));
+    if (glyph < 0) continue;
+    viz::Color color = final_color[pc];
+    (void)space_.MutateGlyph(glyph,
+                             [color](viz::Glyph* g) { g->fill = color; });
+  }
+}
+
+std::string OfflineReplayer::TooltipFor(const std::string& node_id) const {
+  int idx = graph_.FindNode(node_id);
+  if (idx < 0) return "unknown node " + node_id;
+  const std::string& stmt = graph_.node(static_cast<size_t>(idx)).label();
+  auto pc = PcForNode(node_id);
+  std::string out = node_id + ": " + stmt;
+  if (!pc.ok()) return out;
+  // Observed executions of this pc up to the cursor.
+  int64_t total_usec = 0;
+  int64_t count = 0;
+  int64_t last_rss = 0;
+  int last_thread = -1;
+  for (size_t i = 0; i < cursor_; ++i) {
+    const TraceEvent& e = events_[i];
+    if (e.pc != pc.value()) continue;
+    if (e.state == EventState::kDone) {
+      total_usec += e.usec;
+      ++count;
+      last_rss = e.rss_bytes;
+      last_thread = e.thread;
+    }
+  }
+  if (count > 0) {
+    out += StrFormat("\nexecutions=%lld total=%lldus thread=%d rss=%lldB",
+                     static_cast<long long>(count),
+                     static_cast<long long>(total_usec), last_thread,
+                     static_cast<long long>(last_rss));
+  } else {
+    out += "\nnot yet executed";
+  }
+  return out;
+}
+
+std::string OfflineReplayer::DebugWindowText() const {
+  if (cursor_ == 0) return "trace not started";
+  const TraceEvent& e = events_[cursor_ - 1];
+  return StrFormat(
+      "event=%lld time=%lldus pc=%d thread=%d state=%s usec=%lld rss=%lldB\n"
+      "stmt: %s\nprogress: %zu/%zu events",
+      static_cast<long long>(e.event), static_cast<long long>(e.time_us), e.pc,
+      e.thread, profiler::EventStateName(e.state),
+      static_cast<long long>(e.usec), static_cast<long long>(e.rss_bytes),
+      e.stmt.c_str(), cursor_, events_.size());
+}
+
+viz::Frame OfflineReplayer::BirdsEyeView() const {
+  viz::Camera overview(camera_.viewport_width(), camera_.viewport_height());
+  overview.FitRect(0, 0, layout_.width, layout_.height);
+  return viz::Renderer::RenderFrame(space_, overview);
+}
+
+viz::Frame OfflineReplayer::CurrentView() const {
+  return viz::Renderer::RenderFrame(space_, camera_);
+}
+
+Status OfflineReplayer::FocusNode(const std::string& node_id) {
+  int idx = graph_.FindNode(node_id);
+  if (idx < 0) return Status::NotFound("no node '" + node_id + "'");
+  const layout::NodeLayout& nl = layout_.nodes[static_cast<size_t>(idx)];
+  camera_.CenterOn(nl.x, nl.y);
+  return Status::OK();
+}
+
+Result<viz::Color> OfflineReplayer::NodeColor(const std::string& node_id) const {
+  int glyph = space_.ShapeFor(node_id);
+  if (glyph < 0) return Status::NotFound("no shape glyph for '" + node_id + "'");
+  STETHO_ASSIGN_OR_RETURN(viz::Glyph g, space_.GetGlyph(glyph));
+  return g.fill;
+}
+
+}  // namespace stetho::scope

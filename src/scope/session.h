@@ -1,0 +1,76 @@
+#ifndef STETHO_SCOPE_SESSION_H_
+#define STETHO_SCOPE_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "scope/replayer.h"
+#include "viz/animation.h"
+#include "viz/lens.h"
+
+namespace stetho::scope {
+
+/// Scripted interactive session over a replayer's scene — the headless
+/// equivalent of ZGrviewer's keyboard/mouse interface (paper §3.1: "keyboard
+/// and mouse scroll based navigation with zooming ability on individual
+/// nodes and edges"; §5: zoom level changes, transition animations, lenses,
+/// filter/debug windows).
+///
+/// Commands are text ("zoom in", "focus n4", "step", "play 8 100",
+/// "lens on", "tooltip n4"...) so demos and tests can drive the exact
+/// command stream a human would produce.
+class InteractiveSession {
+ public:
+  /// Wraps a replayer (not owned). `animation_ms` is the camera-transition
+  /// duration used for animated navigation.
+  InteractiveSession(OfflineReplayer* replayer, Clock* clock,
+                     int64_t animation_ms = 300);
+
+  /// Executes one command; returns its textual response. Commands:
+  ///   zoom in | zoom out | zoom fit      camera altitude control (animated)
+  ///   pan <dx> <dy>                       move camera in world units
+  ///   focus <node>                        animated center on a node
+  ///   next | prev                         focus the next/previous node in
+  ///                                       plan (pc) order
+  ///   lens on [mag] | lens off            fisheye lens at the view center
+  ///   step | back | rewind                replay transport
+  ///   play <speed> <events>               fast-forward
+  ///   seek <event-index>                  jump
+  ///   tooltip <node>                      node tool-tip text
+  ///   debug                               debug window text
+  ///   progress                            replay progress
+  ///   view | birdseye                     render stats of the frame
+  ///   help                                command list
+  Result<std::string> Execute(const std::string& command);
+
+  /// Renders the current view (honoring the active lens).
+  viz::Frame Render() const;
+
+  /// The transcript of executed commands and responses.
+  const std::vector<std::pair<std::string, std::string>>& transcript() const {
+    return transcript_;
+  }
+
+  viz::Camera* camera() { return replayer_->camera(); }
+  bool lens_active() const { return lens_ != nullptr; }
+
+ private:
+  Result<std::string> Dispatch(const std::vector<std::string>& words);
+  /// Starts an animated camera transition and runs it to completion (the
+  /// clock advances; on a VirtualClock this is instantaneous and exact).
+  void AnimateCameraTo(double x, double y, double altitude);
+
+  OfflineReplayer* replayer_;
+  Clock* clock_;
+  int64_t animation_us_;
+  viz::Animator animator_;
+  std::unique_ptr<viz::FisheyeLens> lens_;
+  int focused_pc_ = -1;
+  std::vector<std::pair<std::string, std::string>> transcript_;
+};
+
+}  // namespace stetho::scope
+
+#endif  // STETHO_SCOPE_SESSION_H_

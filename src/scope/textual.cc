@@ -1,0 +1,174 @@
+#include "scope/textual.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "net/trace_stream.h"
+
+namespace stetho::scope {
+
+using net::StreamFraming;
+using profiler::TraceEvent;
+
+TextualStethoscope::TextualStethoscope(TextualOptions options)
+    : options_(std::move(options)),
+      buffer_(std::make_shared<profiler::RingBufferSink>(
+          options_.buffer_capacity)) {
+  if (!options_.trace_path.empty()) {
+    auto file = profiler::FileSink::Open(options_.trace_path);
+    if (file.ok()) {
+      trace_file_ = std::move(file).value();
+    } else {
+      STETHO_LOG(Warning) << "textual stethoscope: "
+                          << file.status().ToString();
+    }
+  }
+}
+
+TextualStethoscope::~TextualStethoscope() { Stop(); }
+
+Status TextualStethoscope::AddServer(
+    const std::string& name, std::unique_ptr<net::DatagramReceiver> receiver) {
+  if (!running_.load()) return Status::Aborted("stethoscope stopped");
+  net::DatagramReceiver* raw = receiver.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  receivers_.push_back(std::move(receiver));
+  threads_.emplace_back(&TextualStethoscope::ListenLoop, this, name, raw);
+  return Status::OK();
+}
+
+void TextualStethoscope::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& r : receivers_) r->Close();
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TextualStethoscope::SetEventCallback(
+    std::function<void(const std::string&, const TraceEvent&)> cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callback_ = std::move(cb);
+}
+
+std::vector<TraceEvent> TextualStethoscope::BufferSnapshot() const {
+  return buffer_->Snapshot();
+}
+
+Result<std::string> TextualStethoscope::DotFor(const std::string& query) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dot_complete_.find(query);
+  if (it == dot_complete_.end()) {
+    return Status::NotFound("no complete dot file for query '" + query + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> TextualStethoscope::CompletedDots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [query, dot] : dot_complete_) out.push_back(query);
+  return out;
+}
+
+std::vector<std::string> TextualStethoscope::FinishedQueries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
+}
+
+bool TextualStethoscope::QueryFinished(const std::string& query) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& q : finished_) {
+    if (q == query) return true;
+  }
+  return false;
+}
+
+Status TextualStethoscope::Flush() {
+  if (trace_file_ != nullptr) return trace_file_->Flush();
+  return Status::OK();
+}
+
+void TextualStethoscope::ListenLoop(std::string server,
+                                    net::DatagramReceiver* receiver) {
+  std::string payload;
+  while (running_.load(std::memory_order_relaxed)) {
+    auto got = receiver->Receive(&payload, options_.poll_ms);
+    if (!got.ok()) return;  // closed
+    if (!got.value()) continue;
+    HandleLine(server, payload);
+  }
+}
+
+void TextualStethoscope::HandleLine(const std::string& server,
+                                    const std::string& line) {
+  // Demultiplex dot-file content from trace events (paper §4.2). Queries
+  // from different servers may share a name ("s0"), so all dot/EOF keys are
+  // namespaced "server/query".
+  if (StartsWith(line, StreamFraming::kDotBegin)) {
+    std::string key =
+        server + "/" + line.substr(std::strlen(StreamFraming::kDotBegin));
+    std::lock_guard<std::mutex> lock(mu_);
+    dot_partial_[key].clear();
+    return;
+  }
+  if (StartsWith(line, StreamFraming::kDotLine)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Dot lines carry no query tag; append to this server's open
+    // accumulations (exactly one at a time per server in practice).
+    std::string prefix = server + "/";
+    for (auto& [key, content] : dot_partial_) {
+      if (!StartsWith(key, prefix)) continue;
+      content += line.substr(std::strlen(StreamFraming::kDotLine));
+      content += '\n';
+    }
+    return;
+  }
+  if (StartsWith(line, StreamFraming::kDotEnd)) {
+    std::string key =
+        server + "/" + line.substr(std::strlen(StreamFraming::kDotEnd));
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = dot_partial_.find(key);
+    if (it != dot_partial_.end()) {
+      dot_complete_[key] = std::move(it->second);
+      dot_partial_.erase(it);
+    }
+    return;
+  }
+  if (StartsWith(line, StreamFraming::kEof)) {
+    std::string key =
+        server + "/" + line.substr(std::strlen(StreamFraming::kEof));
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_.push_back(key);
+    return;
+  }
+
+  auto event = profiler::ParseTraceLine(line);
+  if (!event.ok()) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  received_.fetch_add(1, std::memory_order_relaxed);
+  if (!options_.filter.Matches(event.value())) {
+    filtered_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer_->Consume(event.value());
+  if (trace_file_ != nullptr) trace_file_->Consume(event.value());
+  std::function<void(const std::string&, const TraceEvent&)> cb;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cb = callback_;
+  }
+  if (cb) cb(server, event.value());
+}
+
+}  // namespace stetho::scope

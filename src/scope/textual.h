@@ -1,0 +1,111 @@
+#ifndef STETHO_SCOPE_TEXTUAL_H_
+#define STETHO_SCOPE_TEXTUAL_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/datagram.h"
+#include "profiler/filter.h"
+#include "profiler/sink.h"
+
+namespace stetho::scope {
+
+/// Configuration of the textual Stethoscope.
+struct TextualOptions {
+  /// Trace file path; received events are appended here ("" = memory only).
+  std::string trace_path;
+  /// Client-side filter applied to incoming events (paper §3.2: "Its filter
+  /// options allow for selective tracing of execution states on each of the
+  /// connected servers").
+  profiler::EventFilter filter;
+  /// Capacity of the in-memory sampling buffer (paper §4.2: "its content is
+  /// sampled in a buffer").
+  size_t buffer_capacity = 8192;
+  /// Receive poll timeout.
+  int poll_ms = 20;
+};
+
+/// The textual Stethoscope (paper §3.2): connects to one or more MonetDB
+/// servers over UDP, receives their execution-trace streams, demultiplexes
+/// dot-file content from trace events (paper §4.2 framing), redirects trace
+/// lines to a trace file, and keeps a sampled ring buffer for run-time
+/// analysis.
+///
+/// One listener thread per connected server; Stop() joins them all.
+class TextualStethoscope {
+ public:
+  explicit TextualStethoscope(TextualOptions options);
+  ~TextualStethoscope();
+
+  TextualStethoscope(const TextualStethoscope&) = delete;
+  TextualStethoscope& operator=(const TextualStethoscope&) = delete;
+
+  /// Connects a named server stream and starts its listener thread.
+  Status AddServer(const std::string& name,
+                   std::unique_ptr<net::DatagramReceiver> receiver);
+
+  /// Stops all listener threads (idempotent).
+  void Stop();
+
+  /// Registers a callback fired for every accepted trace event
+  /// (server name, event). Must be thread-safe.
+  void SetEventCallback(
+      std::function<void(const std::string&, const profiler::TraceEvent&)> cb);
+
+  /// --- received state ---
+
+  /// Snapshot of the sampling buffer (oldest first).
+  std::vector<profiler::TraceEvent> BufferSnapshot() const;
+
+  /// Dot file content received for a query (paper: "It filters the dot file
+  /// content, generates a new dot file"). Queries are keyed
+  /// "server/query-name" because multiple servers may reuse names like
+  /// "s0". NotFound until %DOT-END arrived.
+  Result<std::string> DotFor(const std::string& query) const;
+
+  /// Keys ("server/query") of queries whose dot file is complete.
+  std::vector<std::string> CompletedDots() const;
+
+  /// Keys of queries whose %EOF marker arrived.
+  std::vector<std::string> FinishedQueries() const;
+  bool QueryFinished(const std::string& query) const;
+
+  int64_t events_received() const { return received_.load(); }
+  int64_t events_filtered() const { return filtered_.load(); }
+  int64_t malformed_lines() const { return malformed_.load(); }
+
+  /// Flushes the trace file (if any).
+  Status Flush();
+
+ private:
+  void ListenLoop(std::string server, net::DatagramReceiver* receiver);
+  void HandleLine(const std::string& server, const std::string& line);
+
+  TextualOptions options_;
+  std::shared_ptr<profiler::RingBufferSink> buffer_;
+  std::unique_ptr<profiler::FileSink> trace_file_;
+
+  std::atomic<bool> running_{true};
+  std::atomic<int64_t> received_{0};
+  std::atomic<int64_t> filtered_{0};
+  std::atomic<int64_t> malformed_{0};
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<net::DatagramReceiver>> receivers_;
+  std::vector<std::thread> threads_;
+  std::map<std::string, std::string> dot_partial_;   // query -> accumulating
+  std::map<std::string, std::string> dot_complete_;  // query -> full dot
+  std::vector<std::string> finished_;
+  std::function<void(const std::string&, const profiler::TraceEvent&)> callback_;
+};
+
+}  // namespace stetho::scope
+
+#endif  // STETHO_SCOPE_TEXTUAL_H_

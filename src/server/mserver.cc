@@ -1,0 +1,88 @@
+#include "server/mserver.h"
+
+#include "common/string_util.h"
+#include "dot/writer.h"
+#include "net/trace_stream.h"
+
+namespace stetho::server {
+
+Mserver::Mserver(storage::Catalog catalog, const MserverOptions& options)
+    : catalog_(std::move(catalog)),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : static_cast<Clock*>(SteadyClock::Default())),
+      profiler_(clock_) {}
+
+Result<mal::Program> Mserver::Explain(const std::string& sql) const {
+  STETHO_ASSIGN_OR_RETURN(mal::Program program,
+                          sql::Compiler::CompileSql(&catalog_, sql));
+  optimizer::Pipeline pipeline =
+      optimizer::Pipeline::Default(options_.mitosis_pieces);
+  STETHO_ASSIGN_OR_RETURN(std::vector<std::string> fired,
+                          pipeline.Run(&program));
+  (void)fired;
+  return program;
+}
+
+Result<QueryOutcome> Mserver::ExecuteSql(const std::string& sql) {
+  QueryOutcome outcome;
+  outcome.sql = sql;
+  outcome.name = StrFormat("s%d", next_query_.fetch_add(1));
+
+  STETHO_ASSIGN_OR_RETURN(mal::Program program,
+                          sql::Compiler::CompileSql(&catalog_, sql));
+  program.set_function_name("user." + outcome.name);
+  optimizer::Pipeline pipeline =
+      optimizer::Pipeline::Default(options_.mitosis_pieces);
+  STETHO_ASSIGN_OR_RETURN(outcome.optimizer_passes, pipeline.Run(&program));
+
+  // The server generates the dot file before execution begins and pushes it
+  // over every attached stream.
+  dot::DotWriterOptions dot_options;
+  dot_options.graph_name = program.function_name();
+  outcome.dot = dot::ProgramToDot(program, dot_options);
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    for (const auto& stream : streams_) {
+      (void)net::SendDotFile(stream.get(), outcome.name, outcome.dot);
+    }
+  }
+
+  engine::Interpreter interp(&catalog_);
+  engine::ExecOptions exec;
+  exec.num_threads = options_.dop;
+  exec.use_dataflow = !options_.force_sequential;
+  exec.clock = clock_;
+  exec.profiler = &profiler_;
+  STETHO_ASSIGN_OR_RETURN(outcome.result, interp.Execute(program, exec));
+  outcome.plan = std::move(program);
+
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    for (const auto& stream : streams_) {
+      (void)net::SendEof(stream.get(), outcome.name);
+    }
+  }
+  return outcome;
+}
+
+void Mserver::AttachStream(std::shared_ptr<net::DatagramSender> sender) {
+  profiler_.AddSink(std::make_shared<net::DatagramTraceSink>(sender));
+  std::lock_guard<std::mutex> lock(stream_mu_);
+  streams_.push_back(std::move(sender));
+}
+
+void Mserver::DetachStreams() {
+  profiler_.ClearSinks();
+  std::lock_guard<std::mutex> lock(stream_mu_);
+  streams_.clear();
+}
+
+Status Mserver::SetProfilerFilter(const std::string& serialized) {
+  STETHO_ASSIGN_OR_RETURN(profiler::EventFilter filter,
+                          profiler::EventFilter::Deserialize(serialized));
+  profiler_.SetFilter(std::move(filter));
+  return Status::OK();
+}
+
+}  // namespace stetho::server

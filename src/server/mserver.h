@@ -1,0 +1,97 @@
+#ifndef STETHO_SERVER_MSERVER_H_
+#define STETHO_SERVER_MSERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "engine/interpreter.h"
+#include "mal/program.h"
+#include "net/datagram.h"
+#include "optimizer/pass.h"
+#include "profiler/profiler.h"
+#include "sql/compiler.h"
+#include "storage/table.h"
+
+namespace stetho::server {
+
+/// Server configuration.
+struct MserverOptions {
+  /// Degree of parallelism for dataflow execution (0 = hardware threads).
+  int dop = 0;
+  /// Mitosis partitions applied by the optimizer pipeline (0/1 = off).
+  int mitosis_pieces = 0;
+  /// Force sequential interpretation (reproduces the paper's "sequential
+  /// execution where multithreaded execution was expected" anomaly).
+  bool force_sequential = false;
+  /// Time source (nullptr = process steady clock).
+  Clock* clock = nullptr;
+};
+
+/// Everything a query execution produced.
+struct QueryOutcome {
+  std::string name;            ///< server-assigned query name ("s0", "s1"...)
+  std::string sql;
+  mal::Program plan;           ///< optimized MAL plan that actually ran
+  std::string dot;             ///< the plan's dot file (emitted pre-run)
+  engine::QueryResult result;
+  std::vector<std::string> optimizer_passes;  ///< passes that fired
+};
+
+/// The MonetDB server substitute: owns a catalog, compiles SQL to MAL,
+/// optimizes, emits the plan's dot file, and interprets the plan under the
+/// MAL profiler. Stethoscope clients attach trace sinks (file, ring buffer,
+/// UDP stream) and set filter options remotely.
+///
+/// Thread-safety: ExecuteSql may be called from any thread; each call runs
+/// independently. Profiler/stream configuration is internally synchronized.
+class Mserver {
+ public:
+  /// Starts a server over an already-loaded catalog.
+  Mserver(storage::Catalog catalog, const MserverOptions& options);
+
+  /// --- client API ---
+
+  /// Compiles + optimizes `sql` without executing (EXPLAIN). Returns the
+  /// optimized plan.
+  Result<mal::Program> Explain(const std::string& sql) const;
+
+  /// Runs a query end to end. Before execution the plan's dot file is
+  /// emitted to all attached streams (paper §4.2); trace events follow
+  /// during execution; an EOF marker closes the query.
+  Result<QueryOutcome> ExecuteSql(const std::string& sql);
+
+  /// --- profiler / stream control (what the textual Stethoscope drives) ---
+
+  profiler::Profiler* profiler() { return &profiler_; }
+
+  /// Attaches an outgoing event stream (UDP sender or in-process channel).
+  /// Dot files and EOF markers for subsequent queries go to the same stream.
+  void AttachStream(std::shared_ptr<net::DatagramSender> sender);
+  void DetachStreams();
+
+  /// Applies a serialized filter (EventFilter::Serialize format) —
+  /// "The profiler accepts filter options set through Stethoscope".
+  Status SetProfilerFilter(const std::string& serialized);
+
+  storage::Catalog* catalog() { return &catalog_; }
+  const MserverOptions& options() const { return options_; }
+  Clock* clock() const { return clock_; }
+
+ private:
+  storage::Catalog catalog_;
+  MserverOptions options_;
+  Clock* clock_;
+  profiler::Profiler profiler_;
+  std::atomic<int> next_query_{0};
+
+  std::mutex stream_mu_;
+  std::vector<std::shared_ptr<net::DatagramSender>> streams_;
+};
+
+}  // namespace stetho::server
+
+#endif  // STETHO_SERVER_MSERVER_H_

@@ -1,0 +1,96 @@
+#include "server/result_printer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace stetho::server {
+namespace {
+
+std::string CellText(const engine::ResultColumn& col, size_t row) {
+  storage::Value v = col.is_scalar ? col.scalar : col.column->GetValue(row);
+  if (v.type() == storage::DataType::kString) return v.AsString();
+  return v.ToString();
+}
+
+std::string Truncate(std::string s, size_t limit) {
+  if (s.size() <= limit) return s;
+  return s.substr(0, limit - 3) + "...";
+}
+
+}  // namespace
+
+std::string FormatResultTable(const engine::QueryResult& result,
+                              const PrintOptions& options) {
+  const auto& cols = result.columns;
+  if (cols.empty()) return "(no result columns)\n";
+
+  size_t rows = 0;
+  bool all_scalar = true;
+  for (const auto& col : cols) {
+    if (col.is_scalar) continue;
+    all_scalar = false;
+    rows = std::max(rows, col.column->size());
+  }
+  if (all_scalar) rows = 1;
+  size_t shown = std::min(rows, options.max_rows);
+
+  // Collect cell texts and column widths.
+  std::vector<std::vector<std::string>> cells(shown + 1);
+  cells[0].reserve(cols.size());
+  for (const auto& col : cols) {
+    cells[0].push_back(Truncate(col.name, options.max_col_width));
+  }
+  for (size_t r = 0; r < shown; ++r) {
+    auto& row = cells[r + 1];
+    row.reserve(cols.size());
+    for (const auto& col : cols) {
+      bool in_range = col.is_scalar || r < col.column->size();
+      row.push_back(in_range
+                        ? Truncate(CellText(col, r), options.max_col_width)
+                        : "");
+    }
+  }
+  std::vector<size_t> width(cols.size(), 1);
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string line = "+";
+    for (size_t c = 0; c < cols.size(); ++c) {
+      line += std::string(width[c] + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+  auto format_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " ";
+      line += std::string(width[c] - row[c].size(), ' ');
+      line += row[c];
+      line += " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = rule();
+  out += format_row(cells[0]);
+  out += rule();
+  for (size_t r = 0; r < shown; ++r) out += format_row(cells[r + 1]);
+  out += rule();
+  if (rows > shown) {
+    out += StrFormat("(%zu of %zu rows shown)\n", shown, rows);
+  } else {
+    out += StrFormat("(%zu row%s)\n", rows, rows == 1 ? "" : "s");
+  }
+  return out;
+}
+
+}  // namespace stetho::server

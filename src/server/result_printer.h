@@ -1,0 +1,30 @@
+#ifndef STETHO_SERVER_RESULT_PRINTER_H_
+#define STETHO_SERVER_RESULT_PRINTER_H_
+
+#include <string>
+
+#include "engine/interpreter.h"
+
+namespace stetho::server {
+
+/// Options for ASCII result-table rendering.
+struct PrintOptions {
+  size_t max_rows = 25;      ///< rows shown before eliding
+  size_t max_col_width = 32; ///< cell truncation
+};
+
+/// Renders a query result as the MonetDB-client-style ASCII table:
+///
+///   +----------+--------+
+///   | l_orderkey | total |
+///   +----------+--------+
+///   |       42 |  17.50 |
+///   ...
+///
+/// Scalar results render as a single row. Returns the formatted table.
+std::string FormatResultTable(const engine::QueryResult& result,
+                              const PrintOptions& options = {});
+
+}  // namespace stetho::server
+
+#endif  // STETHO_SERVER_RESULT_PRINTER_H_

@@ -1,0 +1,207 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace stetho::sql {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc fn) {
+  switch (fn) {
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kCount:
+      return "count";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kColumn:
+      return table.empty() ? column : table + "." + column;
+    case ExprKind::kLiteral:
+      if (literal.type() == storage::DataType::kString) {
+        return "'" + literal.AsString() + "'";
+      }
+      return literal.ToString();
+    case ExprKind::kBinary:
+      return "(" + left->ToString() + " " + BinaryOpName(bin_op) + " " +
+             right->ToString() + ")";
+    case ExprKind::kUnary:
+      return un_op == UnaryOp::kNot ? "(NOT " + left->ToString() + ")"
+                                    : "(-" + left->ToString() + ")";
+    case ExprKind::kAggregate:
+      return std::string(AggFuncName(agg)) + "(" +
+             (agg_distinct ? "DISTINCT " : "") +
+             (agg_arg ? agg_arg->ToString() : "*") + ")";
+    case ExprKind::kBetween:
+      return "(" + left->ToString() + " BETWEEN " + right->ToString() +
+             " AND " + third->ToString() + ")";
+    case ExprKind::kLike:
+      return "(" + left->ToString() + " LIKE '" + pattern + "')";
+    case ExprKind::kCase:
+      return "CASE WHEN " + left->ToString() + " THEN " + right->ToString() +
+             " ELSE " + third->ToString() + " END";
+    case ExprKind::kStar:
+      return "*";
+  }
+  return "?";
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == ExprKind::kAggregate) return true;
+  for (const ExprPtr& child : {left, right, third, agg_arg}) {
+    if (child && child->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+ExprPtr MakeColumn(std::string table, std::string column) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumn;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeLiteral(storage::Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr inner) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->left = std::move(inner);
+  return e;
+}
+
+ExprPtr MakeAggregate(AggFunc fn, ExprPtr arg) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kAggregate;
+  e->agg = fn;
+  e->agg_arg = std::move(arg);
+  return e;
+}
+
+ExprPtr MakeBetween(ExprPtr v, ExprPtr lo, ExprPtr hi) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBetween;
+  e->left = std::move(v);
+  e->right = std::move(lo);
+  e->third = std::move(hi);
+  return e;
+}
+
+ExprPtr MakeLike(ExprPtr v, std::string pattern) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLike;
+  e->left = std::move(v);
+  e->pattern = std::move(pattern);
+  return e;
+}
+
+ExprPtr MakeCase(ExprPtr cond, ExprPtr then_e, ExprPtr else_e) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCase;
+  e->left = std::move(cond);
+  e->right = std::move(then_e);
+  e->third = std::move(else_e);
+  return e;
+}
+
+ExprPtr MakeStar() {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+std::string SelectItem::OutputName() const {
+  if (!alias.empty()) return alias;
+  return expr->ToString();
+}
+
+std::string SelectStmt::ToString() const {
+  std::string out = distinct ? "SELECT DISTINCT " : "SELECT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i].expr->ToString();
+    if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+  }
+  out += " FROM " + from.name;
+  if (!from.alias.empty()) out += " " + from.alias;
+  for (const JoinClause& j : joins) {
+    out += " JOIN " + j.table.name;
+    if (!j.table.alias.empty()) out += " " + j.table.alias;
+    out += " ON " + j.on->ToString();
+  }
+  if (where) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (order_by[i].desc) out += " DESC";
+    }
+  }
+  if (limit >= 0) out += StrFormat(" LIMIT %lld", static_cast<long long>(limit));
+  if (offset > 0) out += StrFormat(" OFFSET %lld", static_cast<long long>(offset));
+  return out;
+}
+
+}  // namespace stetho::sql

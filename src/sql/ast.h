@@ -1,0 +1,137 @@
+#ifndef STETHO_SQL_AST_H_
+#define STETHO_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace stetho::sql {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+enum class ExprKind {
+  kColumn,     ///< [table.]column reference
+  kLiteral,    ///< constant value
+  kBinary,     ///< left OP right
+  kUnary,      ///< NOT / unary minus
+  kAggregate,  ///< SUM/MIN/MAX/AVG/COUNT(arg | *)
+  kBetween,    ///< left BETWEEN low AND high
+  kLike,       ///< left LIKE 'pattern'
+  kCase,       ///< CASE WHEN cond THEN a ELSE b END
+  kStar,       ///< bare * in the select list
+};
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+enum class AggFunc { kSum, kMin, kMax, kAvg, kCount };
+
+const char* BinaryOpName(BinaryOp op);   // "+", "<=", "AND", ...
+const char* AggFuncName(AggFunc fn);     // "sum", ...
+
+/// One SQL expression node. A single struct with a kind tag keeps the tree
+/// easy to walk in the compiler; unused fields stay empty.
+struct Expr {
+  ExprKind kind;
+
+  // kColumn
+  std::string table;   // optional qualifier (table name or alias)
+  std::string column;
+
+  // kLiteral
+  storage::Value literal;
+
+  // kBinary / kUnary / kBetween / kLike / kCase operands:
+  //   binary: left OP right
+  //   unary: left
+  //   between: left in [right, third]
+  //   like: left LIKE pattern
+  //   case: left=condition, right=then, third=else
+  BinaryOp bin_op = BinaryOp::kAdd;
+  UnaryOp un_op = UnaryOp::kNot;
+  ExprPtr left;
+  ExprPtr right;
+  ExprPtr third;
+  std::string pattern;
+
+  // kAggregate
+  AggFunc agg = AggFunc::kCount;
+  ExprPtr agg_arg;         // null = COUNT(*)
+  bool agg_distinct = false;  // COUNT(DISTINCT x)
+
+  /// Renders roughly-canonical SQL (used for default column names, group-key
+  /// matching, and diagnostics).
+  std::string ToString() const;
+
+  /// True when any node in the subtree is an aggregate call.
+  bool ContainsAggregate() const;
+};
+
+/// --- Factories ---
+ExprPtr MakeColumn(std::string table, std::string column);
+ExprPtr MakeLiteral(storage::Value v);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr e);
+ExprPtr MakeAggregate(AggFunc fn, ExprPtr arg);
+ExprPtr MakeBetween(ExprPtr e, ExprPtr lo, ExprPtr hi);
+ExprPtr MakeLike(ExprPtr e, std::string pattern);
+ExprPtr MakeCase(ExprPtr cond, ExprPtr then_e, ExprPtr else_e);
+ExprPtr MakeStar();
+
+/// SELECT-list entry.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty = derived from expr
+
+  /// Output column name: alias if present, else expr text.
+  std::string OutputName() const;
+};
+
+/// Base table reference with optional alias.
+struct TableRef {
+  std::string name;
+  std::string alias;  // empty = name
+
+  const std::string& effective_alias() const {
+    return alias.empty() ? name : alias;
+  }
+};
+
+/// JOIN <table> ON <condition> (inner equi-joins).
+struct JoinClause {
+  TableRef table;
+  ExprPtr on;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool desc = false;
+};
+
+/// A parsed SELECT statement.
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;                  // null = no WHERE
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;                 // null = no HAVING
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;             // -1 = no LIMIT
+  int64_t offset = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace stetho::sql
+
+#endif  // STETHO_SQL_AST_H_

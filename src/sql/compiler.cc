@@ -1,0 +1,991 @@
+#include "sql/compiler.h"
+
+#include <limits>
+#include <map>
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace stetho::sql {
+namespace {
+
+using mal::Argument;
+using mal::MalType;
+using mal::Program;
+using storage::DataType;
+using storage::Value;
+
+/// The value an expression evaluated to during code generation: either an
+/// inline constant or a MAL variable (scalar or BAT).
+struct Eval {
+  bool is_const = false;
+  Value constant;
+  int var = -1;
+  bool is_bat = false;
+  DataType type = DataType::kNull;  // element type (for BATs) / scalar type
+
+  static Eval Const(Value v) {
+    Eval e;
+    e.is_const = true;
+    e.type = v.type();
+    e.constant = std::move(v);
+    return e;
+  }
+  static Eval BatVar(int var, DataType type) {
+    Eval e;
+    e.var = var;
+    e.is_bat = true;
+    e.type = type;
+    return e;
+  }
+  static Eval ScalarVar(int var, DataType type) {
+    Eval e;
+    e.var = var;
+    e.type = type;
+    return e;
+  }
+
+  Argument ToArg() const {
+    return is_const ? Argument::Const(constant) : Argument::Var(var);
+  }
+};
+
+/// A pushdown-able simple predicate over one base table.
+struct SimplePred {
+  enum class Kind { kTheta, kRange, kLike };
+  Kind kind = Kind::kTheta;
+  size_t table = 0;
+  std::string column;
+  std::string theta_op;  // "==", "<", ... for kTheta
+  Value value;           // theta pivot
+  Value low, high;       // kRange bounds
+  std::string pattern;   // kLike
+};
+
+class CompileSession {
+ public:
+  CompileSession(const storage::Catalog* catalog) : catalog_(catalog) {}
+
+  Result<Program> Run(const SelectStmt& stmt);
+
+ private:
+  struct TableInfo {
+    std::string alias;          // effective alias (lower-cased)
+    storage::TablePtr table;
+    int rowmap = -1;            // bat[:oid] var mapping output rows to base rows
+    bool joined = false;        // part of the joined row set yet?
+  };
+
+  // --- small emit helpers ---
+  int NewBat(DataType t) { return program_.AddVariable(MalType::Bat(t)); }
+  int NewScalar(DataType t) { return program_.AddVariable(MalType::Scalar(t)); }
+
+  /// Emits (or reuses) sql.bind for a base column; returns the BAT variable.
+  int EmitBind(size_t ti, const std::string& column, DataType type) {
+    auto key = std::make_pair(ti, ToLower(column));
+    auto it = bind_cache_.find(key);
+    if (it != bind_cache_.end()) return it->second;
+    int v = NewBat(type);
+    program_.Add("sql", "bind", {v},
+                 {Argument::Var(mvc_), Argument::Const(Value::String("sys")),
+                  Argument::Const(Value::String(tables_[ti].table->name())),
+                  Argument::Const(Value::String(ToLower(column))),
+                  Argument::Const(Value::Int(0))});
+    bind_cache_[key] = v;
+    return v;
+  }
+
+  /// Resolves a column reference to (table index, schema type).
+  Result<std::pair<size_t, DataType>> ResolveColumn(const std::string& qualifier,
+                                                    const std::string& column) const {
+    if (!qualifier.empty()) {
+      std::string q = ToLower(qualifier);
+      for (size_t i = 0; i < tables_.size(); ++i) {
+        if (tables_[i].alias == q) {
+          int idx = tables_[i].table->schema().FindColumn(column);
+          if (idx < 0) {
+            return Status::NotFound("no column '" + column + "' in table '" +
+                                    qualifier + "'");
+          }
+          return std::make_pair(i, tables_[i].table->schema().column(idx).type);
+        }
+      }
+      return Status::NotFound("unknown table qualifier '" + qualifier + "'");
+    }
+    int found_table = -1;
+    DataType type = DataType::kNull;
+    for (size_t i = 0; i < tables_.size(); ++i) {
+      int idx = tables_[i].table->schema().FindColumn(column);
+      if (idx >= 0) {
+        if (found_table >= 0) {
+          return Status::InvalidArgument("ambiguous column '" + column + "'");
+        }
+        found_table = static_cast<int>(i);
+        type = tables_[i].table->schema().column(idx).type;
+      }
+    }
+    if (found_table < 0) {
+      return Status::NotFound("unknown column '" + column + "'");
+    }
+    return std::make_pair(static_cast<size_t>(found_table), type);
+  }
+
+  /// Emits projection(rowmap, bind) — the column's values over current rows.
+  Result<Eval> ColumnOverRows(const std::string& qualifier,
+                              const std::string& column) {
+    STETHO_ASSIGN_OR_RETURN(auto resolved, ResolveColumn(qualifier, column));
+    auto [ti, type] = resolved;
+    int base = EmitBind(ti, column, type);
+    int out = NewBat(type);
+    program_.Add("algebra", "projection", {out},
+                 {Argument::Var(tables_[ti].rowmap), Argument::Var(base)});
+    return Eval::BatVar(out, type);
+  }
+
+  /// --- expression evaluation over the current (joined, filtered) rows ---
+  Result<Eval> EvalRow(const ExprPtr& expr);
+  /// --- expression evaluation in aggregate context ---
+  Result<Eval> EvalAgg(const ExprPtr& expr);
+
+  /// Shared binary-op emission with const/scalar/bat dispatch.
+  Result<Eval> EmitBinary(BinaryOp op, const Eval& l, const Eval& r);
+  Result<Eval> EmitCase(const Eval& cond, const Eval& then_e, const Eval& else_e);
+  Result<Eval> EmitLike(const Eval& input, const std::string& pattern);
+
+  /// SELECT DISTINCT (no aggregates): groups the output tuples and keeps
+  /// one representative per distinct combination.
+  Status ApplyDistinct(std::vector<Eval>* outputs) {
+    int groups = -1;
+    int extents = -1;
+    bool first = true;
+    for (const Eval& out : *outputs) {
+      if (!out.is_bat) {
+        return Status::Unimplemented("DISTINCT over a constant select item");
+      }
+      int g = NewBat(DataType::kOid);
+      int e = NewBat(DataType::kOid);
+      int h = NewBat(DataType::kInt64);
+      if (first) {
+        program_.Add("group", "group", {g, e, h}, {out.ToArg()});
+        first = false;
+      } else {
+        program_.Add("group", "subgroup", {g, e, h},
+                     {out.ToArg(), Argument::Var(groups)});
+      }
+      groups = g;
+      extents = e;
+    }
+    for (Eval& out : *outputs) {
+      int proj = NewBat(out.type);
+      program_.Add("algebra", "projection", {proj},
+                   {Argument::Var(extents), out.ToArg()});
+      out = Eval::BatVar(proj, out.type);
+    }
+    post_projection_ = true;
+    return Status::OK();
+  }
+
+  /// HAVING: evaluates the predicate per group and keeps only qualifying
+  /// groups in every output column.
+  Status ApplyHaving(const ExprPtr& having, std::vector<Eval>* outputs) {
+    if (!grouped_) {
+      return Status::Unimplemented("HAVING without GROUP BY");
+    }
+    STETHO_ASSIGN_OR_RETURN(Eval mask, EvalAgg(having));
+    if (!mask.is_bat || mask.type != DataType::kBool) {
+      return Status::TypeError("HAVING condition must be a boolean predicate: " +
+                               having->ToString());
+    }
+    // Group indices surviving the mask.
+    int idx = NewBat(DataType::kOid);
+    program_.Add("bat", "mirror", {idx}, {Argument::Var(extents_var_)});
+    int sel = NewBat(DataType::kOid);
+    program_.Add("algebra", "selectmask", {sel}, {Argument::Var(idx), mask.ToArg()});
+    for (Eval& out : *outputs) {
+      if (!out.is_bat) {
+        return Status::Unimplemented("HAVING with scalar select items");
+      }
+      int proj = NewBat(out.type);
+      program_.Add("algebra", "projection", {proj},
+                   {Argument::Var(sel), out.ToArg()});
+      out = Eval::BatVar(proj, out.type);
+    }
+    post_projection_ = true;
+    return Status::OK();
+  }
+
+  /// --- statement phases ---
+  Status SetupTables(const SelectStmt& stmt);
+  Status ApplyPushdownsAndJoins(const SelectStmt& stmt);
+  Status ApplyResidual(const ExprPtr& residual);
+  Status EmitOrderLimitAndResults(const SelectStmt& stmt,
+                                  std::vector<Eval> outputs,
+                                  std::vector<std::string> names,
+                                  const std::vector<ExprPtr>& output_exprs,
+                                  bool aggregate_context);
+
+  /// Applies ORDER BY / LIMIT, emits result sinks, validates, and hands the
+  /// finished program out.
+  Result<Program> FinishPlan(const SelectStmt& stmt, std::vector<Eval> outputs,
+                             std::vector<std::string> names,
+                             const std::vector<ExprPtr>& output_exprs,
+                             bool aggregate_context) {
+    STETHO_RETURN_IF_ERROR(EmitOrderLimitAndResults(
+        stmt, std::move(outputs), std::move(names), output_exprs,
+        aggregate_context));
+    STETHO_RETURN_IF_ERROR(program_.Validate());
+    return std::move(program_);
+  }
+
+  /// Splits AND-conjunctions into a flat list.
+  static void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+    if (e->kind == ExprKind::kBinary && e->bin_op == BinaryOp::kAnd) {
+      SplitConjuncts(e->left, out);
+      SplitConjuncts(e->right, out);
+      return;
+    }
+    out->push_back(e);
+  }
+
+  /// Tries to classify a conjunct as a pushdown-able simple predicate.
+  bool TryClassifySimple(const ExprPtr& e, SimplePred* pred) const;
+
+  const storage::Catalog* catalog_;
+  Program program_{"user.main"};
+  int mvc_ = -1;
+  std::vector<TableInfo> tables_;
+  std::map<std::pair<size_t, std::string>, int> bind_cache_;
+
+  // Set once DISTINCT or HAVING re-projected the output bats: ORDER BY keys
+  // must then resolve against the select list (a fresh evaluation would no
+  // longer be row-aligned).
+  bool post_projection_ = false;
+
+  // Aggregate-context state.
+  bool grouped_ = false;
+  int groups_var_ = -1;
+  int extents_var_ = -1;
+  int histo_var_ = -1;
+  std::vector<std::string> group_key_text_;  // lower-cased expr text
+  std::vector<Eval> group_key_rows_;         // key bats aligned with rows
+};
+
+Result<Eval> CompileSession::EmitBinary(BinaryOp op, const Eval& l,
+                                        const Eval& r) {
+  const char* fn = nullptr;
+  bool comparison = false;
+  bool boolean = false;
+  switch (op) {
+    case BinaryOp::kAdd:
+      fn = "add";
+      break;
+    case BinaryOp::kSub:
+      fn = "sub";
+      break;
+    case BinaryOp::kMul:
+      fn = "mul";
+      break;
+    case BinaryOp::kDiv:
+      fn = "div";
+      break;
+    case BinaryOp::kEq:
+      fn = "eq";
+      comparison = true;
+      break;
+    case BinaryOp::kNe:
+      fn = "ne";
+      comparison = true;
+      break;
+    case BinaryOp::kLt:
+      fn = "lt";
+      comparison = true;
+      break;
+    case BinaryOp::kLe:
+      fn = "le";
+      comparison = true;
+      break;
+    case BinaryOp::kGt:
+      fn = "gt";
+      comparison = true;
+      break;
+    case BinaryOp::kGe:
+      fn = "ge";
+      comparison = true;
+      break;
+    case BinaryOp::kAnd:
+      fn = "and";
+      boolean = true;
+      break;
+    case BinaryOp::kOr:
+      fn = "or";
+      boolean = true;
+      break;
+  }
+  bool any_bat = l.is_bat || r.is_bat;
+  DataType out_type;
+  if (comparison || boolean) {
+    out_type = DataType::kBool;
+  } else if (op == BinaryOp::kDiv || l.type == DataType::kDouble ||
+             r.type == DataType::kDouble) {
+    out_type = DataType::kDouble;
+  } else {
+    out_type = DataType::kInt64;
+  }
+  int out = any_bat ? NewBat(out_type) : NewScalar(out_type);
+  program_.Add(any_bat ? "batcalc" : "calc", fn, {out}, {l.ToArg(), r.ToArg()});
+  return any_bat ? Eval::BatVar(out, out_type) : Eval::ScalarVar(out, out_type);
+}
+
+Result<Eval> CompileSession::EmitCase(const Eval& cond, const Eval& then_e,
+                                      const Eval& else_e) {
+  if (!cond.is_bat) {
+    return Status::Unimplemented(
+        "CASE over a non-columnar condition is not supported");
+  }
+  DataType out_type = then_e.type;
+  if (out_type == DataType::kNull) out_type = else_e.type;
+  if (then_e.type == DataType::kDouble || else_e.type == DataType::kDouble) {
+    out_type = DataType::kDouble;
+  }
+  if (out_type == DataType::kNull) out_type = DataType::kInt64;
+  int out = NewBat(out_type);
+  program_.Add("batcalc", "ifthenelse", {out},
+               {cond.ToArg(), then_e.ToArg(), else_e.ToArg()});
+  return Eval::BatVar(out, out_type);
+}
+
+Result<Eval> CompileSession::EmitLike(const Eval& input,
+                                      const std::string& pattern) {
+  if (!input.is_bat || input.type != DataType::kString) {
+    return Status::TypeError("LIKE requires a string column");
+  }
+  int out = NewBat(DataType::kBool);
+  program_.Add("batcalc", "like", {out},
+               {input.ToArg(), Argument::Const(Value::String(pattern))});
+  return Eval::BatVar(out, DataType::kBool);
+}
+
+Result<Eval> CompileSession::EvalRow(const ExprPtr& expr) {
+  switch (expr->kind) {
+    case ExprKind::kColumn:
+      return ColumnOverRows(expr->table, expr->column);
+    case ExprKind::kLiteral:
+      return Eval::Const(expr->literal);
+    case ExprKind::kBinary: {
+      STETHO_ASSIGN_OR_RETURN(Eval l, EvalRow(expr->left));
+      STETHO_ASSIGN_OR_RETURN(Eval r, EvalRow(expr->right));
+      return EmitBinary(expr->bin_op, l, r);
+    }
+    case ExprKind::kUnary: {
+      STETHO_ASSIGN_OR_RETURN(Eval inner, EvalRow(expr->left));
+      if (expr->un_op == UnaryOp::kNeg) {
+        return EmitBinary(BinaryOp::kSub, Eval::Const(Value::Int(0)), inner);
+      }
+      int out = inner.is_bat ? NewBat(DataType::kBool) : NewScalar(DataType::kBool);
+      program_.Add(inner.is_bat ? "batcalc" : "calc", "not", {out},
+                   {inner.ToArg()});
+      return inner.is_bat ? Eval::BatVar(out, DataType::kBool)
+                          : Eval::ScalarVar(out, DataType::kBool);
+    }
+    case ExprKind::kBetween: {
+      STETHO_ASSIGN_OR_RETURN(Eval v, EvalRow(expr->left));
+      STETHO_ASSIGN_OR_RETURN(Eval lo, EvalRow(expr->right));
+      STETHO_ASSIGN_OR_RETURN(Eval hi, EvalRow(expr->third));
+      STETHO_ASSIGN_OR_RETURN(Eval ge, EmitBinary(BinaryOp::kGe, v, lo));
+      STETHO_ASSIGN_OR_RETURN(Eval le, EmitBinary(BinaryOp::kLe, v, hi));
+      return EmitBinary(BinaryOp::kAnd, ge, le);
+    }
+    case ExprKind::kLike: {
+      STETHO_ASSIGN_OR_RETURN(Eval v, EvalRow(expr->left));
+      return EmitLike(v, expr->pattern);
+    }
+    case ExprKind::kCase: {
+      STETHO_ASSIGN_OR_RETURN(Eval cond, EvalRow(expr->left));
+      STETHO_ASSIGN_OR_RETURN(Eval then_e, EvalRow(expr->right));
+      STETHO_ASSIGN_OR_RETURN(Eval else_e, EvalRow(expr->third));
+      return EmitCase(cond, then_e, else_e);
+    }
+    case ExprKind::kAggregate:
+      return Status::InvalidArgument(
+          "aggregate '" + expr->ToString() + "' not allowed here");
+    case ExprKind::kStar:
+      return Status::InvalidArgument("* not allowed inside an expression");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<Eval> CompileSession::EvalAgg(const ExprPtr& expr) {
+  switch (expr->kind) {
+    case ExprKind::kAggregate: {
+      // Evaluate the argument over the pre-aggregation rows.
+      Eval arg;
+      if (expr->agg_arg == nullptr) {  // COUNT(*)
+        int idx = NewBat(DataType::kOid);
+        program_.Add("bat", "mirror", {idx},
+                     {Argument::Var(tables_[0].rowmap)});
+        arg = Eval::BatVar(idx, DataType::kOid);
+      } else {
+        STETHO_ASSIGN_OR_RETURN(arg, EvalRow(expr->agg_arg));
+        if (!arg.is_bat) {
+          return Status::Unimplemented(
+              "aggregating a constant expression is not supported");
+        }
+      }
+      if (expr->agg_distinct) {
+        // COUNT(DISTINCT x). NULLs group like any other value here (the
+        // TPC-H columns are NULL-free); SQL would exclude them.
+        if (grouped_) {
+          // Refine the active grouping by x: each refined group is one
+          // distinct (group, x) pair; count pairs per original group.
+          int g2 = NewBat(DataType::kOid);
+          int e2 = NewBat(DataType::kOid);
+          int h2 = NewBat(DataType::kInt64);
+          program_.Add("group", "subgroup", {g2, e2, h2},
+                       {arg.ToArg(), Argument::Var(groups_var_)});
+          int rep = NewBat(DataType::kOid);
+          program_.Add("algebra", "projection", {rep},
+                       {Argument::Var(e2), Argument::Var(groups_var_)});
+          int out = NewBat(DataType::kInt64);
+          program_.Add("aggr", "subcount", {out},
+                       {Argument::Var(rep), Argument::Var(rep),
+                        Argument::Var(extents_var_)});
+          return Eval::BatVar(out, DataType::kInt64);
+        }
+        int g = NewBat(DataType::kOid);
+        int e = NewBat(DataType::kOid);
+        int h = NewBat(DataType::kInt64);
+        program_.Add("group", "group", {g, e, h}, {arg.ToArg()});
+        int out = NewScalar(DataType::kInt64);
+        program_.Add("aggr", "count", {out}, {Argument::Var(e)});
+        return Eval::ScalarVar(out, DataType::kInt64);
+      }
+      const char* scalar_fn = "count";
+      const char* grouped_fn = "subcount";
+      DataType out_type = DataType::kInt64;
+      switch (expr->agg) {
+        case AggFunc::kSum:
+          scalar_fn = "sum";
+          grouped_fn = "subsum";
+          out_type = arg.type == DataType::kDouble ? DataType::kDouble
+                                                   : DataType::kInt64;
+          break;
+        case AggFunc::kMin:
+          scalar_fn = "min";
+          grouped_fn = "submin";
+          out_type = arg.type == DataType::kDouble ? DataType::kDouble
+                                                   : DataType::kInt64;
+          break;
+        case AggFunc::kMax:
+          scalar_fn = "max";
+          grouped_fn = "submax";
+          out_type = arg.type == DataType::kDouble ? DataType::kDouble
+                                                   : DataType::kInt64;
+          break;
+        case AggFunc::kAvg:
+          scalar_fn = "avg";
+          grouped_fn = "subavg";
+          out_type = DataType::kDouble;
+          break;
+        case AggFunc::kCount:
+          scalar_fn = "count";
+          grouped_fn = "subcount";
+          out_type = DataType::kInt64;
+          break;
+      }
+      if (grouped_) {
+        int out = NewBat(out_type);
+        program_.Add("aggr", grouped_fn, {out},
+                     {arg.ToArg(), Argument::Var(groups_var_),
+                      Argument::Var(extents_var_)});
+        return Eval::BatVar(out, out_type);
+      }
+      int out = NewScalar(out_type);
+      program_.Add("aggr", scalar_fn, {out}, {arg.ToArg()});
+      return Eval::ScalarVar(out, out_type);
+    }
+    case ExprKind::kColumn: {
+      if (!grouped_) {
+        return Status::InvalidArgument(
+            "column '" + expr->ToString() +
+            "' must appear in GROUP BY or inside an aggregate");
+      }
+      std::string text = ToLower(expr->ToString());
+      for (size_t i = 0; i < group_key_text_.size(); ++i) {
+        // Match either the full qualified text or the bare column name.
+        if (group_key_text_[i] == text ||
+            EndsWith(group_key_text_[i], "." + text) ||
+            EndsWith(text, "." + group_key_text_[i])) {
+          int out = NewBat(group_key_rows_[i].type);
+          program_.Add("algebra", "projection", {out},
+                       {Argument::Var(extents_var_),
+                        group_key_rows_[i].ToArg()});
+          return Eval::BatVar(out, group_key_rows_[i].type);
+        }
+      }
+      return Status::InvalidArgument("column '" + expr->ToString() +
+                                     "' is not a GROUP BY key");
+    }
+    case ExprKind::kLiteral:
+      return Eval::Const(expr->literal);
+    case ExprKind::kBinary: {
+      STETHO_ASSIGN_OR_RETURN(Eval l, EvalAgg(expr->left));
+      STETHO_ASSIGN_OR_RETURN(Eval r, EvalAgg(expr->right));
+      return EmitBinary(expr->bin_op, l, r);
+    }
+    case ExprKind::kUnary: {
+      STETHO_ASSIGN_OR_RETURN(Eval inner, EvalAgg(expr->left));
+      if (expr->un_op == UnaryOp::kNeg) {
+        return EmitBinary(BinaryOp::kSub, Eval::Const(Value::Int(0)), inner);
+      }
+      int out = inner.is_bat ? NewBat(DataType::kBool) : NewScalar(DataType::kBool);
+      program_.Add(inner.is_bat ? "batcalc" : "calc", "not", {out},
+                   {inner.ToArg()});
+      return inner.is_bat ? Eval::BatVar(out, DataType::kBool)
+                          : Eval::ScalarVar(out, DataType::kBool);
+    }
+    case ExprKind::kCase: {
+      STETHO_ASSIGN_OR_RETURN(Eval cond, EvalAgg(expr->left));
+      STETHO_ASSIGN_OR_RETURN(Eval then_e, EvalAgg(expr->right));
+      STETHO_ASSIGN_OR_RETURN(Eval else_e, EvalAgg(expr->third));
+      return EmitCase(cond, then_e, else_e);
+    }
+    case ExprKind::kBetween:
+    case ExprKind::kLike:
+      return Status::Unimplemented(
+          "BETWEEN/LIKE on aggregated values is not supported");
+    case ExprKind::kStar:
+      return Status::InvalidArgument("* not allowed inside an expression");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+bool CompileSession::TryClassifySimple(const ExprPtr& e,
+                                       SimplePred* pred) const {
+  auto resolve = [this](const ExprPtr& col, size_t* ti) {
+    auto r = ResolveColumn(col->table, col->column);
+    if (!r.ok()) return false;
+    *ti = r.value().first;
+    return true;
+  };
+  if (e->kind == ExprKind::kBinary) {
+    const ExprPtr* col = nullptr;
+    const ExprPtr* lit = nullptr;
+    bool flipped = false;
+    if (e->left->kind == ExprKind::kColumn &&
+        e->right->kind == ExprKind::kLiteral) {
+      col = &e->left;
+      lit = &e->right;
+    } else if (e->right->kind == ExprKind::kColumn &&
+               e->left->kind == ExprKind::kLiteral) {
+      col = &e->right;
+      lit = &e->left;
+      flipped = true;
+    } else {
+      return false;
+    }
+    const char* op;
+    switch (e->bin_op) {
+      case BinaryOp::kEq:
+        op = "==";
+        break;
+      case BinaryOp::kNe:
+        op = "!=";
+        break;
+      case BinaryOp::kLt:
+        op = flipped ? ">" : "<";
+        break;
+      case BinaryOp::kLe:
+        op = flipped ? ">=" : "<=";
+        break;
+      case BinaryOp::kGt:
+        op = flipped ? "<" : ">";
+        break;
+      case BinaryOp::kGe:
+        op = flipped ? "<=" : ">=";
+        break;
+      default:
+        return false;
+    }
+    if (!resolve(*col, &pred->table)) return false;
+    pred->kind = SimplePred::Kind::kTheta;
+    pred->column = (*col)->column;
+    pred->theta_op = op;
+    pred->value = (*lit)->literal;
+    return true;
+  }
+  if (e->kind == ExprKind::kBetween &&
+      e->left->kind == ExprKind::kColumn &&
+      e->right->kind == ExprKind::kLiteral &&
+      e->third->kind == ExprKind::kLiteral) {
+    if (!resolve(e->left, &pred->table)) return false;
+    pred->kind = SimplePred::Kind::kRange;
+    pred->column = e->left->column;
+    pred->low = e->right->literal;
+    pred->high = e->third->literal;
+    return true;
+  }
+  if (e->kind == ExprKind::kLike && e->left->kind == ExprKind::kColumn) {
+    if (!resolve(e->left, &pred->table)) return false;
+    pred->kind = SimplePred::Kind::kLike;
+    pred->column = e->left->column;
+    pred->pattern = e->pattern;
+    return true;
+  }
+  return false;
+}
+
+Status CompileSession::SetupTables(const SelectStmt& stmt) {
+  auto add_table = [this](const TableRef& ref) -> Status {
+    STETHO_ASSIGN_OR_RETURN(storage::TablePtr t, catalog_->GetTable(ref.name));
+    TableInfo info;
+    info.alias = ToLower(ref.effective_alias());
+    info.table = std::move(t);
+    for (const TableInfo& existing : tables_) {
+      if (existing.alias == info.alias) {
+        return Status::InvalidArgument("duplicate table alias '" + info.alias + "'");
+      }
+    }
+    tables_.push_back(std::move(info));
+    return Status::OK();
+  };
+  STETHO_RETURN_IF_ERROR(add_table(stmt.from));
+  for (const JoinClause& j : stmt.joins) {
+    STETHO_RETURN_IF_ERROR(add_table(j.table));
+  }
+
+  mvc_ = NewScalar(DataType::kInt64);
+  program_.Add("sql", "mvc", {mvc_}, {});
+  for (TableInfo& t : tables_) {
+    t.rowmap = NewBat(DataType::kOid);
+    program_.Add("sql", "tid", {t.rowmap},
+                 {Argument::Var(mvc_), Argument::Const(Value::String("sys")),
+                  Argument::Const(Value::String(t.table->name()))});
+  }
+  tables_[0].joined = true;
+  return Status::OK();
+}
+
+Status CompileSession::ApplyPushdownsAndJoins(const SelectStmt& stmt) {
+  // Split WHERE into pushdowns and residual conjuncts.
+  std::vector<ExprPtr> conjuncts;
+  if (stmt.where) SplitConjuncts(stmt.where, &conjuncts);
+  std::vector<ExprPtr> residual;
+  std::vector<SimplePred> pushdowns;
+  for (const ExprPtr& c : conjuncts) {
+    SimplePred pred;
+    if (TryClassifySimple(c, &pred)) {
+      pushdowns.push_back(std::move(pred));
+    } else {
+      residual.push_back(c);
+    }
+  }
+
+  // Apply pushdown predicates per table: each narrows the candidate list.
+  for (const SimplePred& pred : pushdowns) {
+    TableInfo& t = tables_[pred.table];
+    int schema_idx = t.table->schema().FindColumn(pred.column);
+    DataType col_type = t.table->schema().column(static_cast<size_t>(schema_idx)).type;
+    int base = EmitBind(pred.table, pred.column, col_type);
+    int cand = NewBat(DataType::kOid);
+    switch (pred.kind) {
+      case SimplePred::Kind::kTheta:
+        program_.Add("algebra", "thetaselect", {cand},
+                     {Argument::Var(base), Argument::Var(t.rowmap),
+                      Argument::Const(pred.value),
+                      Argument::Const(Value::String(pred.theta_op))});
+        break;
+      case SimplePred::Kind::kRange:
+        program_.Add("algebra", "select", {cand},
+                     {Argument::Var(base), Argument::Var(t.rowmap),
+                      Argument::Const(pred.low), Argument::Const(pred.high)});
+        break;
+      case SimplePred::Kind::kLike:
+        program_.Add("algebra", "likeselect", {cand},
+                     {Argument::Var(base), Argument::Var(t.rowmap),
+                      Argument::Const(Value::String(pred.pattern))});
+        break;
+    }
+    t.rowmap = cand;
+  }
+
+  // Joins: left-deep, each ON must be <joined>.col = <new>.col (either order).
+  for (size_t j = 0; j < stmt.joins.size(); ++j) {
+    const JoinClause& join = stmt.joins[j];
+    const ExprPtr& on = join.on;
+    if (on->kind != ExprKind::kBinary || on->bin_op != BinaryOp::kEq ||
+        on->left->kind != ExprKind::kColumn ||
+        on->right->kind != ExprKind::kColumn) {
+      return Status::Unimplemented("JOIN ON must be an equality of columns: " +
+                                   on->ToString());
+    }
+    STETHO_ASSIGN_OR_RETURN(auto lres,
+                            ResolveColumn(on->left->table, on->left->column));
+    STETHO_ASSIGN_OR_RETURN(auto rres,
+                            ResolveColumn(on->right->table, on->right->column));
+    auto [lt, ltype] = lres;
+    auto [rt, rtype] = rres;
+    const std::string* lcol = &on->left->column;
+    const std::string* rcol = &on->right->column;
+    if (!tables_[lt].joined && tables_[rt].joined) {
+      std::swap(lt, rt);
+      std::swap(ltype, rtype);
+      std::swap(lcol, rcol);
+    }
+    if (!tables_[lt].joined || tables_[rt].joined) {
+      return Status::Unimplemented(
+          "JOIN ON must connect a new table to an already-joined one: " +
+          on->ToString());
+    }
+
+    // Key columns over current rows of each side.
+    int lbase = EmitBind(lt, *lcol, ltype);
+    int lvals = NewBat(ltype);
+    program_.Add("algebra", "projection", {lvals},
+                 {Argument::Var(tables_[lt].rowmap), Argument::Var(lbase)});
+    int rbase = EmitBind(rt, *rcol, rtype);
+    int rvals = NewBat(rtype);
+    program_.Add("algebra", "projection", {rvals},
+                 {Argument::Var(tables_[rt].rowmap), Argument::Var(rbase)});
+
+    int li = NewBat(DataType::kOid);
+    int ri = NewBat(DataType::kOid);
+    program_.Add("algebra", "join", {li, ri},
+                 {Argument::Var(lvals), Argument::Var(rvals)});
+
+    // Realign every joined table's rowmap through li; the new table via ri.
+    for (TableInfo& t : tables_) {
+      if (!t.joined) continue;
+      int remapped = NewBat(DataType::kOid);
+      program_.Add("algebra", "projection", {remapped},
+                   {Argument::Var(li), Argument::Var(t.rowmap)});
+      t.rowmap = remapped;
+    }
+    int remapped = NewBat(DataType::kOid);
+    program_.Add("algebra", "projection", {remapped},
+                 {Argument::Var(ri), Argument::Var(tables_[rt].rowmap)});
+    tables_[rt].rowmap = remapped;
+    tables_[rt].joined = true;
+  }
+
+  // Residual predicates over the joined rows.
+  for (const ExprPtr& r : residual) {
+    STETHO_RETURN_IF_ERROR(ApplyResidual(r));
+  }
+  return Status::OK();
+}
+
+Status CompileSession::ApplyResidual(const ExprPtr& residual) {
+  STETHO_ASSIGN_OR_RETURN(Eval mask, EvalRow(residual));
+  if (!mask.is_bat || mask.type != DataType::kBool) {
+    return Status::TypeError("WHERE condition must be a boolean predicate: " +
+                             residual->ToString());
+  }
+  // Select the surviving row indices, then remap every table's rowmap.
+  int idx = NewBat(DataType::kOid);
+  program_.Add("bat", "mirror", {idx}, {Argument::Var(tables_[0].rowmap)});
+  int sel = NewBat(DataType::kOid);
+  program_.Add("algebra", "selectmask", {sel},
+               {Argument::Var(idx), mask.ToArg()});
+  for (TableInfo& t : tables_) {
+    int remapped = NewBat(DataType::kOid);
+    program_.Add("algebra", "projection", {remapped},
+                 {Argument::Var(sel), Argument::Var(t.rowmap)});
+    t.rowmap = remapped;
+  }
+  return Status::OK();
+}
+
+Status CompileSession::EmitOrderLimitAndResults(
+    const SelectStmt& stmt, std::vector<Eval> outputs,
+    std::vector<std::string> names, const std::vector<ExprPtr>& output_exprs,
+    bool aggregate_context) {
+  // ORDER BY: resolve each key to an output column (by alias, ordinal, or
+  // matching expression text) or evaluate it fresh.
+  std::vector<std::pair<Eval, bool>> sort_keys;  // (key, desc)
+  for (const OrderItem& item : stmt.order_by) {
+    Eval key;
+    bool found = false;
+    if (item.expr->kind == ExprKind::kLiteral &&
+        item.expr->literal.type() == DataType::kInt64) {
+      int64_t ordinal = item.expr->literal.AsInt();
+      if (ordinal < 1 || static_cast<size_t>(ordinal) > outputs.size()) {
+        return Status::InvalidArgument("ORDER BY ordinal out of range");
+      }
+      key = outputs[static_cast<size_t>(ordinal - 1)];
+      found = true;
+    }
+    if (!found) {
+      std::string text = ToLower(item.expr->ToString());
+      for (size_t i = 0; i < outputs.size(); ++i) {
+        if (ToLower(names[i]) == text ||
+            (output_exprs[i] != nullptr &&
+             ToLower(output_exprs[i]->ToString()) == text)) {
+          key = outputs[i];
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      if (post_projection_) {
+        return Status::Unimplemented(
+            "ORDER BY keys must appear in the select list when DISTINCT or "
+            "HAVING is used: " + item.expr->ToString());
+      }
+      if (aggregate_context) {
+        STETHO_ASSIGN_OR_RETURN(key, EvalAgg(item.expr));
+      } else {
+        STETHO_ASSIGN_OR_RETURN(key, EvalRow(item.expr));
+      }
+    }
+    if (!key.is_bat) {
+      return Status::InvalidArgument("ORDER BY key is not columnar: " +
+                                     item.expr->ToString());
+    }
+    sort_keys.emplace_back(key, item.desc);
+  }
+
+  // Successive stable sorts, least-significant key first.
+  for (size_t k = sort_keys.size(); k-- > 0;) {
+    auto& [key, desc] = sort_keys[k];
+    int sorted = NewBat(key.type);
+    int perm = NewBat(DataType::kOid);
+    program_.Add("algebra", "sort", {sorted, perm},
+                 {key.ToArg(), Argument::Const(Value::Bool(desc))});
+    auto regather = [&](Eval& e) {
+      if (!e.is_bat) return;
+      int out = NewBat(e.type);
+      program_.Add("algebra", "projection", {out},
+                   {Argument::Var(perm), e.ToArg()});
+      e = Eval::BatVar(out, e.type);
+    };
+    for (Eval& out : outputs) regather(out);
+    for (size_t k2 = 0; k2 < k; ++k2) regather(sort_keys[k2].first);
+  }
+
+  // LIMIT / OFFSET.
+  if (stmt.limit >= 0 || stmt.offset > 0) {
+    int64_t lo = stmt.offset;
+    int64_t hi = stmt.limit >= 0 ? stmt.offset + stmt.limit
+                                 : std::numeric_limits<int64_t>::max();
+    for (Eval& out : outputs) {
+      if (!out.is_bat) continue;
+      int sliced = NewBat(out.type);
+      program_.Add("algebra", "slice", {sliced},
+                   {out.ToArg(), Argument::Const(Value::Int(lo)),
+                    Argument::Const(Value::Int(hi))});
+      out = Eval::BatVar(sliced, out.type);
+    }
+  }
+
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    program_.Add("sql", "resultSet", {},
+                 {Argument::Const(Value::String(names[i])), outputs[i].ToArg()});
+  }
+  return Status::OK();
+}
+
+Result<Program> CompileSession::Run(const SelectStmt& stmt) {
+  if (stmt.items.empty()) {
+    return Status::InvalidArgument("empty select list");
+  }
+  STETHO_RETURN_IF_ERROR(SetupTables(stmt));
+  STETHO_RETURN_IF_ERROR(ApplyPushdownsAndJoins(stmt));
+
+  bool has_aggregate = !stmt.group_by.empty();
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr->ContainsAggregate()) has_aggregate = true;
+  }
+
+  std::vector<Eval> outputs;
+  std::vector<std::string> names;
+  std::vector<ExprPtr> output_exprs;
+
+  if (!has_aggregate) {
+    for (const SelectItem& item : stmt.items) {
+      if (item.expr->kind == ExprKind::kStar) {
+        for (const TableInfo& t : tables_) {
+          for (const storage::ColumnDef& def : t.table->schema().columns()) {
+            STETHO_ASSIGN_OR_RETURN(Eval e, ColumnOverRows(t.alias, def.name));
+            outputs.push_back(e);
+            names.push_back(def.name);
+            output_exprs.push_back(MakeColumn(t.alias, def.name));
+          }
+        }
+        continue;
+      }
+      STETHO_ASSIGN_OR_RETURN(Eval e, EvalRow(item.expr));
+      outputs.push_back(e);
+      names.push_back(item.OutputName());
+      output_exprs.push_back(item.expr);
+    }
+    if (stmt.distinct) {
+      STETHO_RETURN_IF_ERROR(ApplyDistinct(&outputs));
+    }
+    return FinishPlan(stmt, std::move(outputs), std::move(names),
+                      output_exprs, /*aggregate_context=*/false);
+  }
+  if (stmt.distinct) {
+    return Status::Unimplemented("DISTINCT combined with aggregates");
+  }
+
+  // Aggregate path: build the grouping chain first.
+  grouped_ = !stmt.group_by.empty();
+  if (grouped_) {
+    for (const ExprPtr& key : stmt.group_by) {
+      STETHO_ASSIGN_OR_RETURN(Eval kv, EvalRow(key));
+      if (!kv.is_bat) {
+        return Status::InvalidArgument("GROUP BY key is not columnar: " +
+                                       key->ToString());
+      }
+      group_key_rows_.push_back(kv);
+      group_key_text_.push_back(ToLower(key->ToString()));
+    }
+    for (size_t i = 0; i < group_key_rows_.size(); ++i) {
+      int g = NewBat(DataType::kOid);
+      int e = NewBat(DataType::kOid);
+      int h = NewBat(DataType::kInt64);
+      if (i == 0) {
+        program_.Add("group", "group", {g, e, h},
+                     {group_key_rows_[i].ToArg()});
+      } else {
+        program_.Add("group", "subgroup", {g, e, h},
+                     {group_key_rows_[i].ToArg(), Argument::Var(groups_var_)});
+      }
+      groups_var_ = g;
+      extents_var_ = e;
+      histo_var_ = h;
+    }
+  }
+
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr->kind == ExprKind::kStar) {
+      return Status::InvalidArgument("* cannot be mixed with aggregates");
+    }
+    STETHO_ASSIGN_OR_RETURN(Eval e, EvalAgg(item.expr));
+    outputs.push_back(e);
+    names.push_back(item.OutputName());
+    output_exprs.push_back(item.expr);
+  }
+  if (stmt.having) {
+    STETHO_RETURN_IF_ERROR(ApplyHaving(stmt.having, &outputs));
+  }
+  return FinishPlan(stmt, std::move(outputs), std::move(names), output_exprs,
+                    /*aggregate_context=*/true);
+}
+
+}  // namespace
+
+Result<Program> Compiler::Compile(const SelectStmt& stmt) const {
+  CompileSession session(catalog_);
+  return session.Run(stmt);
+}
+
+Result<Program> Compiler::CompileSql(const storage::Catalog* catalog,
+                                     const std::string& sql) {
+  STETHO_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql));
+  Compiler compiler(catalog);
+  return compiler.Compile(stmt);
+}
+
+}  // namespace stetho::sql

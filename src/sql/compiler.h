@@ -1,0 +1,40 @@
+#ifndef STETHO_SQL_COMPILER_H_
+#define STETHO_SQL_COMPILER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "mal/program.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace stetho::sql {
+
+/// Compiles a parsed SELECT statement into a MAL program, mirroring
+/// MonetDB's column-at-a-time plan shape: sql.mvc / sql.tid / sql.bind feed
+/// candidate-list selects, hash joins over projected key columns, group /
+/// aggr chains, and sql.resultSet sinks.
+///
+/// Predicate conjuncts of the form <column> <cmp> <literal>, BETWEEN, and
+/// LIKE are pushed down into algebra.select/thetaselect/likeselect before
+/// joins; everything else becomes a batcalc mask + algebra.selectmask
+/// residual after joins.
+class Compiler {
+ public:
+  explicit Compiler(const storage::Catalog* catalog) : catalog_(catalog) {}
+
+  /// Compiles one statement. The returned program passes
+  /// mal::Program::Validate() and is ready for the optimizer/interpreter.
+  Result<mal::Program> Compile(const SelectStmt& stmt) const;
+
+  /// Convenience: parse + compile.
+  static Result<mal::Program> CompileSql(const storage::Catalog* catalog,
+                                         const std::string& sql);
+
+ private:
+  const storage::Catalog* catalog_;
+};
+
+}  // namespace stetho::sql
+
+#endif  // STETHO_SQL_COMPILER_H_

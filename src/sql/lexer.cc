@@ -1,0 +1,118 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace stetho::sql {
+
+bool Token::IsKeyword(const char* kw) const {
+  return kind == TokenKind::kIdent && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comment
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      tok.kind = TokenKind::kIdent;
+      tok.text = sql.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n) {
+        char d = sql[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++i;
+        } else if (d == '.') {
+          is_float = true;
+          ++i;
+        } else if (d == 'e' || d == 'E') {
+          is_float = true;
+          ++i;
+          if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        } else {
+          break;
+        }
+      }
+      tok.kind = is_float ? TokenKind::kFloat : TokenKind::kInt;
+      tok.text = sql.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string out;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote ''
+            out.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        out.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu", tok.offset));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(out);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = [&](const char* op) {
+      return i + 1 < n && sql[i] == op[0] && sql[i + 1] == op[1];
+    };
+    tok.kind = TokenKind::kSymbol;
+    if (two("<=") || two(">=") || two("<>") || two("!=")) {
+      tok.text = sql.substr(i, 2);
+      i += 2;
+    } else if (std::strchr("(),.;*+-/%=<>", c) != nullptr) {
+      tok.text = std::string(1, c);
+      ++i;
+    } else {
+      return Status::ParseError(
+          StrFormat("unexpected character '%c' at offset %zu", c, i));
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace stetho::sql

@@ -1,0 +1,39 @@
+#ifndef STETHO_SQL_LEXER_H_
+#define STETHO_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stetho::sql {
+
+/// Token categories produced by the SQL lexer.
+enum class TokenKind {
+  kIdent,    ///< identifier or keyword (keywords resolved by the parser)
+  kInt,      ///< integer literal
+  kFloat,    ///< floating-point literal
+  kString,   ///< 'single quoted' string literal (quotes stripped)
+  kSymbol,   ///< operator / punctuation, text holds the symbol (e.g. "<=")
+  kEnd,      ///< end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // raw text (uppercased for idents? no — preserved)
+  size_t offset = 0;  // position in the input, for error messages
+
+  bool IsSymbol(const char* s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword check (only meaningful for kIdent).
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Tokenizes a SQL string. Symbols recognized: ( ) , . ; * + - / % = <> != <
+/// <= > >=. Comments: "-- ..." to end of line.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace stetho::sql
+
+#endif  // STETHO_SQL_LEXER_H_

@@ -1,0 +1,381 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace stetho::sql {
+namespace {
+
+using storage::Value;
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStmt> ParseStatement() {
+    STETHO_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelectBody());
+    Consume(";");
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Consume(const char* symbol) {
+    if (Peek().IsSymbol(symbol)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(
+        StrFormat("%s near offset %zu ('%s')", msg.c_str(), Peek().offset,
+                  Peek().text.c_str()));
+  }
+
+  /// Reserved words that terminate an implicit alias.
+  static bool IsReserved(const Token& t) {
+    static const char* kReserved[] = {
+        "select", "from",  "where",  "group", "by",    "order",  "limit",
+        "offset", "join",  "on",     "and",   "or",    "not",    "between",
+        "like",   "as",    "asc",    "desc",  "case",  "when",   "then",
+        "else",   "end",   "inner",  "null",  "having", "distinct",
+    };
+    if (t.kind != TokenKind::kIdent) return false;
+    for (const char* kw : kReserved) {
+      if (t.IsKeyword(kw)) return true;
+    }
+    return false;
+  }
+
+  Result<SelectStmt> ParseSelectBody() {
+    SelectStmt stmt;
+    if (!ConsumeKeyword("select")) return Error("expected SELECT");
+    if (ConsumeKeyword("distinct")) stmt.distinct = true;
+
+    // Select list.
+    while (true) {
+      SelectItem item;
+      if (Peek().IsSymbol("*")) {
+        Advance();
+        item.expr = MakeStar();
+      } else {
+        STETHO_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("as")) {
+          if (Peek().kind != TokenKind::kIdent) return Error("expected alias");
+          item.alias = Advance().text;
+        } else if (Peek().kind == TokenKind::kIdent && !IsReserved(Peek())) {
+          item.alias = Advance().text;
+        }
+      }
+      stmt.items.push_back(std::move(item));
+      if (!Consume(",")) break;
+    }
+
+    if (!ConsumeKeyword("from")) return Error("expected FROM");
+    STETHO_ASSIGN_OR_RETURN(stmt.from, ParseTableRef());
+
+    while (Peek().IsKeyword("join") || Peek().IsKeyword("inner")) {
+      ConsumeKeyword("inner");
+      if (!ConsumeKeyword("join")) return Error("expected JOIN");
+      JoinClause join;
+      STETHO_ASSIGN_OR_RETURN(join.table, ParseTableRef());
+      if (!ConsumeKeyword("on")) return Error("expected ON");
+      STETHO_ASSIGN_OR_RETURN(join.on, ParseExpr());
+      stmt.joins.push_back(std::move(join));
+    }
+
+    if (ConsumeKeyword("where")) {
+      STETHO_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (ConsumeKeyword("group")) {
+      if (!ConsumeKeyword("by")) return Error("expected BY after GROUP");
+      while (true) {
+        STETHO_ASSIGN_OR_RETURN(ExprPtr key, ParseExpr());
+        stmt.group_by.push_back(std::move(key));
+        if (!Consume(",")) break;
+      }
+    }
+    if (ConsumeKeyword("having")) {
+      if (stmt.group_by.empty()) {
+        return Error("HAVING requires GROUP BY");
+      }
+      STETHO_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+    if (ConsumeKeyword("order")) {
+      if (!ConsumeKeyword("by")) return Error("expected BY after ORDER");
+      while (true) {
+        OrderItem item;
+        STETHO_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("desc")) {
+          item.desc = true;
+        } else {
+          ConsumeKeyword("asc");
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (!Consume(",")) break;
+      }
+    }
+    if (ConsumeKeyword("limit")) {
+      if (Peek().kind != TokenKind::kInt) return Error("expected LIMIT count");
+      STETHO_ASSIGN_OR_RETURN(stmt.limit, ParseInt64(Advance().text));
+      if (ConsumeKeyword("offset")) {
+        if (Peek().kind != TokenKind::kInt) return Error("expected OFFSET count");
+        STETHO_ASSIGN_OR_RETURN(stmt.offset, ParseInt64(Advance().text));
+      }
+    }
+    return stmt;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    if (Peek().kind != TokenKind::kIdent || IsReserved(Peek())) {
+      return Error("expected table name");
+    }
+    TableRef ref;
+    ref.name = Advance().text;
+    if (ConsumeKeyword("as")) {
+      if (Peek().kind != TokenKind::kIdent) return Error("expected table alias");
+      ref.alias = Advance().text;
+    } else if (Peek().kind == TokenKind::kIdent && !IsReserved(Peek())) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  /// Expression grammar, lowest precedence first:
+  ///   or_expr   := and_expr (OR and_expr)*
+  ///   and_expr  := not_expr (AND not_expr)*
+  ///   not_expr  := NOT not_expr | predicate
+  ///   predicate := additive [(cmp additive) | BETWEEN .. AND .. | LIKE 'p']
+  ///   additive  := term ((+|-) term)*
+  ///   term      := factor ((*|/) factor)*
+  ///   factor    := -factor | primary
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    STETHO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (ConsumeKeyword("or")) {
+      STETHO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    STETHO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (ConsumeKeyword("and")) {
+      STETHO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (ConsumeKeyword("not")) {
+      STETHO_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      return MakeUnary(UnaryOp::kNot, std::move(inner));
+    }
+    return ParsePredicate();
+  }
+
+  Result<ExprPtr> ParsePredicate() {
+    STETHO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    if (ConsumeKeyword("between")) {
+      STETHO_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      if (!ConsumeKeyword("and")) return Error("expected AND in BETWEEN");
+      STETHO_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      return MakeBetween(std::move(lhs), std::move(lo), std::move(hi));
+    }
+    if (ConsumeKeyword("like")) {
+      if (Peek().kind != TokenKind::kString) {
+        return Error("LIKE requires a string literal pattern");
+      }
+      return MakeLike(std::move(lhs), Advance().text);
+    }
+    struct {
+      const char* sym;
+      BinaryOp op;
+    } static const kCmps[] = {
+        {"=", BinaryOp::kEq},  {"<>", BinaryOp::kNe}, {"!=", BinaryOp::kNe},
+        {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},
+        {">", BinaryOp::kGt},
+    };
+    for (const auto& c : kCmps) {
+      if (Consume(c.sym)) {
+        STETHO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return MakeBinary(c.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    STETHO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseTerm());
+    while (true) {
+      if (Consume("+")) {
+        STETHO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseTerm());
+        lhs = MakeBinary(BinaryOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (Consume("-")) {
+        STETHO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseTerm());
+        lhs = MakeBinary(BinaryOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseTerm() {
+    STETHO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseFactor());
+    while (true) {
+      if (Consume("*")) {
+        STETHO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseFactor());
+        lhs = MakeBinary(BinaryOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (Consume("/")) {
+        STETHO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseFactor());
+        lhs = MakeBinary(BinaryOp::kDiv, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseFactor() {
+    if (Consume("-")) {
+      STETHO_ASSIGN_OR_RETURN(ExprPtr inner, ParseFactor());
+      // Fold negation into numeric literals immediately.
+      if (inner->kind == ExprKind::kLiteral) {
+        const Value& v = inner->literal;
+        if (v.type() == storage::DataType::kInt64) {
+          return MakeLiteral(Value::Int(-v.AsInt()));
+        }
+        if (v.type() == storage::DataType::kDouble) {
+          return MakeLiteral(Value::Double(-v.AsDouble()));
+        }
+      }
+      return MakeUnary(UnaryOp::kNeg, std::move(inner));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kInt: {
+        STETHO_ASSIGN_OR_RETURN(int64_t v, ParseInt64(Advance().text));
+        return MakeLiteral(Value::Int(v));
+      }
+      case TokenKind::kFloat: {
+        STETHO_ASSIGN_OR_RETURN(double v, ParseDouble(Advance().text));
+        return MakeLiteral(Value::Double(v));
+      }
+      case TokenKind::kString:
+        return MakeLiteral(Value::String(Advance().text));
+      case TokenKind::kSymbol:
+        if (Consume("(")) {
+          STETHO_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          if (!Consume(")")) return Error("expected ')'");
+          return inner;
+        }
+        return Error("unexpected symbol in expression");
+      case TokenKind::kIdent:
+        break;
+      default:
+        return Error("unexpected end of expression");
+    }
+
+    if (tok.IsKeyword("null")) {
+      Advance();
+      return MakeLiteral(Value::Null());
+    }
+    if (tok.IsKeyword("case")) return ParseCase();
+
+    // Aggregate functions.
+    static const struct {
+      const char* name;
+      AggFunc fn;
+    } kAggs[] = {{"sum", AggFunc::kSum},
+                 {"min", AggFunc::kMin},
+                 {"max", AggFunc::kMax},
+                 {"avg", AggFunc::kAvg},
+                 {"count", AggFunc::kCount}};
+    for (const auto& a : kAggs) {
+      if (tok.IsKeyword(a.name) && Peek(1).IsSymbol("(")) {
+        Advance();  // function name
+        Advance();  // '('
+        ExprPtr arg;
+        bool distinct = false;
+        if (Peek().IsSymbol("*")) {
+          if (a.fn != AggFunc::kCount) {
+            return Error("only COUNT accepts *");
+          }
+          Advance();
+        } else {
+          if (ConsumeKeyword("distinct")) {
+            if (a.fn != AggFunc::kCount) {
+              return Error("DISTINCT aggregates are only supported for COUNT");
+            }
+            distinct = true;
+          }
+          STETHO_ASSIGN_OR_RETURN(arg, ParseExpr());
+        }
+        if (!Consume(")")) return Error("expected ')' after aggregate");
+        ExprPtr agg = MakeAggregate(a.fn, std::move(arg));
+        agg->agg_distinct = distinct;
+        return agg;
+      }
+    }
+
+    if (IsReserved(tok)) return Error("unexpected keyword in expression");
+
+    // Column reference: ident [. ident]
+    std::string first = Advance().text;
+    if (Consume(".")) {
+      if (Peek().kind != TokenKind::kIdent) return Error("expected column name");
+      return MakeColumn(std::move(first), Advance().text);
+    }
+    return MakeColumn("", std::move(first));
+  }
+
+  Result<ExprPtr> ParseCase() {
+    if (!ConsumeKeyword("case")) return Error("expected CASE");
+    if (!ConsumeKeyword("when")) return Error("expected WHEN");
+    STETHO_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+    if (!ConsumeKeyword("then")) return Error("expected THEN");
+    STETHO_ASSIGN_OR_RETURN(ExprPtr then_e, ParseExpr());
+    ExprPtr else_e;
+    if (ConsumeKeyword("else")) {
+      STETHO_ASSIGN_OR_RETURN(else_e, ParseExpr());
+    } else {
+      else_e = MakeLiteral(Value::Null());
+    }
+    if (!ConsumeKeyword("end")) return Error("expected END");
+    return MakeCase(std::move(cond), std::move(then_e), std::move(else_e));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStmt> ParseSelect(const std::string& sql) {
+  STETHO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace stetho::sql

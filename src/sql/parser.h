@@ -1,0 +1,28 @@
+#ifndef STETHO_SQL_PARSER_H_
+#define STETHO_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace stetho::sql {
+
+/// Parses one SELECT statement of the supported dialect:
+///
+///   SELECT <expr [AS alias]>, ...
+///   FROM <table [alias]> [JOIN <table [alias]> ON <expr>]...
+///   [WHERE <expr>]
+///   [GROUP BY <expr>, ...]
+///   [ORDER BY <expr> [ASC|DESC], ...]
+///   [LIMIT n [OFFSET m]]
+///
+/// Expressions: arithmetic (+ - * /), comparisons (= <> != < <= > >=),
+/// AND/OR/NOT, BETWEEN..AND, LIKE, CASE WHEN..THEN..ELSE..END, aggregates
+/// SUM/MIN/MAX/AVG/COUNT(expr|*), column refs (optionally qualified),
+/// integer/float/string literals, and NULL.
+Result<SelectStmt> ParseSelect(const std::string& sql);
+
+}  // namespace stetho::sql
+
+#endif  // STETHO_SQL_PARSER_H_

@@ -1,0 +1,231 @@
+#include "storage/column.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace stetho::storage {
+
+ColumnPtr Column::Make(DataType type) {
+  STETHO_CHECK(type != DataType::kBat && type != DataType::kNull);
+  return std::make_shared<Column>(type);
+}
+
+ColumnPtr Column::MakeOidRange(uint64_t first, uint64_t count) {
+  ColumnPtr col = Make(DataType::kOid);
+  col->Reserve(count);
+  for (uint64_t i = 0; i < count; ++i) col->AppendOid(first + i);
+  return col;
+}
+
+void Column::MarkNull(bool is_null) {
+  if (is_null && nulls_.empty()) {
+    nulls_.assign(size_, 0);  // backfill: everything so far was non-null
+    nulls_.push_back(1);
+    return;
+  }
+  if (!nulls_.empty()) nulls_.push_back(is_null ? 1 : 0);
+}
+
+void Column::AppendInt(int64_t v) {
+  ints_.push_back(v);
+  MarkNull(false);
+  ++size_;
+}
+
+void Column::AppendDouble(double v) {
+  doubles_.push_back(v);
+  MarkNull(false);
+  ++size_;
+}
+
+void Column::AppendString(std::string v) {
+  strings_.push_back(std::move(v));
+  MarkNull(false);
+  ++size_;
+}
+
+void Column::AppendBool(bool v) {
+  ints_.push_back(v ? 1 : 0);
+  MarkNull(false);
+  ++size_;
+}
+
+void Column::AppendOid(uint64_t v) {
+  ints_.push_back(static_cast<int64_t>(v));
+  MarkNull(false);
+  ++size_;
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kOid:
+    case DataType::kBool:
+      ints_.push_back(0);
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case DataType::kString:
+      strings_.emplace_back();
+      break;
+    default:
+      break;
+  }
+  MarkNull(true);
+  ++size_;
+}
+
+Status Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kInt64: {
+      STETHO_ASSIGN_OR_RETURN(int64_t x, v.ToInt());
+      AppendInt(x);
+      return Status::OK();
+    }
+    case DataType::kDouble: {
+      STETHO_ASSIGN_OR_RETURN(double x, v.ToDouble());
+      AppendDouble(x);
+      return Status::OK();
+    }
+    case DataType::kString:
+      if (v.type() != DataType::kString) {
+        return Status::TypeError("expected string value, got " +
+                                 std::string(DataTypeName(v.type())));
+      }
+      AppendString(v.AsString());
+      return Status::OK();
+    case DataType::kBool:
+      if (v.type() != DataType::kBool) {
+        return Status::TypeError("expected bool value, got " +
+                                 std::string(DataTypeName(v.type())));
+      }
+      AppendBool(v.AsBool());
+      return Status::OK();
+    case DataType::kOid: {
+      STETHO_ASSIGN_OR_RETURN(int64_t x, v.ToInt());
+      AppendOid(static_cast<uint64_t>(x));
+      return Status::OK();
+    }
+    default:
+      return Status::TypeError("column has non-storable type");
+  }
+}
+
+void Column::Reserve(size_t n) {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kOid:
+    case DataType::kBool:
+      ints_.reserve(n);
+      break;
+    case DataType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case DataType::kString:
+      strings_.reserve(n);
+      break;
+    default:
+      break;
+  }
+}
+
+Value Column::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value::Int(ints_[i]);
+    case DataType::kOid:
+      return Value::Oid(static_cast<uint64_t>(ints_[i]));
+    case DataType::kBool:
+      return Value::Bool(ints_[i] != 0);
+    case DataType::kDouble:
+      return Value::Double(doubles_[i]);
+    case DataType::kString:
+      return Value::String(strings_[i]);
+    default:
+      return Value::Null();
+  }
+}
+
+size_t Column::MemoryBytes() const {
+  size_t bytes = ints_.capacity() * sizeof(int64_t) +
+                 doubles_.capacity() * sizeof(double) +
+                 nulls_.capacity();
+  for (const std::string& s : strings_) {
+    bytes += sizeof(std::string) + s.capacity();
+  }
+  return bytes;
+}
+
+ColumnPtr Column::Slice(size_t lo, size_t hi) const {
+  if (hi > size_) hi = size_;
+  if (lo > hi) lo = hi;
+  ColumnPtr out = std::make_shared<Column>(type_);
+  out->Reserve(hi - lo);
+  for (size_t i = lo; i < hi; ++i) {
+    if (IsNull(i)) {
+      out->AppendNull();
+      continue;
+    }
+    switch (type_) {
+      case DataType::kInt64:
+      case DataType::kOid:
+      case DataType::kBool:
+        out->ints_.push_back(ints_[i]);
+        out->MarkNull(false);
+        ++out->size_;
+        break;
+      case DataType::kDouble:
+        out->AppendDouble(doubles_[i]);
+        break;
+      case DataType::kString:
+        out->AppendString(strings_[i]);
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+Result<ColumnPtr> Column::Gather(const std::vector<int64_t>& positions) const {
+  ColumnPtr out = std::make_shared<Column>(type_);
+  out->Reserve(positions.size());
+  for (int64_t pos : positions) {
+    if (pos < 0 || static_cast<size_t>(pos) >= size_) {
+      return Status::OutOfRange(
+          StrFormat("projection position %lld out of range [0,%zu)",
+                    static_cast<long long>(pos), size_));
+    }
+    size_t i = static_cast<size_t>(pos);
+    if (IsNull(i)) {
+      out->AppendNull();
+      continue;
+    }
+    switch (type_) {
+      case DataType::kInt64:
+      case DataType::kOid:
+      case DataType::kBool:
+        out->ints_.push_back(ints_[i]);
+        out->MarkNull(false);
+        ++out->size_;
+        break;
+      case DataType::kDouble:
+        out->AppendDouble(doubles_[i]);
+        break;
+      case DataType::kString:
+        out->AppendString(strings_[i]);
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace stetho::storage

@@ -1,0 +1,93 @@
+#ifndef STETHO_STORAGE_COLUMN_H_
+#define STETHO_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace stetho::storage {
+
+class Column;
+using ColumnPtr = std::shared_ptr<Column>;
+
+/// A single dense column — MonetDB's BAT (Binary Association Table) with a
+/// void head: the row identifier (oid) of element i is simply i. Engine
+/// kernels operate on shared_ptr<Column>; columns are immutable once handed
+/// to the engine (copy-on-write discipline enforced by convention).
+///
+/// Physical layout: kInt64 / kOid / kBool share one int64 array; kDouble and
+/// kString have their own arrays. An optional null mask records SQL NULLs.
+class Column {
+ public:
+  explicit Column(DataType type) : type_(type) {}
+
+  /// Creates an empty column of `type`. `type` must be a storable element
+  /// type (not kBat / kNull).
+  static ColumnPtr Make(DataType type);
+
+  /// Creates a column of consecutive oids [first, first+count).
+  static ColumnPtr MakeOidRange(uint64_t first, uint64_t count);
+
+  DataType type() const { return type_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// --- Append API (builder phase only) ---
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+  void AppendBool(bool v);
+  void AppendOid(uint64_t v);
+  void AppendNull();
+  /// Appends a Value, coercing numerics when lossless; error on mismatch.
+  Status AppendValue(const Value& v);
+
+  /// Reserves capacity for n elements.
+  void Reserve(size_t n);
+
+  /// --- Element access ---
+  bool IsNull(size_t i) const {
+    return !nulls_.empty() && nulls_[i] != 0;
+  }
+  Value GetValue(size_t i) const;
+  int64_t IntAt(size_t i) const { return ints_[i]; }
+  double DoubleAt(size_t i) const { return doubles_[i]; }
+  const std::string& StringAt(size_t i) const { return strings_[i]; }
+  bool BoolAt(size_t i) const { return ints_[i] != 0; }
+  uint64_t OidAt(size_t i) const { return static_cast<uint64_t>(ints_[i]); }
+
+  /// --- Bulk typed access for kernels ---
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  bool has_nulls() const { return !nulls_.empty(); }
+
+  /// Approximate heap footprint in bytes (used by the profiler's rss field).
+  size_t MemoryBytes() const;
+
+  /// Copies rows [lo, hi) into a new column. hi is clamped to size().
+  ColumnPtr Slice(size_t lo, size_t hi) const;
+
+  /// Builds a new column containing this column's values at `positions`
+  /// (MonetDB's algebra.projection). Positions out of range yield an error.
+  Result<ColumnPtr> Gather(const std::vector<int64_t>& positions) const;
+
+ private:
+  DataType type_;
+  size_t size_ = 0;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  /// Lazily materialized: empty means "no nulls anywhere".
+  std::vector<uint8_t> nulls_;
+
+  void MarkNull(bool is_null);
+};
+
+}  // namespace stetho::storage
+
+#endif  // STETHO_STORAGE_COLUMN_H_

@@ -1,0 +1,88 @@
+#include "storage/table.h"
+
+#include "common/string_util.h"
+
+namespace stetho::storage {
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += DataTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    columns_.push_back(Column::Make(schema_.column(i).type));
+  }
+}
+
+TablePtr Table::Make(std::string name, Schema schema) {
+  return std::make_shared<Table>(std::move(name), std::move(schema));
+}
+
+Result<ColumnPtr> Table::GetColumn(const std::string& name) const {
+  int idx = schema_.FindColumn(name);
+  if (idx < 0) {
+    return Status::NotFound("no column '" + name + "' in table " + name_);
+  }
+  return columns_[static_cast<size_t>(idx)];
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity %zu does not match schema arity %zu", row.size(),
+                  schema_.num_columns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    STETHO_RETURN_IF_ERROR(columns_[i]->AppendValue(row[i]));
+  }
+  return Status::OK();
+}
+
+size_t Table::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const ColumnPtr& col : columns_) bytes += col->MemoryBytes();
+  return bytes;
+}
+
+Status Catalog::AddTable(TablePtr table) {
+  for (const TablePtr& t : tables_) {
+    if (EqualsIgnoreCase(t->name(), table->name())) {
+      return Status::AlreadyExists("table '" + table->name() +
+                                   "' already registered");
+    }
+  }
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  for (const TablePtr& t : tables_) {
+    if (EqualsIgnoreCase(t->name(), name)) return t;
+  }
+  return Status::NotFound("no table named '" + name + "'");
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const TablePtr& t : tables_) names.push_back(t->name());
+  return names;
+}
+
+}  // namespace stetho::storage

@@ -1,0 +1,90 @@
+#ifndef STETHO_STORAGE_TABLE_H_
+#define STETHO_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+
+namespace stetho::storage {
+
+/// One column's declaration inside a schema.
+struct ColumnDef {
+  std::string name;
+  DataType type;
+};
+
+/// Ordered list of column declarations.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or -1 if absent (case-insensitive).
+  int FindColumn(const std::string& name) const;
+
+  /// Renders "(name type, ...)" for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+class Table;
+using TablePtr = std::shared_ptr<Table>;
+
+/// A named base table: a schema plus one Column per schema entry, all of
+/// equal length. Tables are immutable after loading (OLAP workload model).
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  /// Creates a table whose column vectors are pre-created and empty.
+  static TablePtr Make(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0]->size(); }
+
+  ColumnPtr column(size_t i) const { return columns_[i]; }
+  /// Column by name (case-insensitive); NotFound on miss.
+  Result<ColumnPtr> GetColumn(const std::string& name) const;
+
+  /// Appends one row given values in schema order.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Total approximate memory footprint of all columns.
+  size_t MemoryBytes() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<ColumnPtr> columns_;
+};
+
+/// Name → table registry shared by SQL binding and the MAL `sql.bind`
+/// kernel. Thread-compatible: populated at load time, read-only afterwards.
+class Catalog {
+ public:
+  /// Registers a table; AlreadyExists if the name is taken.
+  Status AddTable(TablePtr table);
+
+  /// Case-insensitive lookup; NotFound on miss.
+  Result<TablePtr> GetTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::vector<TablePtr> tables_;
+};
+
+}  // namespace stetho::storage
+
+#endif  // STETHO_STORAGE_TABLE_H_

@@ -1,0 +1,115 @@
+#include "storage/value.h"
+
+#include "common/string_util.h"
+
+namespace stetho::storage {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return ":any";
+    case DataType::kBool:
+      return ":bit";
+    case DataType::kInt64:
+      return ":lng";
+    case DataType::kDouble:
+      return ":dbl";
+    case DataType::kString:
+      return ":str";
+    case DataType::kOid:
+      return ":oid";
+    case DataType::kBat:
+      return ":bat";
+  }
+  return ":unknown";
+}
+
+Result<double> Value::ToDouble() const {
+  switch (type_) {
+    case DataType::kBool:
+      return AsBool() ? 1.0 : 0.0;
+    case DataType::kInt64:
+      return static_cast<double>(AsInt());
+    case DataType::kDouble:
+      return AsDouble();
+    default:
+      return Status::TypeError(std::string("cannot convert ") +
+                               DataTypeName(type_) + " to :dbl");
+  }
+}
+
+Result<int64_t> Value::ToInt() const {
+  switch (type_) {
+    case DataType::kBool:
+      return static_cast<int64_t>(AsBool() ? 1 : 0);
+    case DataType::kInt64:
+    case DataType::kOid:
+      return std::get<int64_t>(data_);
+    default:
+      return Status::TypeError(std::string("cannot convert ") +
+                               DataTypeName(type_) + " to :lng");
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return AsBool() ? "true" : "false";
+    case DataType::kInt64:
+      return StrFormat("%lld", static_cast<long long>(AsInt()));
+    case DataType::kDouble:
+      return StrFormat("%g", AsDouble());
+    case DataType::kString:
+      return "\"" + EscapeQuoted(AsString()) + "\"";
+    case DataType::kOid:
+      return StrFormat("%llu@0", static_cast<unsigned long long>(AsOid()));
+    case DataType::kBat:
+      return "<bat>";
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& other) const {
+  return Compare(other) == 0 && type_ == other.type_;
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+  // Cross-numeric comparison via double.
+  auto as_numeric = [](const Value& v, double* out) {
+    switch (v.type_) {
+      case DataType::kBool:
+        *out = v.AsBool() ? 1.0 : 0.0;
+        return true;
+      case DataType::kInt64:
+      case DataType::kOid:
+        *out = static_cast<double>(std::get<int64_t>(v.data_));
+        return true;
+      case DataType::kDouble:
+        *out = v.AsDouble();
+        return true;
+      default:
+        return false;
+    }
+  };
+  double a = 0.0;
+  double b = 0.0;
+  if (as_numeric(*this, &a) && as_numeric(other, &b)) {
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (type_ == DataType::kString && other.type_ == DataType::kString) {
+    return AsString().compare(other.AsString()) < 0
+               ? -1
+               : (AsString() == other.AsString() ? 0 : 1);
+  }
+  // Incomparable types: order by type tag for a stable total order.
+  return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
+}
+
+}  // namespace stetho::storage

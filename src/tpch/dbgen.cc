@@ -1,0 +1,282 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace stetho::tpch {
+namespace {
+
+using storage::Catalog;
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+using storage::TablePtr;
+using storage::Value;
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",         "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",          "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",         "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",          "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+// Region of each nation (official TPC-H mapping).
+const int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                             4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP",
+                            "TRUCK",   "MAIL", "FOB"};
+const char* kShipInstruct[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                               "TAKE BACK RETURN"};
+const char* kTypePrefix[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                             "PROMO"};
+const char* kTypeMid[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                          "BRUSHED"};
+const char* kTypeSuffix[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kPartAdjectives[] = {"almond", "antique", "aquamarine", "azure",
+                                 "beige",  "bisque",  "black",      "blanched"};
+const char* kPartNouns[] = {"linen", "pink", "powder", "puff",
+                            "rose",  "sky",  "steel",  "tomato"};
+
+template <typename T, size_t N>
+const T& Pick(SplitMix64& rng, const T (&arr)[N]) {
+  return arr[rng.NextBounded(N)];
+}
+
+}  // namespace
+
+// Howard Hinnant's civil-date algorithms.
+int64_t DateToDays(int64_t yyyymmdd) {
+  int64_t y = yyyymmdd / 10000;
+  int64_t m = (yyyymmdd / 100) % 100;
+  int64_t d = yyyymmdd % 100;
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + doe - 719468;
+}
+
+int64_t DaysToDate(int64_t days) {
+  int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;
+  const int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const int64_t mp = (5 * doy + 2) / 153;
+  const int64_t d = doy - (153 * mp + 2) / 5 + 1;
+  const int64_t m = mp + (mp < 10 ? 3 : -9);
+  return (y + (m <= 2 ? 1 : 0)) * 10000 + m * 100 + d;
+}
+
+int64_t AddDays(int64_t yyyymmdd, int64_t delta) {
+  return DaysToDate(DateToDays(yyyymmdd) + delta);
+}
+
+TpchRowCounts RowCountsFor(const TpchConfig& config) {
+  auto scaled = [&](double base) {
+    double v = base * config.scale_factor;
+    return static_cast<size_t>(std::max(1.0, v));
+  };
+  TpchRowCounts counts;
+  counts.region = 5;
+  counts.nation = 25;
+  counts.supplier = scaled(10000);
+  counts.part = scaled(200000);
+  counts.customer = scaled(150000);
+  counts.orders = scaled(1500000);
+  return counts;
+}
+
+Result<Catalog> GenerateTpch(const TpchConfig& config) {
+  if (config.scale_factor <= 0) {
+    return Status::InvalidArgument("scale_factor must be positive");
+  }
+  SplitMix64 rng(config.seed);
+  TpchRowCounts counts = RowCountsFor(config);
+  Catalog catalog;
+
+  // --- region ---
+  TablePtr region = Table::Make(
+      "region",
+      Schema({{"r_regionkey", DataType::kInt64}, {"r_name", DataType::kString}}));
+  for (size_t i = 0; i < counts.region; ++i) {
+    STETHO_RETURN_IF_ERROR(region->AppendRow(
+        {Value::Int(static_cast<int64_t>(i)), Value::String(kRegions[i])}));
+  }
+  STETHO_RETURN_IF_ERROR(catalog.AddTable(region));
+
+  // --- nation ---
+  TablePtr nation = Table::Make(
+      "nation", Schema({{"n_nationkey", DataType::kInt64},
+                        {"n_name", DataType::kString},
+                        {"n_regionkey", DataType::kInt64}}));
+  for (size_t i = 0; i < counts.nation; ++i) {
+    STETHO_RETURN_IF_ERROR(nation->AppendRow(
+        {Value::Int(static_cast<int64_t>(i)), Value::String(kNations[i]),
+         Value::Int(kNationRegion[i])}));
+  }
+  STETHO_RETURN_IF_ERROR(catalog.AddTable(nation));
+
+  // --- supplier ---
+  TablePtr supplier = Table::Make(
+      "supplier", Schema({{"s_suppkey", DataType::kInt64},
+                          {"s_name", DataType::kString},
+                          {"s_nationkey", DataType::kInt64},
+                          {"s_acctbal", DataType::kDouble}}));
+  for (size_t i = 1; i <= counts.supplier; ++i) {
+    STETHO_RETURN_IF_ERROR(supplier->AppendRow(
+        {Value::Int(static_cast<int64_t>(i)),
+         Value::String(StrFormat("Supplier#%09zu", i)),
+         Value::Int(static_cast<int64_t>(rng.NextBounded(25))),
+         Value::Double(static_cast<double>(rng.NextRange(-99999, 999999)) / 100.0)}));
+  }
+  STETHO_RETURN_IF_ERROR(catalog.AddTable(supplier));
+
+  // --- part ---
+  TablePtr part = Table::Make(
+      "part", Schema({{"p_partkey", DataType::kInt64},
+                      {"p_name", DataType::kString},
+                      {"p_type", DataType::kString},
+                      {"p_size", DataType::kInt64},
+                      {"p_retailprice", DataType::kDouble}}));
+  for (size_t i = 1; i <= counts.part; ++i) {
+    std::string type = std::string(Pick(rng, kTypePrefix)) + " " +
+                       Pick(rng, kTypeMid) + " " + Pick(rng, kTypeSuffix);
+    std::string name = std::string(Pick(rng, kPartAdjectives)) + " " +
+                       Pick(rng, kPartNouns);
+    double retail =
+        (90000.0 + (static_cast<double>(i % 200001) / 10.0) + 100.0 * (i % 1000)) / 100.0;
+    STETHO_RETURN_IF_ERROR(part->AppendRow(
+        {Value::Int(static_cast<int64_t>(i)), Value::String(std::move(name)),
+         Value::String(std::move(type)),
+         Value::Int(static_cast<int64_t>(rng.NextRange(1, 50))),
+         Value::Double(retail)}));
+  }
+  STETHO_RETURN_IF_ERROR(catalog.AddTable(part));
+
+  // --- partsupp (4 suppliers per part, official shape) ---
+  TablePtr partsupp = Table::Make(
+      "partsupp", Schema({{"ps_partkey", DataType::kInt64},
+                          {"ps_suppkey", DataType::kInt64},
+                          {"ps_availqty", DataType::kInt64},
+                          {"ps_supplycost", DataType::kDouble}}));
+  for (size_t p = 1; p <= counts.part; ++p) {
+    for (int i = 0; i < 4; ++i) {
+      // Spread the 4 suppliers across the supplier table (the official
+      // generator's modular stride), keeping keys in range.
+      int64_t supp =
+          1 + static_cast<int64_t>((p + static_cast<size_t>(i) *
+                                            (counts.supplier / 4 + 1)) %
+                                   counts.supplier);
+      STETHO_RETURN_IF_ERROR(partsupp->AppendRow(
+          {Value::Int(static_cast<int64_t>(p)), Value::Int(supp),
+           Value::Int(rng.NextRange(1, 9999)),
+           Value::Double(static_cast<double>(rng.NextRange(100, 100000)) / 100.0)}));
+    }
+  }
+  STETHO_RETURN_IF_ERROR(catalog.AddTable(partsupp));
+
+  // --- customer ---
+  TablePtr customer = Table::Make(
+      "customer", Schema({{"c_custkey", DataType::kInt64},
+                          {"c_name", DataType::kString},
+                          {"c_nationkey", DataType::kInt64},
+                          {"c_mktsegment", DataType::kString},
+                          {"c_acctbal", DataType::kDouble}}));
+  for (size_t i = 1; i <= counts.customer; ++i) {
+    STETHO_RETURN_IF_ERROR(customer->AppendRow(
+        {Value::Int(static_cast<int64_t>(i)),
+         Value::String(StrFormat("Customer#%09zu", i)),
+         Value::Int(static_cast<int64_t>(rng.NextBounded(25))),
+         Value::String(Pick(rng, kSegments)),
+         Value::Double(static_cast<double>(rng.NextRange(-99999, 999999)) / 100.0)}));
+  }
+  STETHO_RETURN_IF_ERROR(catalog.AddTable(customer));
+
+  // --- orders + lineitem ---
+  TablePtr orders = Table::Make(
+      "orders", Schema({{"o_orderkey", DataType::kInt64},
+                        {"o_custkey", DataType::kInt64},
+                        {"o_orderdate", DataType::kInt64},
+                        {"o_orderpriority", DataType::kString},
+                        {"o_shippriority", DataType::kInt64},
+                        {"o_totalprice", DataType::kDouble}}));
+  TablePtr lineitem = Table::Make(
+      "lineitem", Schema({{"l_orderkey", DataType::kInt64},
+                          {"l_partkey", DataType::kInt64},
+                          {"l_suppkey", DataType::kInt64},
+                          {"l_linenumber", DataType::kInt64},
+                          {"l_quantity", DataType::kInt64},
+                          {"l_extendedprice", DataType::kDouble},
+                          {"l_discount", DataType::kDouble},
+                          {"l_tax", DataType::kDouble},
+                          {"l_returnflag", DataType::kString},
+                          {"l_linestatus", DataType::kString},
+                          {"l_shipdate", DataType::kInt64},
+                          {"l_commitdate", DataType::kInt64},
+                          {"l_receiptdate", DataType::kInt64},
+                          {"l_shipmode", DataType::kString},
+                          {"l_shipinstruct", DataType::kString}}));
+
+  const int64_t kStartDate = 19920101;
+  const int64_t kEndOffsetDays = DateToDays(19980802) - DateToDays(kStartDate);
+  const int64_t kCutoff = 19950617;  // official returnflag/linestatus pivot
+
+  for (size_t o = 1; o <= counts.orders; ++o) {
+    int64_t orderdate =
+        AddDays(kStartDate, rng.NextRange(0, kEndOffsetDays));
+    int64_t custkey =
+        static_cast<int64_t>(rng.NextRange(1, static_cast<int64_t>(counts.customer)));
+    int64_t nlines = rng.NextRange(1, 7);
+    double total = 0.0;
+    for (int64_t l = 1; l <= nlines; ++l) {
+      int64_t qty = rng.NextRange(1, 50);
+      double price_per_unit =
+          static_cast<double>(rng.NextRange(90100, 209800)) / 100.0;
+      double extended = static_cast<double>(qty) * price_per_unit;
+      double discount = static_cast<double>(rng.NextRange(0, 10)) / 100.0;
+      double tax = static_cast<double>(rng.NextRange(0, 8)) / 100.0;
+      int64_t shipdate = AddDays(orderdate, rng.NextRange(1, 121));
+      int64_t commitdate = AddDays(orderdate, rng.NextRange(30, 90));
+      int64_t receiptdate = AddDays(shipdate, rng.NextRange(1, 30));
+      std::string returnflag;
+      if (receiptdate <= kCutoff) {
+        returnflag = rng.NextBool(0.5) ? "R" : "A";
+      } else {
+        returnflag = "N";
+      }
+      std::string linestatus = shipdate > kCutoff ? "O" : "F";
+      STETHO_RETURN_IF_ERROR(lineitem->AppendRow(
+          {Value::Int(static_cast<int64_t>(o)),
+           Value::Int(rng.NextRange(1, static_cast<int64_t>(counts.part))),
+           Value::Int(rng.NextRange(1, static_cast<int64_t>(counts.supplier))),
+           Value::Int(l), Value::Int(qty), Value::Double(extended),
+           Value::Double(discount), Value::Double(tax),
+           Value::String(std::move(returnflag)), Value::String(std::move(linestatus)),
+           Value::Int(shipdate), Value::Int(commitdate), Value::Int(receiptdate),
+           Value::String(Pick(rng, kShipModes)),
+           Value::String(Pick(rng, kShipInstruct))}));
+      total += extended * (1.0 - discount) * (1.0 + tax);
+    }
+    STETHO_RETURN_IF_ERROR(orders->AppendRow(
+        {Value::Int(static_cast<int64_t>(o)), Value::Int(custkey),
+         Value::Int(orderdate), Value::String(Pick(rng, kPriorities)),
+         Value::Int(0), Value::Double(total)}));
+  }
+  STETHO_RETURN_IF_ERROR(catalog.AddTable(orders));
+  STETHO_RETURN_IF_ERROR(catalog.AddTable(lineitem));
+
+  return catalog;
+}
+
+}  // namespace stetho::tpch

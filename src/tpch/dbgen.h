@@ -1,0 +1,48 @@
+#ifndef STETHO_TPCH_DBGEN_H_
+#define STETHO_TPCH_DBGEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace stetho::tpch {
+
+/// Configuration for the deterministic TPC-H-style data generator. The
+/// paper demos Stethoscope on long-running TPC-H queries; this generator
+/// produces the same table shapes at laptop scale. Dates are stored as
+/// yyyymmdd integers (e.g. 19940101) so range predicates stay readable.
+struct TpchConfig {
+  /// Fraction of the official SF1 row counts (lineitem ≈ 6M * sf).
+  double scale_factor = 0.001;
+  uint64_t seed = 19920712;
+};
+
+/// Number of rows each table receives at the configured scale.
+struct TpchRowCounts {
+  size_t region;
+  size_t nation;
+  size_t supplier;
+  size_t part;
+  size_t customer;
+  size_t orders;
+  /// lineitem is 1..7 lines per order; this is the expected mean (4 / order).
+};
+
+TpchRowCounts RowCountsFor(const TpchConfig& config);
+
+/// Generates the eight-table catalog: region, nation, supplier, part,
+/// customer, orders, lineitem. Fully deterministic for a given config.
+Result<storage::Catalog> GenerateTpch(const TpchConfig& config);
+
+/// --- date helpers (yyyymmdd integer encoding) ---
+/// Converts yyyymmdd to days since 1970-01-01.
+int64_t DateToDays(int64_t yyyymmdd);
+/// Converts days since 1970-01-01 back to yyyymmdd.
+int64_t DaysToDate(int64_t days);
+/// Adds `delta` days to a yyyymmdd date.
+int64_t AddDays(int64_t yyyymmdd, int64_t delta);
+
+}  // namespace stetho::tpch
+
+#endif  // STETHO_TPCH_DBGEN_H_

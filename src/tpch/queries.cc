@@ -1,0 +1,149 @@
+#include "tpch/queries.h"
+
+namespace stetho::tpch {
+
+const std::vector<TpchQuery>& TpchQueries() {
+  static const std::vector<TpchQuery>* queries = new std::vector<TpchQuery>{
+      {"paper",
+       "The paper's Fig. 1 query",
+       "select l_tax from lineitem where l_partkey = 1"},
+
+      {"q1",
+       "TPC-H Q1: pricing summary report",
+       "select l_returnflag, l_linestatus, "
+       "sum(l_quantity) as sum_qty, "
+       "sum(l_extendedprice) as sum_base_price, "
+       "sum(l_extendedprice * (1 - l_discount)) as sum_disc_price, "
+       "sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge, "
+       "avg(l_quantity) as avg_qty, "
+       "avg(l_extendedprice) as avg_price, "
+       "avg(l_discount) as avg_disc, "
+       "count(*) as count_order "
+       "from lineitem "
+       "where l_shipdate <= 19980902 "
+       "group by l_returnflag, l_linestatus "
+       "order by l_returnflag, l_linestatus"},
+
+      {"q3",
+       "TPC-H Q3: shipping priority",
+       "select l_orderkey, "
+       "sum(l_extendedprice * (1 - l_discount)) as revenue, "
+       "o_orderdate, o_shippriority "
+       "from customer "
+       "join orders on c_custkey = o_custkey "
+       "join lineitem on o_orderkey = l_orderkey "
+       "where c_mktsegment = 'BUILDING' "
+       "and o_orderdate < 19950315 and l_shipdate > 19950315 "
+       "group by l_orderkey, o_orderdate, o_shippriority "
+       "order by revenue desc, o_orderdate "
+       "limit 10"},
+
+      {"q5",
+       "TPC-H Q5 (adapted): local supplier volume",
+       "select n_name, "
+       "sum(l_extendedprice * (1 - l_discount)) as revenue "
+       "from customer "
+       "join orders on c_custkey = o_custkey "
+       "join lineitem on o_orderkey = l_orderkey "
+       "join supplier on l_suppkey = s_suppkey "
+       "join nation on s_nationkey = n_nationkey "
+       "join region on n_regionkey = r_regionkey "
+       "where r_name = 'ASIA' "
+       "and o_orderdate >= 19940101 and o_orderdate < 19950101 "
+       "and c_nationkey = s_nationkey "
+       "group by n_name "
+       "order by revenue desc"},
+
+      {"q6",
+       "TPC-H Q6: forecasting revenue change",
+       "select sum(l_extendedprice * l_discount) as revenue "
+       "from lineitem "
+       "where l_shipdate >= 19940101 and l_shipdate < 19950101 "
+       "and l_discount between 0.05 and 0.07 "
+       "and l_quantity < 24"},
+
+      {"q12",
+       "TPC-H Q12 (adapted): shipping modes and order priority",
+       "select l_shipmode, "
+       "sum(case when o_orderpriority = '1-URGENT' or o_orderpriority = "
+       "'2-HIGH' then 1 else 0 end) as high_line_count, "
+       "sum(case when o_orderpriority <> '1-URGENT' and o_orderpriority <> "
+       "'2-HIGH' then 1 else 0 end) as low_line_count "
+       "from orders "
+       "join lineitem on o_orderkey = l_orderkey "
+       "where (l_shipmode = 'MAIL' or l_shipmode = 'SHIP') "
+       "and l_receiptdate >= 19940101 and l_receiptdate < 19950101 "
+       "and l_commitdate < l_receiptdate and l_shipdate < l_commitdate "
+       "group by l_shipmode "
+       "order by l_shipmode"},
+
+      {"q14",
+       "TPC-H Q14: promotion effect",
+       "select 100.0 * sum(case when p_type like 'PROMO%' then "
+       "l_extendedprice * (1 - l_discount) else 0.0 end) / "
+       "sum(l_extendedprice * (1 - l_discount)) as promo_revenue "
+       "from lineitem "
+       "join part on l_partkey = p_partkey "
+       "where l_shipdate >= 19950901 and l_shipdate < 19951001"},
+
+      {"q11",
+       "TPC-H Q11 (adapted): important stock identification",
+       "select ps_partkey, "
+       "sum(ps_supplycost * ps_availqty) as value "
+       "from partsupp "
+       "join supplier on ps_suppkey = s_suppkey "
+       "join nation on s_nationkey = n_nationkey "
+       "where n_name = 'GERMANY' "
+       "group by ps_partkey "
+       "order by value desc, ps_partkey "
+       "limit 10"},
+
+      {"q16",
+       "TPC-H Q16 (adapted): parts/supplier relationship",
+       "select p_type, count(distinct ps_suppkey) as supplier_cnt "
+       "from partsupp "
+       "join part on ps_partkey = p_partkey "
+       "where p_size >= 10 and not p_type like 'PROMO%' "
+       "group by p_type "
+       "order by supplier_cnt desc, p_type "
+       "limit 10"},
+
+      {"q18",
+       "TPC-H Q18 (adapted): large volume customer orders",
+       "select l_orderkey, sum(l_quantity) as total_qty "
+       "from lineitem "
+       "group by l_orderkey "
+       "having sum(l_quantity) > 150 "
+       "order by total_qty desc, l_orderkey "
+       "limit 20"},
+
+      {"distinct_flags",
+       "DISTINCT over low-cardinality flag columns",
+       "select distinct l_returnflag, l_linestatus from lineitem "
+       "order by l_returnflag, l_linestatus"},
+
+      {"big_group",
+       "Wide aggregation stressing group/aggr operators",
+       "select l_partkey, count(*) as cnt, sum(l_quantity) as qty, "
+       "min(l_extendedprice) as min_price, max(l_extendedprice) as max_price, "
+       "avg(l_discount) as avg_disc "
+       "from lineitem group by l_partkey order by cnt desc limit 20"},
+
+      {"scan_heavy",
+       "Selection ladder over lineitem (many candidate-list selects)",
+       "select l_orderkey, l_extendedprice from lineitem "
+       "where l_quantity between 10 and 40 and l_discount between 0.02 and "
+       "0.08 and l_tax between 0.01 and 0.07 and l_shipdate >= 19930101 and "
+       "l_shipdate < 19980101 and l_returnflag = 'N'"},
+  };
+  return *queries;
+}
+
+Result<TpchQuery> GetQuery(const std::string& id) {
+  for (const TpchQuery& q : TpchQueries()) {
+    if (q.id == id) return q;
+  }
+  return Status::NotFound("no TPC-H query with id '" + id + "'");
+}
+
+}  // namespace stetho::tpch

@@ -1,0 +1,28 @@
+#ifndef STETHO_TPCH_QUERIES_H_
+#define STETHO_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stetho::tpch {
+
+/// One benchmark query in the supported SQL dialect.
+struct TpchQuery {
+  std::string id;     ///< short handle, e.g. "q1", "paper"
+  std::string title;  ///< human description
+  std::string sql;
+};
+
+/// The query suite used across examples, tests and benches. Contains the
+/// paper's Fig. 1 query plus TPC-H-derived queries adapted to this dialect
+/// (dates as yyyymmdd integers, explicit JOIN ... ON syntax).
+const std::vector<TpchQuery>& TpchQueries();
+
+/// Lookup by id; NotFound on miss.
+Result<TpchQuery> GetQuery(const std::string& id);
+
+}  // namespace stetho::tpch
+
+#endif  // STETHO_TPCH_QUERIES_H_

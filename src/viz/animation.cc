@@ -1,0 +1,94 @@
+#include "viz/animation.h"
+
+namespace stetho::viz {
+
+double ApplyEasing(Easing easing, double t) {
+  if (t < 0) t = 0;
+  if (t > 1) t = 1;
+  switch (easing) {
+    case Easing::kLinear:
+      return t;
+    case Easing::kEaseInOut:
+      // Smoothstep.
+      return t * t * (3.0 - 2.0 * t);
+  }
+  return t;
+}
+
+void Animator::AnimateCamera(Camera* camera, double x, double y,
+                             double altitude, int64_t duration_us,
+                             Easing easing) {
+  double x0 = camera->x();
+  double y0 = camera->y();
+  double a0 = camera->altitude();
+  Animation anim;
+  anim.start_us = clock_->NowMicros();
+  anim.duration_us = duration_us;
+  anim.easing = easing;
+  anim.apply = [camera, x0, y0, a0, x, y, altitude](double t) {
+    camera->MoveTo(x0 + (x - x0) * t, y0 + (y - y0) * t);
+    camera->SetAltitude(a0 + (altitude - a0) * t);
+  };
+  std::lock_guard<std::mutex> lock(mu_);
+  animations_.push_back(std::move(anim));
+}
+
+void Animator::AnimateGlyphFill(VirtualSpace* space, int glyph_id,
+                                Color target, int64_t duration_us,
+                                Easing easing) {
+  auto glyph = space->GetGlyph(glyph_id);
+  Color from = glyph.ok() ? glyph.value().fill : Color::Gray();
+  Animation anim;
+  anim.start_us = clock_->NowMicros();
+  anim.duration_us = duration_us;
+  anim.easing = easing;
+  anim.apply = [space, glyph_id, from, target](double t) {
+    (void)space->MutateGlyph(glyph_id, [&](Glyph* g) {
+      g->fill = Color::Lerp(from, target, t);
+    });
+  };
+  std::lock_guard<std::mutex> lock(mu_);
+  animations_.push_back(std::move(anim));
+}
+
+size_t Animator::Tick() {
+  int64_t now = clock_->NowMicros();
+  std::vector<Animation> active;
+  std::vector<Animation> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.swap(animations_);
+  }
+  for (Animation& anim : snapshot) {
+    double t = anim.duration_us <= 0
+                   ? 1.0
+                   : static_cast<double>(now - anim.start_us) /
+                         static_cast<double>(anim.duration_us);
+    anim.apply(ApplyEasing(anim.easing, t));
+    if (t < 1.0) active.push_back(std::move(anim));
+  }
+  size_t remaining;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // New animations scheduled during apply() land after the survivors.
+    active.insert(active.end(),
+                  std::make_move_iterator(animations_.begin()),
+                  std::make_move_iterator(animations_.end()));
+    animations_ = std::move(active);
+    remaining = animations_.size();
+  }
+  return remaining;
+}
+
+void Animator::RunToCompletion(int64_t step_us) {
+  while (Tick() > 0) {
+    clock_->SleepMicros(step_us);
+  }
+}
+
+size_t Animator::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return animations_.size();
+}
+
+}  // namespace stetho::viz

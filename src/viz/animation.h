@@ -1,0 +1,64 @@
+#ifndef STETHO_VIZ_ANIMATION_H_
+#define STETHO_VIZ_ANIMATION_H_
+
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.h"
+#include "viz/camera.h"
+#include "viz/color.h"
+#include "viz/virtual_space.h"
+
+namespace stetho::viz {
+
+/// Easing curves for animated transitions (paper §5: "Animation effects
+/// such as change of zoom level, color, and transition time between
+/// highlights of nodes").
+enum class Easing { kLinear, kEaseInOut };
+
+/// Applies easing to t in [0,1].
+double ApplyEasing(Easing easing, double t);
+
+/// Time-based animation engine. Animations are keyframe interpolations
+/// between a start and an end state; Tick(now) advances all active ones.
+/// Driven by a Clock so tests run on virtual time.
+class Animator {
+ public:
+  explicit Animator(Clock* clock) : clock_(clock) {}
+
+  /// Animates the camera to (x, y, altitude) over `duration_us`.
+  void AnimateCamera(Camera* camera, double x, double y, double altitude,
+                     int64_t duration_us, Easing easing = Easing::kEaseInOut);
+
+  /// Animates a glyph's fill color over `duration_us`.
+  void AnimateGlyphFill(VirtualSpace* space, int glyph_id, Color target,
+                        int64_t duration_us, Easing easing = Easing::kLinear);
+
+  /// Advances all animations to the clock's current time; finished ones are
+  /// snapped to their end state and removed. Returns the number still
+  /// running.
+  size_t Tick();
+
+  /// Runs Tick in a loop (sleeping `step_us` between ticks) until idle.
+  void RunToCompletion(int64_t step_us = 10000);
+
+  size_t active() const;
+
+ private:
+  struct Animation {
+    int64_t start_us = 0;
+    int64_t duration_us = 0;
+    Easing easing = Easing::kLinear;
+    /// Applies progress t in [0,1]; guaranteed called with t=1 at the end.
+    std::function<void(double)> apply;
+  };
+
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::vector<Animation> animations_;
+};
+
+}  // namespace stetho::viz
+
+#endif  // STETHO_VIZ_ANIMATION_H_

@@ -1,0 +1,46 @@
+#include "viz/camera.h"
+
+#include <algorithm>
+
+namespace stetho::viz {
+
+layout::Point Camera::Project(const layout::Point& world) const {
+  double s = Scale();
+  return {(world.x - x_) * s + viewport_w_ / 2.0,
+          (world.y - y_) * s + viewport_h_ / 2.0};
+}
+
+layout::Point Camera::Unproject(const layout::Point& screen) const {
+  double s = Scale();
+  return {(screen.x - viewport_w_ / 2.0) / s + x_,
+          (screen.y - viewport_h_ / 2.0) / s + y_};
+}
+
+layout::Point Camera::VisibleOrigin() const {
+  double s = Scale();
+  return {x_ - viewport_w_ / (2.0 * s), y_ - viewport_h_ / (2.0 * s)};
+}
+
+layout::Point Camera::VisibleSize() const {
+  double s = Scale();
+  return {viewport_w_ / s, viewport_h_ / s};
+}
+
+void Camera::FitRect(double wx, double wy, double wwidth, double wheight) {
+  MoveTo(wx + wwidth / 2.0, wy + wheight / 2.0);
+  if (wwidth <= 0 || wheight <= 0) {
+    SetAltitude(0);
+    return;
+  }
+  // Required scale so the rect fits both dimensions.
+  double scale =
+      std::min(viewport_w_ / wwidth, viewport_h_ / wheight);
+  // scale = focal/(focal+alt)  =>  alt = focal*(1-scale)/scale.
+  if (scale >= 1.0) {
+    SetAltitude(0);
+    return;
+  }
+  SetAltitude(focal_ * (1.0 - scale) / scale);
+}
+
+}  // namespace stetho::viz

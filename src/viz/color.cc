@@ -1,0 +1,45 @@
+#include "viz/color.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace stetho::viz {
+
+std::string Color::ToHex() const {
+  return StrFormat("#%02x%02x%02x", r, g, b);
+}
+
+Result<Color> Color::Parse(const std::string& text) {
+  std::string t = ToLower(Trim(text));
+  if (t.size() == 7 && t[0] == '#') {
+    unsigned rr = 0;
+    unsigned gg = 0;
+    unsigned bb = 0;
+    if (std::sscanf(t.c_str() + 1, "%02x%02x%02x", &rr, &gg, &bb) == 3) {
+      return Color{static_cast<uint8_t>(rr), static_cast<uint8_t>(gg),
+                   static_cast<uint8_t>(bb)};
+    }
+    return Status::ParseError("bad hex color '" + text + "'");
+  }
+  if (t == "red") return Red();
+  if (t == "green") return Green();
+  if (t == "white") return White();
+  if (t == "black") return Black();
+  if (t == "gray" || t == "grey") return Gray();
+  if (t == "yellow") return Yellow();
+  if (t == "orange") return Orange();
+  return Status::ParseError("unknown color '" + text + "'");
+}
+
+Color Color::Lerp(const Color& a, const Color& b, double t) {
+  if (t < 0) t = 0;
+  if (t > 1) t = 1;
+  auto mix = [t](uint8_t x, uint8_t y) {
+    return static_cast<uint8_t>(static_cast<double>(x) +
+                                (static_cast<double>(y) - x) * t + 0.5);
+  };
+  return Color{mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b)};
+}
+
+}  // namespace stetho::viz

@@ -1,0 +1,41 @@
+#ifndef STETHO_VIZ_COLOR_H_
+#define STETHO_VIZ_COLOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace stetho::viz {
+
+/// 24-bit RGB color used by glyphs and the coloring algorithms.
+struct Color {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+
+  bool operator==(const Color& other) const = default;
+
+  /// "#rrggbb".
+  std::string ToHex() const;
+
+  /// Parses "#rrggbb" or a small set of named colors (red, green, white,
+  /// black, gray, yellow, orange).
+  static Result<Color> Parse(const std::string& text);
+
+  /// Linear interpolation a→b at t in [0,1].
+  static Color Lerp(const Color& a, const Color& b, double t);
+
+  /// The paper's state colors: RED = instruction started, GREEN = done.
+  static Color Red() { return {0xE0, 0x20, 0x20}; }
+  static Color Green() { return {0x20, 0xA0, 0x20}; }
+  static Color White() { return {0xFF, 0xFF, 0xFF}; }
+  static Color Gray() { return {0xF2, 0xF2, 0xF2}; }
+  static Color Black() { return {0x00, 0x00, 0x00}; }
+  static Color Yellow() { return {0xE8, 0xC0, 0x20}; }
+  static Color Orange() { return {0xE8, 0x80, 0x20}; }
+};
+
+}  // namespace stetho::viz
+
+#endif  // STETHO_VIZ_COLOR_H_

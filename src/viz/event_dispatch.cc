@@ -1,0 +1,86 @@
+#include "viz/event_dispatch.h"
+
+namespace stetho::viz {
+
+EventDispatchThread::EventDispatchThread(Clock* clock,
+                                         int64_t min_render_interval_us)
+    : clock_(clock), min_render_interval_us_(min_render_interval_us) {
+  thread_ = std::thread(&EventDispatchThread::Loop, this);
+}
+
+EventDispatchThread::~EventDispatchThread() { Shutdown(); }
+
+void EventDispatchThread::Post(std::function<void()> task, bool is_render) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!running_) return;
+  queue_.push_back(Task{std::move(task), is_render});
+  if (static_cast<int64_t>(queue_.size()) > stats_.max_queue_depth) {
+    stats_.max_queue_depth = static_cast<int64_t>(queue_.size());
+  }
+  cv_.notify_one();
+}
+
+void EventDispatchThread::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return (queue_.empty() && !busy_) || !running_;
+  });
+}
+
+void EventDispatchThread::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!running_ && !thread_.joinable()) return;
+    idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+    running_ = false;
+    cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+DispatchStats EventDispatchThread::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void EventDispatchThread::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return !queue_.empty() || !running_; });
+    if (!running_ && queue_.empty()) return;
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+
+    // Render pacing: enforce the minimum interval since the last render.
+    // The wait happens outside the lock so Post never blocks.
+    if (task.is_render && last_render_us_ >= 0 && min_render_interval_us_ > 0) {
+      int64_t now = clock_->NowMicros();
+      int64_t wait = last_render_us_ + min_render_interval_us_ - now;
+      if (wait > 0) {
+        lock.unlock();
+        clock_->SleepMicros(wait);
+        lock.lock();
+      }
+    }
+
+    lock.unlock();
+    task.fn();
+    lock.lock();
+
+    ++stats_.tasks_executed;
+    if (task.is_render) {
+      int64_t now = clock_->NowMicros();
+      ++stats_.renders;
+      if (last_render_us_ >= 0) {
+        stats_.render_gaps_us.push_back(now - last_render_us_);
+      }
+      last_render_us_ = now;
+    }
+    busy_ = false;
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace stetho::viz

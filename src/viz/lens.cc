@@ -1,0 +1,37 @@
+#include "viz/lens.h"
+
+#include <cmath>
+
+namespace stetho::viz {
+
+bool FisheyeLens::Contains(const layout::Point& p) const {
+  double dx = p.x - cx_;
+  double dy = p.y - cy_;
+  return dx * dx + dy * dy < radius_ * radius_;
+}
+
+double FisheyeLens::GainAt(double d) const {
+  if (d >= radius_) return 1.0;
+  // Sarkar-Brown radial gain with distortion m = mag-1: mag at the focus,
+  // exactly 1.0 at the rim (continuous hand-off to undistorted space).
+  double m = mag_ - 1.0;
+  double t = d / radius_;
+  return (m + 1.0) / (m * t + 1.0);
+}
+
+layout::Point FisheyeLens::Apply(const layout::Point& p) const {
+  double dx = p.x - cx_;
+  double dy = p.y - cy_;
+  double d = std::sqrt(dx * dx + dy * dy);
+  if (d >= radius_ || d == 0.0) return p;
+  // Sarkar-Brown fisheye: r' = R * (m+1)t / (mt+1), t = d/R, m = mag-1.
+  // Monotone in d, fixes the rim (r'(R) = R), magnifies by `mag` at the
+  // focus.
+  double m = mag_ - 1.0;
+  double t = d / radius_;
+  double scaled = radius_ * (m + 1.0) * t / (m * t + 1.0);
+  double k = scaled / d;
+  return {cx_ + dx * k, cy_ + dy * k};
+}
+
+}  // namespace stetho::viz

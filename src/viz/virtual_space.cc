@@ -1,0 +1,138 @@
+#include "viz/virtual_space.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace stetho::viz {
+
+int VirtualSpace::AddGlyph(Glyph glyph) {
+  std::lock_guard<std::mutex> lock(mu_);
+  glyph.id = static_cast<int>(glyphs_.size());
+  by_owner_.emplace(glyph.owner, glyph.id);
+  glyphs_.push_back(std::move(glyph));
+  return glyphs_.back().id;
+}
+
+Status VirtualSpace::MutateGlyph(int id, const std::function<void(Glyph*)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= glyphs_.size()) {
+    return Status::NotFound(StrFormat("no glyph %d", id));
+  }
+  fn(&glyphs_[static_cast<size_t>(id)]);
+  return Status::OK();
+}
+
+Result<Glyph> VirtualSpace::GetGlyph(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= glyphs_.size()) {
+    return Status::NotFound(StrFormat("no glyph %d", id));
+  }
+  return glyphs_[static_cast<size_t>(id)];
+}
+
+std::vector<Glyph> VirtualSpace::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Glyph> out = glyphs_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Glyph& a, const Glyph& b) { return a.z < b.z; });
+  return out;
+}
+
+size_t VirtualSpace::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return glyphs_.size();
+}
+
+std::vector<int> VirtualSpace::GlyphsForOwner(const std::string& owner) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  auto [lo, hi] = by_owner_.equal_range(owner);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  return out;
+}
+
+int VirtualSpace::ShapeFor(const std::string& owner) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [lo, hi] = by_owner_.equal_range(owner);
+  for (auto it = lo; it != hi; ++it) {
+    if (glyphs_[static_cast<size_t>(it->second)].kind == GlyphKind::kShape) {
+      return it->second;
+    }
+  }
+  return -1;
+}
+
+layout::Point VirtualSpace::BoundsOrigin() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  for (const Glyph& g : glyphs_) {
+    if (!g.visible) continue;
+    min_x = std::min(min_x, g.x - g.width / 2.0);
+    min_y = std::min(min_y, g.y - g.height / 2.0);
+  }
+  if (glyphs_.empty()) return {0, 0};
+  return {min_x, min_y};
+}
+
+layout::Point VirtualSpace::BoundsSize() const {
+  layout::Point origin = BoundsOrigin();
+  std::lock_guard<std::mutex> lock(mu_);
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+  for (const Glyph& g : glyphs_) {
+    if (!g.visible) continue;
+    max_x = std::max(max_x, g.x + g.width / 2.0);
+    max_y = std::max(max_y, g.y + g.height / 2.0);
+  }
+  if (glyphs_.empty()) return {0, 0};
+  return {max_x - origin.x, max_y - origin.y};
+}
+
+void BuildScene(const dot::Graph& graph, const layout::GraphLayout& layout,
+                VirtualSpace* space) {
+  // Edges first (z=0) so shapes (z=1) and labels (z=2) draw above them.
+  for (const layout::EdgeLayout& el : layout.edges) {
+    if (el.points.size() < 2 || el.edge < 0) continue;
+    const dot::GraphEdge& edge = graph.edges()[static_cast<size_t>(el.edge)];
+    Glyph g;
+    g.kind = GlyphKind::kEdge;
+    g.owner = edge.from + "->" + edge.to;
+    g.x = el.points.front().x;
+    g.y = el.points.front().y;
+    g.x2 = el.points.back().x;
+    g.y2 = el.points.back().y;
+    g.stroke = Color{0x33, 0x33, 0x33};
+    g.z = 0;
+    space->AddGlyph(std::move(g));
+  }
+  for (const layout::NodeLayout& nl : layout.nodes) {
+    if (nl.node < 0) continue;
+    const dot::GraphNode& node = graph.node(static_cast<size_t>(nl.node));
+    Glyph shape;
+    shape.kind = GlyphKind::kShape;
+    shape.owner = node.id;
+    shape.x = nl.x;
+    shape.y = nl.y;
+    shape.width = nl.width;
+    shape.height = nl.height;
+    shape.fill = Color::Gray();
+    shape.z = 1;
+    space->AddGlyph(std::move(shape));
+
+    Glyph text;
+    text.kind = GlyphKind::kText;
+    text.owner = node.id;
+    text.x = nl.x;
+    text.y = nl.y;
+    text.width = nl.width;
+    text.height = nl.height;
+    text.text = node.label();
+    text.z = 2;
+    space->AddGlyph(std::move(text));
+  }
+}
+
+}  // namespace stetho::viz

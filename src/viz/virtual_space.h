@@ -1,0 +1,85 @@
+#ifndef STETHO_VIZ_VIRTUAL_SPACE_H_
+#define STETHO_VIZ_VIRTUAL_SPACE_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dot/graph.h"
+#include "layout/sugiyama.h"
+#include "viz/color.h"
+
+namespace stetho::viz {
+
+/// Kinds of fundamental graphical objects — ZVTM's glyph model (paper §3.1:
+/// a two-node graph is represented by two shape glyphs, two text glyphs and
+/// one edge glyph).
+enum class GlyphKind { kShape, kText, kEdge };
+
+/// One graphical object on the canvas. World coordinates; (x, y) is the
+/// center for shapes/texts and unused for edges (which carry endpoints).
+struct Glyph {
+  int id = -1;
+  GlyphKind kind = GlyphKind::kShape;
+  std::string owner;  ///< graph node/edge id this glyph renders ("n3")
+  double x = 0;
+  double y = 0;
+  double width = 0;
+  double height = 0;
+  std::string text;       // text glyphs
+  double x2 = 0, y2 = 0;  // edge glyphs: second endpoint
+  Color fill = Color::Gray();
+  Color stroke = Color::Black();
+  bool visible = true;
+  int z = 0;  ///< draw order (higher on top)
+};
+
+/// The canvas all glyphs live on — ZVTM's virtual space. Thread-safe: the
+/// event-dispatch thread mutates glyph state while analysis threads read
+/// snapshots.
+class VirtualSpace {
+ public:
+  VirtualSpace() = default;
+
+  /// Adds a glyph, returns its id.
+  int AddGlyph(Glyph glyph);
+
+  /// Runs `fn` on the glyph under the lock; NotFound for bad ids.
+  Status MutateGlyph(int id, const std::function<void(Glyph*)>& fn);
+
+  /// Copy of one glyph.
+  Result<Glyph> GetGlyph(int id) const;
+
+  /// Copy of all glyphs in z-then-insertion order.
+  std::vector<Glyph> Snapshot() const;
+
+  size_t size() const;
+
+  /// Ids of the shape/text glyphs owned by graph node `node_id`.
+  std::vector<int> GlyphsForOwner(const std::string& owner) const;
+
+  /// Id of the shape glyph owned by `owner`, or -1.
+  int ShapeFor(const std::string& owner) const;
+
+  /// Bounding box of all visible glyphs (world coords): x, y, w, h.
+  layout::Point BoundsOrigin() const;
+  layout::Point BoundsSize() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Glyph> glyphs_;
+  std::multimap<std::string, int> by_owner_;
+};
+
+/// Builds the scene for a laid-out graph: per node one shape glyph + one
+/// text glyph, per edge one edge glyph — the ZGrviewer object model.
+/// Returns the populated space.
+void BuildScene(const dot::Graph& graph, const layout::GraphLayout& layout,
+                VirtualSpace* space);
+
+}  // namespace stetho::viz
+
+#endif  // STETHO_VIZ_VIRTUAL_SPACE_H_

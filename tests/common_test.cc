@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace stetho {
+namespace {
+
+// --- Status / Result ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::ParseError("bad token");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_EQ(st.message(), "bad token");
+  EXPECT_EQ(st.ToString(), "parse_error: bad token");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kResourceExhausted); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> HalfOf(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Status UseHalf(int v, int* out) {
+  STETHO_ASSIGN_OR_RETURN(*out, HalfOf(v));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  Status st = UseHalf(7, &out);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+// --- string utilities ---
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, SplitSingle) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, SplitAndTrimDropsEmpties) {
+  auto parts = SplitAndTrim("  a , , b ,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+}
+
+TEST(StringUtilTest, PrefixSuffix) {
+  EXPECT_TRUE(StartsWith("algebra.select", "algebra"));
+  EXPECT_FALSE(StartsWith("alg", "algebra"));
+  EXPECT_TRUE(EndsWith("plan.dot", ".dot"));
+  EXPECT_FALSE(EndsWith("dot", "plan.dot"));
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("LineItem"), "lineitem");
+  EXPECT_EQ(ToUpper("tpch"), "TPCH");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("pc=%d usec=%lld", 3, 150LL), "pc=3 usec=150");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  auto r = ParseInt64("  -42 ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), -42);
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  auto r = ParseDouble("3.25e2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 325.0);
+  EXPECT_FALSE(ParseDouble("3.2.1").ok());
+}
+
+TEST(StringUtilTest, EscapeRoundTrip) {
+  std::string raw = "say \"hi\" \\ bye";
+  EXPECT_EQ(UnescapeQuoted(EscapeQuoted(raw)), raw);
+}
+
+TEST(StringUtilTest, EscapeXml) {
+  EXPECT_EQ(EscapeXml("a<b & c>\"d\""), "a&lt;b &amp; c&gt;&quot;d&quot;");
+}
+
+// --- clocks ---
+
+TEST(ClockTest, SteadyClockAdvances) {
+  SteadyClock clock;
+  int64_t a = clock.NowMicros();
+  clock.SleepMicros(1000);
+  int64_t b = clock.NowMicros();
+  EXPECT_GE(b - a, 1000);
+}
+
+TEST(ClockTest, VirtualClockManualAdvance) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.Advance(-10);  // ignored
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.SleepMicros(25);
+  EXPECT_EQ(clock.NowMicros(), 175);
+}
+
+TEST(ClockTest, VirtualClockAdvanceToNeverGoesBack) {
+  VirtualClock clock(0);
+  clock.AdvanceTo(500);
+  EXPECT_EQ(clock.NowMicros(), 500);
+  clock.AdvanceTo(300);
+  EXPECT_EQ(clock.NowMicros(), 500);
+}
+
+TEST(ClockTest, VirtualClockConcurrentAdvance) {
+  VirtualClock clock(0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < 1000; ++i) clock.Advance(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(clock.NowMicros(), 4000);
+}
+
+// --- rng ---
+
+TEST(RngTest, Deterministic) {
+  SplitMix64 a(7);
+  SplitMix64 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, RangeIsInclusive) {
+  SplitMix64 rng(42);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextRange(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// --- logging ---
+
+TEST(LoggingTest, LevelGate) {
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  STETHO_LOG(Info) << "suppressed";
+  SetLogLevel(prev);
+}
+
+}  // namespace
+}  // namespace stetho

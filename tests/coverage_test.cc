@@ -1,0 +1,291 @@
+// Edge-case coverage across modules: empty inputs, error paths, and
+// behaviors not exercised by the mainline suites.
+
+#include <gtest/gtest.h>
+
+#include "dot/graph.h"
+#include "engine/interpreter.h"
+#include "mal/program.h"
+#include "optimizer/pass.h"
+#include "server/result_printer.h"
+#include "sql/compiler.h"
+#include "storage/table.h"
+#include "viz/animation.h"
+
+namespace stetho {
+namespace {
+
+using engine::ExecOptions;
+using engine::Interpreter;
+using engine::QueryResult;
+using mal::Argument;
+using mal::MalType;
+using mal::Program;
+using storage::Catalog;
+using storage::Column;
+using storage::ColumnPtr;
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+using storage::TablePtr;
+using storage::Value;
+
+Result<QueryResult> RunProgram(Catalog* cat, const Program& p) {
+  Interpreter interp(cat);
+  ExecOptions opts;
+  opts.use_dataflow = false;
+  return interp.Execute(p, opts);
+}
+
+// --- engine edges ---
+
+TEST(EngineEdgeTest, BatAppendConcatenates) {
+  Catalog cat;
+  Program p;
+  int a = p.AddVariable(MalType::Bat(DataType::kOid));
+  p.Add("bat", "densebat", {a}, {Argument::Const(Value::Int(3))});
+  int b = p.AddVariable(MalType::Bat(DataType::kOid));
+  p.Add("bat", "densebat", {b}, {Argument::Const(Value::Int(2))});
+  int both = p.AddVariable(MalType::Bat(DataType::kOid));
+  p.Add("bat", "append", {both}, {Argument::Var(a), Argument::Var(b)});
+  p.Add("io", "print", {}, {Argument::Var(both)});
+  auto r = RunProgram(&cat, p);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ColumnPtr col = r.value().columns[0].column;
+  ASSERT_EQ(col->size(), 5u);
+  EXPECT_EQ(col->OidAt(3), 0u);  // second range restarts
+}
+
+TEST(EngineEdgeTest, BatAppendTypeMismatch) {
+  Catalog cat;
+  TablePtr t = Table::Make("t", Schema({{"i", DataType::kInt64},
+                                        {"s", DataType::kString}}));
+  ASSERT_TRUE(t->AppendRow({Value::Int(1), Value::String("x")}).ok());
+  ASSERT_TRUE(cat.AddTable(t).ok());
+  Program p;
+  int mvc = p.AddVariable(MalType::Scalar(DataType::kInt64));
+  p.Add("sql", "mvc", {mvc}, {});
+  auto bind = [&](const char* col, DataType dt) {
+    int v = p.AddVariable(MalType::Bat(dt));
+    p.Add("sql", "bind", {v},
+          {Argument::Var(mvc), Argument::Const(Value::String("sys")),
+           Argument::Const(Value::String("t")),
+           Argument::Const(Value::String(col)), Argument::Const(Value::Int(0))});
+    return v;
+  };
+  int i = bind("i", DataType::kInt64);
+  int s = bind("s", DataType::kString);
+  int out = p.AddVariable(MalType::Bat(DataType::kInt64));
+  p.Add("bat", "append", {out}, {Argument::Var(i), Argument::Var(s)});
+  auto r = RunProgram(&cat, p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(EngineEdgeTest, DenseBatNegative) {
+  Catalog cat;
+  Program p;
+  int a = p.AddVariable(MalType::Bat(DataType::kOid));
+  p.Add("bat", "densebat", {a}, {Argument::Const(Value::Int(-1))});
+  EXPECT_FALSE(RunProgram(&cat, p).ok());
+}
+
+TEST(EngineEdgeTest, SliceBadRange) {
+  Catalog cat;
+  Program p;
+  int a = p.AddVariable(MalType::Bat(DataType::kOid));
+  p.Add("bat", "densebat", {a}, {Argument::Const(Value::Int(5))});
+  int s = p.AddVariable(MalType::Bat(DataType::kOid));
+  p.Add("algebra", "slice", {s},
+        {Argument::Var(a), Argument::Const(Value::Int(3)),
+         Argument::Const(Value::Int(1))});
+  EXPECT_FALSE(RunProgram(&cat, p).ok());
+}
+
+TEST(EngineEdgeTest, AggregatesOverEmptyColumnAreNull) {
+  Catalog cat;
+  Program p;
+  int a = p.AddVariable(MalType::Bat(DataType::kOid));
+  p.Add("bat", "densebat", {a}, {Argument::Const(Value::Int(0))});
+  int sum = p.AddVariable(MalType::Scalar(DataType::kInt64));
+  p.Add("aggr", "sum", {sum}, {Argument::Var(a)});
+  int count = p.AddVariable(MalType::Scalar(DataType::kInt64));
+  p.Add("aggr", "count", {count}, {Argument::Var(a)});
+  p.Add("io", "print", {}, {Argument::Var(sum)});
+  p.Add("io", "print", {}, {Argument::Var(count)});
+  auto r = RunProgram(&cat, p);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().columns[0].scalar.is_null());  // SQL: SUM of none
+  EXPECT_EQ(r.value().columns[1].scalar.AsInt(), 0);   // COUNT of none
+}
+
+TEST(EngineEdgeTest, CalcStringComparisons) {
+  Catalog cat;
+  Program p;
+  int lt = p.AddVariable(MalType::Scalar(DataType::kBool));
+  p.Add("calc", "lt", {lt},
+        {Argument::Const(Value::String("apple")),
+         Argument::Const(Value::String("banana"))});
+  int eq = p.AddVariable(MalType::Scalar(DataType::kBool));
+  p.Add("calc", "eq", {eq},
+        {Argument::Const(Value::String("x")),
+         Argument::Const(Value::String("x"))});
+  p.Add("io", "print", {}, {Argument::Var(lt)});
+  p.Add("io", "print", {}, {Argument::Var(eq)});
+  auto r = RunProgram(&cat, p);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().columns[0].scalar.AsBool());
+  EXPECT_TRUE(r.value().columns[1].scalar.AsBool());
+}
+
+TEST(EngineEdgeTest, MatPackTypeMismatch) {
+  Catalog cat;
+  TablePtr t = Table::Make("t", Schema({{"i", DataType::kInt64},
+                                        {"d", DataType::kDouble}}));
+  ASSERT_TRUE(t->AppendRow({Value::Int(1), Value::Double(1.5)}).ok());
+  ASSERT_TRUE(cat.AddTable(t).ok());
+  Program p;
+  int mvc = p.AddVariable(MalType::Scalar(DataType::kInt64));
+  p.Add("sql", "mvc", {mvc}, {});
+  int i = p.AddVariable(MalType::Bat(DataType::kInt64));
+  p.Add("sql", "bind", {i},
+        {Argument::Var(mvc), Argument::Const(Value::String("sys")),
+         Argument::Const(Value::String("t")), Argument::Const(Value::String("i")),
+         Argument::Const(Value::Int(0))});
+  int d = p.AddVariable(MalType::Bat(DataType::kDouble));
+  p.Add("sql", "bind", {d},
+        {Argument::Var(mvc), Argument::Const(Value::String("sys")),
+         Argument::Const(Value::String("t")), Argument::Const(Value::String("d")),
+         Argument::Const(Value::Int(0))});
+  int packed = p.AddVariable(MalType::Bat(DataType::kInt64));
+  p.Add("mat", "pack", {packed}, {Argument::Var(i), Argument::Var(d)});
+  auto r = RunProgram(&cat, p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+// --- dot / graph edges ---
+
+TEST(GraphEdgeTest, EmptyGraphTopologicalOrder) {
+  dot::Graph g;
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_TRUE(order.value().empty());
+  EXPECT_TRUE(g.Roots().empty());
+}
+
+TEST(GraphEdgeTest, SelfLoopIsCycle) {
+  dot::Graph g;
+  g.AddEdge("a", "a");
+  EXPECT_FALSE(g.TopologicalOrder().ok());
+}
+
+// --- optimizer edges ---
+
+TEST(OptimizerEdgeTest, MitosisHandlesSelectOverPartitionedCandidates) {
+  // A plan where a select consumes the result of another (already
+  // partitioned) select: the pass must chain slices rather than repartition.
+  Catalog cat;
+  TablePtr t = Table::Make("t", Schema({{"v", DataType::kInt64}}));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t->AppendRow({Value::Int(i % 10)}).ok());
+  }
+  ASSERT_TRUE(cat.AddTable(t).ok());
+  auto program = sql::Compiler::CompileSql(
+      &cat, "select v from t where v >= 2 and v <= 7 and v <> 5");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  Program plain = program.value();
+  Program split = program.value();
+  auto changed = optimizer::MakeMitosisPass(4)->Run(&split);
+  ASSERT_TRUE(changed.ok());
+  EXPECT_TRUE(changed.value());
+  // Exactly one partition fan-out (4 bat.partition calls), selects chained.
+  size_t partitions = 0;
+  for (const auto& ins : split.instructions()) {
+    if (ins.FullName() == "bat.partition") ++partitions;
+  }
+  EXPECT_EQ(partitions, 4u);
+
+  auto a = RunProgram(&cat, plain);
+  auto b = RunProgram(&cat, split);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(a.value().columns[0].column->size(),
+            b.value().columns[0].column->size());
+  for (size_t i = 0; i < a.value().columns[0].column->size(); ++i) {
+    EXPECT_EQ(a.value().columns[0].column->IntAt(i),
+              b.value().columns[0].column->IntAt(i));
+  }
+}
+
+TEST(OptimizerEdgeTest, PipelineOnEmptyProgram) {
+  Program p;
+  optimizer::Pipeline pipeline = optimizer::Pipeline::Default(4);
+  auto fired = pipeline.Run(&p);
+  ASSERT_TRUE(fired.ok());
+  // Only the dataflow marker fires.
+  EXPECT_EQ(p.size(), 1u);
+}
+
+// --- result printer edges ---
+
+TEST(ResultPrinterEdgeTest, NullsRenderAsNULL) {
+  engine::QueryResult result;
+  engine::ResultColumn col;
+  col.name = "v";
+  col.column = Column::Make(DataType::kInt64);
+  col.column->AppendInt(1);
+  col.column->AppendNull();
+  result.columns.push_back(col);
+  std::string table = server::FormatResultTable(result);
+  EXPECT_NE(table.find("NULL"), std::string::npos);
+}
+
+TEST(ResultPrinterEdgeTest, RaggedColumnsPadded) {
+  engine::QueryResult result;
+  engine::ResultColumn a;
+  a.name = "a";
+  a.column = Column::Make(DataType::kInt64);
+  a.column->AppendInt(1);
+  a.column->AppendInt(2);
+  engine::ResultColumn b;
+  b.name = "b";
+  b.column = Column::Make(DataType::kInt64);
+  b.column->AppendInt(9);
+  result.columns.push_back(a);
+  result.columns.push_back(b);
+  std::string table = server::FormatResultTable(result);
+  EXPECT_NE(table.find("(2 rows)"), std::string::npos);
+}
+
+// --- animator edges ---
+
+TEST(AnimatorEdgeTest, CompetingAnimationsLastWins) {
+  VirtualClock clock;
+  viz::VirtualSpace space;
+  viz::Glyph g;
+  g.kind = viz::GlyphKind::kShape;
+  g.fill = viz::Color::White();
+  int id = space.AddGlyph(g);
+  viz::Animator animator(&clock);
+  animator.AnimateGlyphFill(&space, id, viz::Color::Red(), 10000);
+  animator.AnimateGlyphFill(&space, id, viz::Color::Green(), 10000);
+  clock.Advance(20000);
+  animator.Tick();
+  // Both completed; the later-scheduled animation applied last.
+  EXPECT_EQ(space.GetGlyph(id).value().fill, viz::Color::Green());
+}
+
+TEST(AnimatorEdgeTest, ZeroDurationSnapsImmediately) {
+  VirtualClock clock;
+  viz::Camera cam(100, 100);
+  viz::Animator animator(&clock);
+  animator.AnimateCamera(&cam, 10, 20, 30, 0);
+  animator.Tick();
+  EXPECT_DOUBLE_EQ(cam.x(), 10);
+  EXPECT_DOUBLE_EQ(cam.altitude(), 30);
+  EXPECT_EQ(animator.active(), 0u);
+}
+
+}  // namespace
+}  // namespace stetho

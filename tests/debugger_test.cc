@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "engine/debugger.h"
+#include "sql/compiler.h"
+#include "storage/table.h"
+#include "tpch/dbgen.h"
+
+namespace stetho::engine {
+namespace {
+
+class DebuggerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tpch::TpchConfig config;
+    config.scale_factor = 0.001;
+    auto cat = tpch::GenerateTpch(config);
+    ASSERT_TRUE(cat.ok());
+    catalog_ = std::make_unique<storage::Catalog>(std::move(cat.value()));
+    auto program = sql::Compiler::CompileSql(
+        catalog_.get(), "select l_tax from lineitem where l_partkey = 1");
+    ASSERT_TRUE(program.ok());
+    program_ = std::move(program).value();
+    // Plan (no optimizer): mvc, tid, bind, thetaselect, bind, projection,
+    // resultSet -> 7 instructions.
+    ASSERT_EQ(program_.size(), 7u);
+  }
+
+  std::unique_ptr<MalDebugger> MakeDebugger() {
+    auto dbg = MalDebugger::Create(&program_, catalog_.get());
+    EXPECT_TRUE(dbg.ok());
+    return std::move(dbg).value();
+  }
+
+  std::unique_ptr<storage::Catalog> catalog_;
+  mal::Program program_;
+};
+
+TEST_F(DebuggerFixture, StepThroughWholePlan) {
+  auto dbg = MakeDebugger();
+  EXPECT_EQ(dbg->next_pc(), 0);
+  EXPECT_NE(dbg->CurrentInstruction().find("sql.mvc"), std::string::npos);
+  size_t steps = 0;
+  while (!dbg->Finished()) {
+    ASSERT_TRUE(dbg->Step().ok());
+    ++steps;
+  }
+  EXPECT_EQ(steps, program_.size());
+  EXPECT_FALSE(dbg->Step().ok());
+  EXPECT_EQ(dbg->CurrentInstruction(), "<end of plan>");
+  EXPECT_EQ(dbg->results_so_far(), 1u);
+}
+
+TEST_F(DebuggerFixture, PcBreakpoint) {
+  auto dbg = MakeDebugger();
+  ASSERT_TRUE(dbg->BreakAt(3).ok());
+  auto stop = dbg->Continue();
+  ASSERT_TRUE(stop.ok());
+  EXPECT_EQ(stop.value(), 3);
+  EXPECT_EQ(dbg->next_pc(), 3);
+  // The breakpointed instruction has NOT run yet.
+  EXPECT_NE(dbg->CurrentInstruction().find("thetaselect"), std::string::npos);
+  // Resuming from the stop finishes the plan.
+  auto done = dbg->Continue();
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done.value(), -1);
+  EXPECT_TRUE(dbg->Finished());
+}
+
+TEST_F(DebuggerFixture, ModuleBreakpointFiresRepeatedly) {
+  auto dbg = MakeDebugger();
+  dbg->BreakOn("sql");
+  std::vector<int> stops;
+  while (true) {
+    auto stop = dbg->Continue();
+    ASSERT_TRUE(stop.ok());
+    if (stop.value() < 0) break;
+    stops.push_back(stop.value());
+  }
+  // sql.mvc(0), sql.tid(1), sql.bind(2), sql.bind(4), sql.resultSet(6) —
+  // pc 0 is where the fresh debugger stops first.
+  EXPECT_EQ(stops, (std::vector<int>{0, 1, 2, 4, 6}));
+}
+
+TEST_F(DebuggerFixture, FullNameBreakpoint) {
+  auto dbg = MakeDebugger();
+  dbg->BreakOn("algebra.projection");
+  auto stop = dbg->Continue();
+  ASSERT_TRUE(stop.ok());
+  EXPECT_EQ(stop.value(), 5);
+}
+
+TEST_F(DebuggerFixture, InspectVariables) {
+  auto dbg = MakeDebugger();
+  auto before = dbg->InspectVariable("X_1");
+  ASSERT_TRUE(before.ok());
+  EXPECT_NE(before.value().find("<unassigned>"), std::string::npos);
+
+  // Run through the tid instruction.
+  ASSERT_TRUE(dbg->Step().ok());  // mvc
+  ASSERT_TRUE(dbg->Step().ok());  // tid
+  auto mvc = dbg->InspectVariable("X_0");
+  ASSERT_TRUE(mvc.ok());
+  EXPECT_EQ(mvc.value(), "X_0 = 0");
+  auto tid = dbg->InspectVariable("X_1");
+  ASSERT_TRUE(tid.ok());
+  EXPECT_NE(tid.value().find("bat[oid]"), std::string::npos);
+  EXPECT_NE(tid.value().find("count="), std::string::npos);
+  EXPECT_NE(tid.value().find("0@0"), std::string::npos);  // head sample
+  EXPECT_FALSE(dbg->InspectVariable("X_999").ok());
+  EXPECT_EQ(dbg->ListVariables().size(), 2u);
+}
+
+TEST_F(DebuggerFixture, RegistersSurviveForInspection) {
+  // Unlike the production interpreter, the debugger never frees registers:
+  // every intermediate stays inspectable after the plan finishes.
+  auto dbg = MakeDebugger();
+  ASSERT_TRUE(dbg->Continue().ok());
+  EXPECT_EQ(dbg->ListVariables().size(), program_.num_variables());
+  for (size_t v = 0; v < program_.num_variables(); ++v) {
+    auto value = dbg->InspectVariable(program_.variable(static_cast<int>(v)).name);
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(value.value().find("<freed>"), std::string::npos);
+  }
+}
+
+TEST_F(DebuggerFixture, BreakpointManagement) {
+  auto dbg = MakeDebugger();
+  ASSERT_TRUE(dbg->BreakAt(2).ok());
+  dbg->BreakOn("algebra");
+  EXPECT_EQ(dbg->ListBreakpoints().size(), 2u);
+  EXPECT_FALSE(dbg->BreakAt(99).ok());
+  dbg->ClearBreakpoints();
+  EXPECT_TRUE(dbg->ListBreakpoints().empty());
+  auto stop = dbg->Continue();
+  ASSERT_TRUE(stop.ok());
+  EXPECT_EQ(stop.value(), -1);  // no breakpoints: runs to completion
+}
+
+TEST_F(DebuggerFixture, KernelErrorsCarryPc) {
+  mal::Program bad;
+  int v = bad.AddVariable(mal::MalType::Bat(storage::DataType::kInt64));
+  bad.Add("sql", "bind", {v},
+          {mal::Argument::Const(storage::Value::Int(0)),
+           mal::Argument::Const(storage::Value::String("sys")),
+           mal::Argument::Const(storage::Value::String("lineitem")),
+           mal::Argument::Const(storage::Value::String("ghost")),
+           mal::Argument::Const(storage::Value::Int(0))});
+  auto dbg = MalDebugger::Create(&bad, catalog_.get());
+  ASSERT_TRUE(dbg.ok());
+  Status st = dbg.value()->Step();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("pc=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stetho::engine

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "dot/graph.h"
+#include "dot/parser.h"
+#include "dot/writer.h"
+#include "mal/program.h"
+#include "sql/compiler.h"
+#include "storage/table.h"
+#include "tpch/dbgen.h"
+
+namespace stetho::dot {
+namespace {
+
+using mal::Argument;
+using mal::MalType;
+using mal::Program;
+using storage::DataType;
+using storage::Value;
+
+Program TinyPlan() {
+  Program p;
+  int a = p.AddVariable(MalType::Scalar(DataType::kInt64));
+  p.Add("sql", "mvc", {a}, {});
+  int b = p.AddVariable(MalType::Bat(DataType::kOid));
+  p.Add("sql", "tid", {b},
+        {Argument::Var(a), Argument::Const(Value::String("sys")),
+         Argument::Const(Value::String("t"))});
+  p.Add("io", "print", {}, {Argument::Var(b)});
+  return p;
+}
+
+// --- Graph ---
+
+TEST(GraphTest, AddNodeIdempotent) {
+  Graph g;
+  g.AddNode("a").attrs["label"] = "first";
+  g.AddNode("a");
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.node(0).label(), "first");
+}
+
+TEST(GraphTest, EdgesCreateNodes) {
+  Graph g;
+  g.AddEdge("a", "b");
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_GE(g.FindNode("a"), 0);
+  EXPECT_EQ(g.FindNode("zzz"), -1);
+}
+
+TEST(GraphTest, RootsAndAdjacency) {
+  Graph g;
+  g.AddEdge("a", "c");
+  g.AddEdge("b", "c");
+  g.AddEdge("c", "d");
+  auto roots = g.Roots();
+  ASSERT_EQ(roots.size(), 2u);  // a, b
+  auto out = g.OutAdjacency();
+  EXPECT_EQ(out[static_cast<size_t>(g.FindNode("c"))].size(), 1u);
+  auto in = g.InAdjacency();
+  EXPECT_EQ(in[static_cast<size_t>(g.FindNode("c"))].size(), 2u);
+}
+
+TEST(GraphTest, TopologicalOrder) {
+  Graph g;
+  g.AddEdge("a", "b");
+  g.AddEdge("b", "c");
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order.value(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(GraphTest, CycleDetected) {
+  Graph g;
+  g.AddEdge("a", "b");
+  g.AddEdge("b", "a");
+  EXPECT_FALSE(g.TopologicalOrder().ok());
+}
+
+// --- writer ---
+
+TEST(DotWriterTest, EmitsNodePerInstructionAndPcNames) {
+  Program p = TinyPlan();
+  std::string text = ProgramToDot(p);
+  EXPECT_NE(text.find("digraph"), std::string::npos);
+  EXPECT_NE(text.find("n0 [label="), std::string::npos);
+  EXPECT_NE(text.find("n1 [label="), std::string::npos);
+  EXPECT_NE(text.find("n2 [label="), std::string::npos);
+  EXPECT_NE(text.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(text.find("n1 -> n2"), std::string::npos);
+  EXPECT_NE(text.find("sql.tid"), std::string::npos);
+}
+
+TEST(DotWriterTest, LabelTruncation) {
+  Program p = TinyPlan();
+  DotWriterOptions options;
+  options.max_label_chars = 10;
+  std::string text = ProgramToDot(p, options);
+  EXPECT_NE(text.find("..."), std::string::npos);
+}
+
+TEST(DotWriterTest, ProgramToGraphMatchesDependencies) {
+  Program p = TinyPlan();
+  Graph g = ProgramToGraph(p);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.node(0).label(), p.InstructionToString(p.instruction(0)));
+}
+
+// --- parser ---
+
+TEST(DotParserTest, ParsesWriterOutput) {
+  Program p = TinyPlan();
+  auto parsed = ParseDot(ProgramToDot(p));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Graph& g = parsed.value();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.directed());
+  int n1 = g.FindNode("n1");
+  ASSERT_GE(n1, 0);
+  EXPECT_NE(g.node(static_cast<size_t>(n1)).label().find("sql.tid"),
+            std::string::npos);
+}
+
+TEST(DotParserTest, GraphRoundTrip) {
+  Graph g("roundtrip");
+  g.AddNode("a").attrs["label"] = "alpha \"quoted\"";
+  g.AddNode("b").attrs["fillcolor"] = "red";
+  g.AddEdge("a", "b").attrs["style"] = "dashed";
+  auto parsed = ParseDot(GraphToDot(g));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Graph& back = parsed.value();
+  EXPECT_EQ(back.name(), "roundtrip");
+  ASSERT_EQ(back.num_nodes(), 2u);
+  EXPECT_EQ(back.node(0).label(), "alpha \"quoted\"");
+  EXPECT_EQ(back.node(1).attrs.at("fillcolor"), "red");
+  ASSERT_EQ(back.num_edges(), 1u);
+  EXPECT_EQ(back.edges()[0].attrs.at("style"), "dashed");
+}
+
+TEST(DotParserTest, UndirectedGraph) {
+  auto parsed = ParseDot("graph g { a -- b; }");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value().directed());
+  EXPECT_EQ(parsed.value().num_edges(), 1u);
+}
+
+TEST(DotParserTest, SkipsCommentsAndDefaults) {
+  auto parsed = ParseDot(
+      "// header comment\n"
+      "digraph g {\n"
+      "  /* block */ node [shape=box];\n"
+      "  rankdir = TB;\n"
+      "  # trailing comment\n"
+      "  a [label=\"x\"];\n"
+      "  a -> b;\n"
+      "}\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().num_nodes(), 2u);
+  EXPECT_EQ(parsed.value().num_edges(), 1u);
+}
+
+TEST(DotParserTest, Rejections) {
+  EXPECT_FALSE(ParseDot("").ok());
+  EXPECT_FALSE(ParseDot("notagraph g { }").ok());
+  EXPECT_FALSE(ParseDot("digraph g { a -> ; }").ok());
+  EXPECT_FALSE(ParseDot("digraph g { a [label=\"unterminated ]; }").ok());
+  EXPECT_FALSE(ParseDot("digraph g { a -> b; ").ok());
+}
+
+// --- end-to-end with the compiler ---
+
+TEST(DotPipelineTest, CompiledQueryRoundTripsThroughDot) {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.001;
+  auto cat = tpch::GenerateTpch(config);
+  ASSERT_TRUE(cat.ok());
+  auto program = sql::Compiler::CompileSql(
+      &cat.value(), "select l_tax from lineitem where l_partkey = 1");
+  ASSERT_TRUE(program.ok());
+
+  std::string dot_text = ProgramToDot(program.value());
+  auto graph = ParseDot(dot_text);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph.value().num_nodes(), program.value().size());
+  // pc <-> node-name mapping: every instruction has its n<pc> node.
+  for (size_t pc = 0; pc < program.value().size(); ++pc) {
+    EXPECT_GE(graph.value().FindNode("n" + std::to_string(pc)), 0);
+  }
+  // The DAG is acyclic and roots exist.
+  EXPECT_TRUE(graph.value().TopologicalOrder().ok());
+  EXPECT_FALSE(graph.value().Roots().empty());
+}
+
+}  // namespace
+}  // namespace stetho::dot

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dot/parser.h"
+#include "dot/writer.h"
+#include "layout/sugiyama.h"
+#include "layout/svg.h"
+#include "sql/compiler.h"
+#include "tpch/dbgen.h"
+
+namespace stetho::layout {
+namespace {
+
+dot::Graph Diamond() {
+  dot::Graph g("diamond");
+  g.AddNode("a").attrs["label"] = "root";
+  g.AddNode("b").attrs["label"] = "left";
+  g.AddNode("c").attrs["label"] = "right";
+  g.AddNode("d").attrs["label"] = "sink";
+  g.AddEdge("a", "b");
+  g.AddEdge("a", "c");
+  g.AddEdge("b", "d");
+  g.AddEdge("c", "d");
+  return g;
+}
+
+TEST(SugiyamaTest, EmptyGraph) {
+  dot::Graph g;
+  auto layout = LayoutGraph(g);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_TRUE(layout.value().nodes.empty());
+}
+
+TEST(SugiyamaTest, DiamondLayers) {
+  auto layout = LayoutGraph(Diamond());
+  ASSERT_TRUE(layout.ok()) << layout.status().ToString();
+  const GraphLayout& l = layout.value();
+  ASSERT_EQ(l.nodes.size(), 4u);
+  EXPECT_EQ(l.nodes[0].layer, 0);
+  EXPECT_EQ(l.nodes[1].layer, 1);
+  EXPECT_EQ(l.nodes[2].layer, 1);
+  EXPECT_EQ(l.nodes[3].layer, 2);
+  // Deeper layers have strictly larger y.
+  EXPECT_LT(l.nodes[0].y, l.nodes[1].y);
+  EXPECT_LT(l.nodes[1].y, l.nodes[3].y);
+  // Same layer shares y.
+  EXPECT_DOUBLE_EQ(l.nodes[1].y, l.nodes[2].y);
+}
+
+TEST(SugiyamaTest, NoOverlapWithinLayer) {
+  auto layout = LayoutGraph(Diamond());
+  ASSERT_TRUE(layout.ok());
+  const auto& n1 = layout.value().nodes[1];
+  const auto& n2 = layout.value().nodes[2];
+  double gap = std::abs(n1.x - n2.x);
+  EXPECT_GE(gap, (n1.width + n2.width) / 2.0);
+}
+
+TEST(SugiyamaTest, AllNodesInsideCanvas) {
+  auto layout = LayoutGraph(Diamond());
+  ASSERT_TRUE(layout.ok());
+  for (const NodeLayout& n : layout.value().nodes) {
+    EXPECT_GE(n.x - n.width / 2.0, 0.0);
+    EXPECT_GE(n.y - n.height / 2.0, 0.0);
+    EXPECT_LE(n.x + n.width / 2.0, layout.value().width);
+    EXPECT_LE(n.y + n.height / 2.0, layout.value().height);
+  }
+}
+
+TEST(SugiyamaTest, EdgesConnectPorts) {
+  auto layout = LayoutGraph(Diamond());
+  ASSERT_TRUE(layout.ok());
+  const GraphLayout& l = layout.value();
+  ASSERT_EQ(l.edges.size(), 4u);
+  for (const EdgeLayout& e : l.edges) {
+    ASSERT_EQ(e.points.size(), 2u);
+    // Edge goes downward.
+    EXPECT_LT(e.points[0].y, e.points[1].y);
+  }
+}
+
+TEST(SugiyamaTest, RejectsCycles) {
+  dot::Graph g;
+  g.AddEdge("a", "b");
+  g.AddEdge("b", "a");
+  EXPECT_FALSE(LayoutGraph(g).ok());
+}
+
+TEST(SugiyamaTest, WideLabelWidthsClamped) {
+  dot::Graph g;
+  g.AddNode("a").attrs["label"] = std::string(500, 'x');
+  LayoutOptions options;
+  auto layout = LayoutGraph(g, options);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_LE(layout.value().nodes[0].width, options.max_node_width);
+}
+
+TEST(SugiyamaTest, BarycenterReducesCrossingsOnRandomDags) {
+  // Property: sweeps never leave more crossings than zero sweeps on a
+  // batch of random layered DAGs.
+  SplitMix64 rng(1234);
+  for (int trial = 0; trial < 10; ++trial) {
+    dot::Graph g;
+    const int kLayers = 4;
+    const int kPerLayer = 6;
+    for (int l = 0; l < kLayers; ++l) {
+      for (int i = 0; i < kPerLayer; ++i) {
+        g.AddNode("n" + std::to_string(l * kPerLayer + i));
+      }
+    }
+    for (int l = 0; l + 1 < kLayers; ++l) {
+      for (int i = 0; i < kPerLayer; ++i) {
+        for (int j = 0; j < kPerLayer; ++j) {
+          if (rng.NextBool(0.3)) {
+            g.AddEdge("n" + std::to_string(l * kPerLayer + i),
+                      "n" + std::to_string((l + 1) * kPerLayer + j));
+          }
+        }
+      }
+    }
+    LayoutOptions no_sweeps;
+    no_sweeps.barycenter_sweeps = 0;
+    LayoutOptions with_sweeps;
+    with_sweeps.barycenter_sweeps = 4;
+    auto before = LayoutGraph(g, no_sweeps);
+    auto after = LayoutGraph(g, with_sweeps);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    EXPECT_LE(after.value().crossings, before.value().crossings)
+        << "trial " << trial;
+  }
+}
+
+TEST(SugiyamaTest, ScalesToThousandNodes) {
+  // Feature claim §1(5): graphs with more than 1000 nodes are supported.
+  dot::Graph g;
+  const int kNodes = 1200;
+  for (int i = 0; i < kNodes; ++i) {
+    g.AddNode("n" + std::to_string(i)).attrs["label"] = "op" + std::to_string(i);
+  }
+  SplitMix64 rng(7);
+  for (int i = 1; i < kNodes; ++i) {
+    // Tree backbone plus extra edges; always parent < child so it's a DAG.
+    int parent = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(i)));
+    g.AddEdge("n" + std::to_string(parent), "n" + std::to_string(i));
+  }
+  auto layout = LayoutGraph(g);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout.value().nodes.size(), static_cast<size_t>(kNodes));
+  EXPECT_GT(layout.value().width, 0);
+}
+
+// --- SVG ---
+
+TEST(SvgTest, EmitsNodesAndEdges) {
+  auto layout = LayoutGraph(Diamond());
+  ASSERT_TRUE(layout.ok());
+  std::string svg = LayoutToSvg(Diamond(), layout.value());
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("class=\"node\" id=\"a\""), std::string::npos);
+  EXPECT_NE(svg.find("data-from=\"a\" data-to=\"b\""), std::string::npos);
+  EXPECT_NE(svg.find(">root<"), std::string::npos);
+}
+
+TEST(SvgTest, FillColorFromNodeAttr) {
+  dot::Graph g = Diamond();
+  g.node(static_cast<size_t>(g.FindNode("b"))).attrs["fillcolor"] = "red";
+  auto layout = LayoutGraph(g);
+  ASSERT_TRUE(layout.ok());
+  std::string svg = LayoutToSvg(g, layout.value());
+  EXPECT_NE(svg.find("fill=\"red\""), std::string::npos);
+}
+
+TEST(SvgTest, ParseRoundTrip) {
+  dot::Graph g = Diamond();
+  auto layout = LayoutGraph(g);
+  ASSERT_TRUE(layout.ok());
+  std::string svg = LayoutToSvg(g, layout.value());
+  auto doc = ParseSvg(svg);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc.value().nodes.size(), 4u);
+  EXPECT_EQ(doc.value().edges.size(), 4u);
+  EXPECT_DOUBLE_EQ(doc.value().width, layout.value().width);
+  // Geometry survives.
+  const SvgNode& first = doc.value().nodes[0];
+  EXPECT_GT(first.width, 0);
+  EXPECT_FALSE(first.label.empty());
+}
+
+TEST(SvgTest, SvgToGraphRebuildsTopology) {
+  dot::Graph g = Diamond();
+  auto layout = LayoutGraph(g);
+  ASSERT_TRUE(layout.ok());
+  auto doc = ParseSvg(LayoutToSvg(g, layout.value()));
+  ASSERT_TRUE(doc.ok());
+  dot::Graph back = SvgToGraph(doc.value());
+  EXPECT_EQ(back.num_nodes(), g.num_nodes());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  int a = back.FindNode("a");
+  ASSERT_GE(a, 0);
+  EXPECT_EQ(back.node(static_cast<size_t>(a)).label(), "root");
+  EXPECT_TRUE(back.TopologicalOrder().ok());
+}
+
+TEST(SvgTest, EscapedLabelsSurvive) {
+  dot::Graph g;
+  g.AddNode("x").attrs["label"] = "a < b & \"c\"";
+  auto layout = LayoutGraph(g);
+  ASSERT_TRUE(layout.ok());
+  auto doc = ParseSvg(LayoutToSvg(g, layout.value()));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc.value().nodes[0].label, "a < b & \"c\"");
+}
+
+TEST(SvgTest, RejectsNonSvg) {
+  EXPECT_FALSE(ParseSvg("<html></html>").ok());
+  EXPECT_FALSE(ParseSvg("").ok());
+}
+
+// --- full paper workflow: dot -> svg -> in-memory graph ---
+
+TEST(WorkflowTest, DotToSvgToGraphForCompiledQuery) {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.001;
+  auto cat = tpch::GenerateTpch(config);
+  ASSERT_TRUE(cat.ok());
+  auto program = sql::Compiler::CompileSql(
+      &cat.value(), "select l_tax from lineitem where l_partkey = 1");
+  ASSERT_TRUE(program.ok());
+
+  // Step 1: dot file parsing.
+  auto graph = dot::ParseDot(dot::ProgramToDot(program.value()));
+  ASSERT_TRUE(graph.ok());
+  // Step 2: intermediate svg representation.
+  auto layout = LayoutGraph(graph.value());
+  ASSERT_TRUE(layout.ok());
+  std::string svg = LayoutToSvg(graph.value(), layout.value());
+  // Step 3: svg parsed into the in-memory graph structure.
+  auto doc = ParseSvg(svg);
+  ASSERT_TRUE(doc.ok());
+  dot::Graph final_graph = SvgToGraph(doc.value());
+  EXPECT_EQ(final_graph.num_nodes(), program.value().size());
+  EXPECT_FALSE(final_graph.Roots().empty());
+}
+
+}  // namespace
+}  // namespace stetho::layout

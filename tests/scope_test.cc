@@ -1,0 +1,741 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/clock.h"
+#include "dot/parser.h"
+#include "dot/writer.h"
+#include "net/channel.h"
+#include "net/trace_stream.h"
+#include "net/udp.h"
+#include "profiler/sink.h"
+#include "scope/analysis.h"
+#include "scope/coloring.h"
+#include "scope/mapping.h"
+#include "scope/online.h"
+#include "scope/replayer.h"
+#include "scope/textual.h"
+#include "scope/trace.h"
+#include "server/mserver.h"
+#include "tpch/dbgen.h"
+
+namespace stetho::scope {
+namespace {
+
+using profiler::EventState;
+using profiler::TraceEvent;
+
+TraceEvent Ev(EventState state, int pc, int thread = 0, int64_t usec = 10,
+              int64_t time_us = 0, const char* stmt = "X_0 := sql.mvc();") {
+  TraceEvent e;
+  e.state = state;
+  e.pc = pc;
+  e.thread = thread;
+  e.usec = state == EventState::kDone ? usec : 0;
+  e.time_us = time_us;
+  e.rss_bytes = 1024;
+  e.stmt = stmt;
+  return e;
+}
+
+// --- mapping ---
+
+TEST(MappingTest, RoundTrip) {
+  EXPECT_EQ(NodeForPc(0), "n0");
+  EXPECT_EQ(NodeForPc(42), "n42");
+  EXPECT_EQ(PcForNode("n42").value(), 42);
+  EXPECT_FALSE(PcForNode("x42").ok());
+  EXPECT_FALSE(PcForNode("n").ok());
+  EXPECT_FALSE(PcForNode("n-3").ok());
+}
+
+// --- coloring: the paper's worked example ---
+
+TEST(ColoringTest, PaperExampleExactlyOneRed) {
+  // {start,1},{done,1},{start,2},{done,2},{start,3},{start,4}:
+  // pcs 1 and 2 are adjacent pairs -> uncolored; pc 3 is an unpaired start
+  // with instructions after it -> RED; pc 4 is the last event -> unjudged.
+  std::vector<TraceEvent> buffer = {
+      Ev(EventState::kStart, 1), Ev(EventState::kDone, 1),
+      Ev(EventState::kStart, 2), Ev(EventState::kDone, 2),
+      Ev(EventState::kStart, 3), Ev(EventState::kStart, 4),
+  };
+  auto decisions = PairSequenceColoring(buffer);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].pc, 3);
+  EXPECT_EQ(decisions[0].color, viz::Color::Red());
+}
+
+TEST(ColoringTest, UnpairedDoneTurnsGreen) {
+  // start,5 ... other work ... done,5: 5 was long-running; its done event
+  // (not adjacent to its start) colors it GREEN.
+  std::vector<TraceEvent> buffer = {
+      Ev(EventState::kStart, 5), Ev(EventState::kStart, 6),
+      Ev(EventState::kDone, 5),  Ev(EventState::kDone, 6),
+  };
+  auto decisions = PairSequenceColoring(buffer);
+  ASSERT_EQ(decisions.size(), 4u);
+  EXPECT_EQ(decisions[0].pc, 5);
+  EXPECT_EQ(decisions[0].color, viz::Color::Red());
+  EXPECT_EQ(decisions[1].pc, 6);
+  EXPECT_EQ(decisions[1].color, viz::Color::Red());
+  EXPECT_EQ(decisions[2].pc, 5);
+  EXPECT_EQ(decisions[2].color, viz::Color::Green());
+  EXPECT_EQ(decisions[3].pc, 6);
+  EXPECT_EQ(decisions[3].color, viz::Color::Green());
+}
+
+TEST(ColoringTest, AllAdjacentPairsColorNothing) {
+  std::vector<TraceEvent> buffer;
+  for (int pc = 0; pc < 20; ++pc) {
+    buffer.push_back(Ev(EventState::kStart, pc));
+    buffer.push_back(Ev(EventState::kDone, pc));
+  }
+  EXPECT_TRUE(PairSequenceColoring(buffer).empty());
+}
+
+TEST(ColoringTest, EmptyBuffer) {
+  EXPECT_TRUE(PairSequenceColoring({}).empty());
+}
+
+TEST(ColoringTest, ThresholdSeparatesCostly) {
+  std::vector<TraceEvent> buffer = {
+      Ev(EventState::kStart, 1), Ev(EventState::kDone, 1, 0, 50),
+      Ev(EventState::kStart, 2), Ev(EventState::kDone, 2, 0, 5000),
+      Ev(EventState::kStart, 3),  // still running
+  };
+  auto decisions = ThresholdColoring(buffer, 1000);
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_EQ(decisions[0].pc, 2);
+  EXPECT_EQ(decisions[0].color, viz::Color::Red());
+  EXPECT_EQ(decisions[1].pc, 3);
+  EXPECT_EQ(decisions[1].color, viz::Color::Orange());
+}
+
+TEST(ColoringTest, GradientScalesWithDuration) {
+  std::vector<TraceEvent> buffer = {
+      Ev(EventState::kDone, 1, 0, 100),
+      Ev(EventState::kDone, 2, 0, 1000),
+  };
+  auto decisions = GradientColoring(buffer);
+  ASSERT_EQ(decisions.size(), 2u);
+  // pc 2 is the max -> full red; pc 1 is lighter (closer to white).
+  EXPECT_EQ(decisions[1].color, viz::Color::Red());
+  EXPECT_GT(decisions[0].color.g, decisions[1].color.g);
+}
+
+// --- analysis ---
+
+TEST(AnalysisTest, ThreadUtilization) {
+  std::vector<TraceEvent> events = {
+      Ev(EventState::kStart, 0, 0, 0, 0),
+      Ev(EventState::kStart, 1, 1, 0, 0),
+      Ev(EventState::kDone, 0, 0, 100, 100),
+      Ev(EventState::kDone, 1, 1, 150, 150),
+  };
+  UtilizationReport report = AnalyzeThreadUtilization(events);
+  EXPECT_EQ(report.wall_us, 150);
+  EXPECT_EQ(report.max_concurrency, 2u);
+  ASSERT_EQ(report.threads.size(), 2u);
+  EXPECT_EQ(report.threads[0].busy_us, 100);
+  EXPECT_EQ(report.threads[1].busy_us, 150);
+  EXPECT_NE(report.ToString().find("thread 0"), std::string::npos);
+}
+
+TEST(AnalysisTest, SequentialTraceHasConcurrencyOne) {
+  std::vector<TraceEvent> events;
+  int64_t t = 0;
+  for (int pc = 0; pc < 5; ++pc) {
+    events.push_back(Ev(EventState::kStart, pc, 0, 0, t));
+    t += 10;
+    events.push_back(Ev(EventState::kDone, pc, 0, 10, t));
+  }
+  UtilizationReport report = AnalyzeThreadUtilization(events);
+  EXPECT_EQ(report.max_concurrency, 1u);
+}
+
+TEST(AnalysisTest, OperatorAggregation) {
+  std::vector<TraceEvent> events = {
+      Ev(EventState::kDone, 1, 0, 100, 0, "X_1:bat[:oid] := algebra.select(X_0,1,2);"),
+      Ev(EventState::kDone, 2, 0, 300, 0, "X_2:bat[:oid] := algebra.select(X_0,3,4);"),
+      Ev(EventState::kDone, 3, 0, 50, 0, "io.print(X_2);"),
+  };
+  auto ops = AnalyzeOperators(events);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].op, "algebra.select");
+  EXPECT_EQ(ops[0].calls, 2);
+  EXPECT_EQ(ops[0].total_usec, 400);
+  EXPECT_EQ(ops[0].max_usec, 300);
+  EXPECT_EQ(ops[1].op, "io.print");
+}
+
+TEST(AnalysisTest, CostlyClusters) {
+  std::vector<TraceEvent> events;
+  // Two clusters of costly events separated by a long cheap stretch.
+  for (int i = 0; i < 3; ++i) events.push_back(Ev(EventState::kDone, i, 0, 5000));
+  for (int i = 0; i < 20; ++i) events.push_back(Ev(EventState::kDone, 100 + i, 0, 1));
+  for (int i = 0; i < 2; ++i) events.push_back(Ev(EventState::kDone, 50 + i, 0, 9000));
+  auto clusters = FindCostlyClusters(events, 1000, 8);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].pcs.size(), 3u);
+  EXPECT_EQ(clusters[0].total_usec, 15000);
+  EXPECT_EQ(clusters[1].pcs.size(), 2u);
+}
+
+TEST(AnalysisTest, ParallelismAnomalyDetected) {
+  std::vector<TraceEvent> sequential;
+  int64_t t = 0;
+  for (int pc = 0; pc < 6; ++pc) {
+    sequential.push_back(Ev(EventState::kStart, pc, 0, 0, t));
+    t += 10;
+    sequential.push_back(Ev(EventState::kDone, pc, 0, 10, t));
+  }
+  auto diag = DiagnoseParallelism(sequential, 8);
+  EXPECT_TRUE(diag.sequential_anomaly);
+  EXPECT_NE(diag.summary.find("ANOMALY"), std::string::npos);
+
+  std::vector<TraceEvent> parallel = {
+      Ev(EventState::kStart, 0, 0, 0, 0), Ev(EventState::kStart, 1, 1, 0, 1),
+      Ev(EventState::kDone, 0, 0, 50, 50), Ev(EventState::kDone, 1, 1, 50, 51),
+  };
+  EXPECT_FALSE(DiagnoseParallelism(parallel, 2).sequential_anomaly);
+}
+
+TEST(AnalysisTest, OperatorPercentiles) {
+  std::vector<TraceEvent> events;
+  for (int i = 1; i <= 100; ++i) {
+    events.push_back(Ev(EventState::kDone, i, 0, i * 10, 0,
+                        "X := algebra.select(X_0);"));
+  }
+  auto ops = AnalyzeOperators(events);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].calls, 100);
+  EXPECT_EQ(ops[0].max_usec, 1000);
+  EXPECT_EQ(ops[0].p50_usec, 500);   // median of 10..1000
+  EXPECT_EQ(ops[0].p95_usec, 960);   // nearest-rank 95th
+}
+
+TEST(TraceSortTest, RestoresEmissionOrder) {
+  std::vector<TraceEvent> events;
+  for (int64_t id : {3, 0, 2, 1}) {
+    TraceEvent e = Ev(EventState::kDone, static_cast<int>(id));
+    e.event = id;
+    events.push_back(e);
+  }
+  SortTraceByEventId(&events);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].event, static_cast<int64_t>(i));
+  }
+}
+
+TEST(AnalysisTest, CompareTracesFindsRegressions) {
+  std::vector<TraceEvent> a = {
+      Ev(EventState::kDone, 0, 0, 100, 0, "X_0 := sql.mvc();"),
+      Ev(EventState::kDone, 1, 0, 500, 0, "X_1 := algebra.join(X_0,X_0);"),
+      Ev(EventState::kDone, 2, 0, 50, 0, "io.print(X_1);"),
+  };
+  std::vector<TraceEvent> b = {
+      Ev(EventState::kDone, 0, 0, 110, 0, "X_0 := sql.mvc();"),
+      Ev(EventState::kDone, 1, 0, 2500, 0, "X_1 := algebra.join(X_0,X_0);"),
+      Ev(EventState::kDone, 3, 0, 70, 0, "language.pass(X_1);"),
+  };
+  auto cmp = CompareTraces(a, b);
+  EXPECT_EQ(cmp.total_usec_a, 650);
+  EXPECT_EQ(cmp.total_usec_b, 2680);
+  ASSERT_EQ(cmp.deltas.size(), 2u);  // pcs 0 and 1 in both
+  EXPECT_EQ(cmp.deltas[0].pc, 1);    // biggest mover first
+  EXPECT_EQ(cmp.deltas[0].delta_usec(), 2000);
+  EXPECT_EQ(cmp.deltas[0].op, "algebra.join");
+  EXPECT_EQ(cmp.only_in_a, (std::vector<int>{2}));
+  EXPECT_EQ(cmp.only_in_b, (std::vector<int>{3}));
+  std::string report = cmp.ToString();
+  EXPECT_NE(report.find("+2030us"), std::string::npos);
+  EXPECT_NE(report.find("algebra.join"), std::string::npos);
+}
+
+TEST(AnalysisTest, CompareIdenticalTraces) {
+  auto t = std::vector<TraceEvent>{
+      Ev(EventState::kDone, 0, 0, 100),
+      Ev(EventState::kDone, 1, 0, 200),
+  };
+  auto cmp = CompareTraces(t, t);
+  EXPECT_EQ(cmp.total_usec_a, cmp.total_usec_b);
+  for (const auto& d : cmp.deltas) EXPECT_EQ(d.delta_usec(), 0);
+  EXPECT_TRUE(cmp.only_in_a.empty());
+  EXPECT_TRUE(cmp.only_in_b.empty());
+}
+
+TEST(AnalysisTest, ProgressEstimate) {
+  std::vector<TraceEvent> events = {
+      Ev(EventState::kDone, 0), Ev(EventState::kDone, 1),
+      Ev(EventState::kStart, 2),
+  };
+  EXPECT_DOUBLE_EQ(EstimateProgress(events, 4), 0.5);
+  EXPECT_DOUBLE_EQ(EstimateProgress({}, 4), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateProgress(events, 0), 0.0);
+}
+
+// --- trace file IO ---
+
+TEST(TraceFileTest, WriteThenRead) {
+  std::string path = testing::TempDir() + "/scope_trace_rw.trace";
+  {
+    auto sink = profiler::FileSink::Open(path);
+    ASSERT_TRUE(sink.ok());
+    TraceEvent e = Ev(EventState::kStart, 7);
+    e.event = 1;
+    sink.value()->Consume(e);
+    e.state = EventState::kDone;
+    e.event = 2;
+    e.usec = 55;
+    sink.value()->Consume(e);
+    ASSERT_TRUE(sink.value()->Flush().ok());
+  }
+  auto events = ReadTraceFile(path);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  ASSERT_EQ(events.value().size(), 2u);
+  EXPECT_EQ(events.value()[0].pc, 7);
+  EXPECT_EQ(events.value()[1].usec, 55);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileTest, MissingFileErrors) {
+  EXPECT_FALSE(ReadTraceFile("/nonexistent/file.trace").ok());
+}
+
+TEST(TraceFileTest, TailPicksUpAppends) {
+  std::string path = testing::TempDir() + "/scope_trace_tail.trace";
+  std::remove(path.c_str());
+  TraceFileTail tail(path);
+  // Missing file: zero events.
+  auto first = tail.Poll();
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.value().empty());
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs((profiler::FormatTraceLine(Ev(EventState::kStart, 1)) + "\n").c_str(), f);
+  std::fflush(f);
+  auto second = tail.Poll();
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second.value().size(), 1u);
+
+  // Partial line handling: write half a line, then the rest.
+  std::string line = profiler::FormatTraceLine(Ev(EventState::kDone, 1)) + "\n";
+  std::fputs(line.substr(0, 10).c_str(), f);
+  std::fflush(f);
+  auto third = tail.Poll();
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third.value().empty());
+  std::fputs(line.substr(10).c_str(), f);
+  std::fflush(f);
+  std::fclose(f);
+  auto fourth = tail.Poll();
+  ASSERT_TRUE(fourth.ok());
+  ASSERT_EQ(fourth.value().size(), 1u);
+  EXPECT_EQ(fourth.value()[0].state, EventState::kDone);
+  EXPECT_EQ(tail.parse_errors(), 0);
+  std::remove(path.c_str());
+}
+
+// --- textual stethoscope ---
+
+TEST(TextualTest, DemultiplexesDotAndTrace) {
+  auto [sender, receiver] = net::Channel::CreatePair();
+  TextualOptions options;
+  TextualStethoscope textual(options);
+  ASSERT_TRUE(textual.AddServer("srv", std::move(receiver)).ok());
+
+  std::string dot = "digraph \"user.s0\" {\n  n0 [label=\"sql.mvc\"];\n}\n";
+  ASSERT_TRUE(net::SendDotFile(sender.get(), "s0", dot).ok());
+  ASSERT_TRUE(sender->Send(profiler::FormatTraceLine(Ev(EventState::kStart, 0))).ok());
+  ASSERT_TRUE(sender->Send(profiler::FormatTraceLine(Ev(EventState::kDone, 0))).ok());
+  ASSERT_TRUE(net::SendEof(sender.get(), "s0").ok());
+
+  // Wait for delivery. Keys are namespaced by server name.
+  for (int i = 0; i < 200 && !textual.QueryFinished("srv/s0"); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(textual.QueryFinished("srv/s0"));
+  EXPECT_EQ(textual.events_received(), 2);
+  auto received_dot = textual.DotFor("srv/s0");
+  ASSERT_TRUE(received_dot.ok());
+  auto graph = dot::ParseDot(received_dot.value());
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().num_nodes(), 1u);
+  EXPECT_EQ(textual.BufferSnapshot().size(), 2u);
+  textual.Stop();
+}
+
+TEST(TextualTest, ClientSideFilter) {
+  auto [sender, receiver] = net::Channel::CreatePair();
+  TextualOptions options;
+  options.filter.OnlyState(EventState::kDone);
+  TextualStethoscope textual(options);
+  ASSERT_TRUE(textual.AddServer("srv", std::move(receiver)).ok());
+  ASSERT_TRUE(sender->Send(profiler::FormatTraceLine(Ev(EventState::kStart, 0))).ok());
+  ASSERT_TRUE(sender->Send(profiler::FormatTraceLine(Ev(EventState::kDone, 0))).ok());
+  for (int i = 0; i < 200 && textual.events_received() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(textual.events_received(), 2);
+  EXPECT_EQ(textual.events_filtered(), 1);
+  EXPECT_EQ(textual.BufferSnapshot().size(), 1u);
+  textual.Stop();
+}
+
+TEST(TextualTest, MultipleServersSimultaneously) {
+  // Paper §3.2: "The textual Stethoscope can connect to multiple MonetDB
+  // servers at the same time to receive execution traces from all sources."
+  TextualOptions options;
+  TextualStethoscope textual(options);
+  std::vector<std::unique_ptr<net::DatagramSender>> senders;
+  const int kServers = 4;
+  for (int s = 0; s < kServers; ++s) {
+    auto [sender, receiver] = net::Channel::CreatePair();
+    ASSERT_TRUE(
+        textual.AddServer("srv" + std::to_string(s), std::move(receiver)).ok());
+    senders.push_back(std::move(sender));
+  }
+  std::atomic<int> callbacks{0};
+  textual.SetEventCallback([&](const std::string&, const TraceEvent&) {
+    callbacks.fetch_add(1);
+  });
+  const int kPerServer = 25;
+  for (int s = 0; s < kServers; ++s) {
+    for (int i = 0; i < kPerServer; ++i) {
+      ASSERT_TRUE(senders[static_cast<size_t>(s)]
+                      ->Send(profiler::FormatTraceLine(Ev(EventState::kDone, i)))
+                      .ok());
+    }
+  }
+  for (int i = 0; i < 500 && textual.events_received() < kServers * kPerServer;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(textual.events_received(), kServers * kPerServer);
+  EXPECT_EQ(callbacks.load(), kServers * kPerServer);
+  textual.Stop();
+}
+
+TEST(TextualTest, WritesTraceFile) {
+  std::string path = testing::TempDir() + "/textual_out.trace";
+  std::remove(path.c_str());
+  {
+    auto [sender, receiver] = net::Channel::CreatePair();
+    TextualOptions options;
+    options.trace_path = path;
+    TextualStethoscope textual(options);
+    ASSERT_TRUE(textual.AddServer("srv", std::move(receiver)).ok());
+    ASSERT_TRUE(sender->Send(profiler::FormatTraceLine(Ev(EventState::kDone, 9))).ok());
+    for (int i = 0; i < 200 && textual.events_received() < 1; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    textual.Stop();
+    ASSERT_TRUE(textual.Flush().ok());
+  }
+  auto events = ReadTraceFile(path);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events.value().size(), 1u);
+  EXPECT_EQ(events.value()[0].pc, 9);
+  std::remove(path.c_str());
+}
+
+TEST(TextualTest, OverRealUdp) {
+  auto receiver = net::UdpReceiver::Bind(0);
+  ASSERT_TRUE(receiver.ok());
+  uint16_t port = receiver.value()->port();
+  TextualOptions options;
+  TextualStethoscope textual(options);
+  ASSERT_TRUE(textual.AddServer("udp_srv", std::move(receiver).value()).ok());
+
+  auto sender = net::UdpSender::Connect(port);
+  ASSERT_TRUE(sender.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        sender.value()->Send(profiler::FormatTraceLine(Ev(EventState::kDone, i))).ok());
+  }
+  for (int i = 0; i < 500 && textual.events_received() < 10; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(textual.events_received(), 9);  // UDP may drop, loopback rarely does
+  textual.Stop();
+}
+
+// --- offline replayer ---
+
+class ReplayFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tpch::TpchConfig config;
+    config.scale_factor = 0.001;
+    auto cat = tpch::GenerateTpch(config);
+    ASSERT_TRUE(cat.ok());
+    server::MserverOptions options;
+    options.clock = &clock_;
+    options.force_sequential = true;  // deterministic trace order
+    server_ = std::make_unique<server::Mserver>(std::move(cat.value()), options);
+    ring_ = std::make_shared<profiler::RingBufferSink>(1 << 16);
+    server_->profiler()->AddSink(ring_);
+    auto outcome = server_->ExecuteSql(
+        "select l_tax from lineitem where l_partkey = 1");
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    outcome_ = std::move(outcome).value();
+    auto graph = dot::ParseDot(outcome_.dot);
+    ASSERT_TRUE(graph.ok());
+    graph_ = std::move(graph).value();
+    events_ = ring_->Snapshot();
+    ASSERT_EQ(events_.size(), 2 * outcome_.plan.size());
+    // Make timings deterministic regardless of the host: event i happens at
+    // i*10us and instruction pc takes (pc+1)*100us.
+    for (size_t i = 0; i < events_.size(); ++i) {
+      events_[i].time_us = static_cast<int64_t>(i) * 10;
+      if (events_[i].state == EventState::kDone) {
+        events_[i].usec = (events_[i].pc + 1) * 100;
+      }
+    }
+  }
+
+  std::unique_ptr<OfflineReplayer> MakeReplayer(
+      ColoringMode mode = ColoringMode::kState) {
+    ReplayOptions options;
+    options.clock = &replay_clock_;
+    options.mode = mode;
+    options.threshold_us = 1;
+    auto r = OfflineReplayer::Create(graph_, events_, options);
+    EXPECT_TRUE(r.ok());
+    return std::move(r).value();
+  }
+
+  VirtualClock clock_;
+  VirtualClock replay_clock_;
+  std::unique_ptr<server::Mserver> server_;
+  std::shared_ptr<profiler::RingBufferSink> ring_;
+  server::QueryOutcome outcome_;
+  dot::Graph graph_;
+  std::vector<TraceEvent> events_;
+};
+
+TEST_F(ReplayFixture, StepColorsNodes) {
+  auto replayer = MakeReplayer();
+  EXPECT_EQ(replayer->cursor(), 0u);
+  // First event is the start of pc 0 -> RED.
+  ASSERT_TRUE(replayer->Step().ok());
+  EXPECT_EQ(replayer->NodeColor(NodeForPc(events_[0].pc)).value(),
+            viz::Color::Red());
+  // Second event: done of the same pc -> GREEN (sequential trace).
+  ASSERT_TRUE(replayer->Step().ok());
+  EXPECT_EQ(replayer->NodeColor(NodeForPc(events_[1].pc)).value(),
+            viz::Color::Green());
+}
+
+TEST_F(ReplayFixture, PlayToEndAllGreen) {
+  auto replayer = MakeReplayer();
+  auto applied = replayer->Play(/*speed=*/16.0, events_.size());
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied.value(), events_.size());
+  EXPECT_TRUE(replayer->AtEnd());
+  for (size_t pc = 0; pc < outcome_.plan.size(); ++pc) {
+    EXPECT_EQ(replayer->NodeColor(NodeForPc(static_cast<int>(pc))).value(),
+              viz::Color::Green())
+        << pc;
+  }
+}
+
+TEST_F(ReplayFixture, RewindResetsColors) {
+  auto replayer = MakeReplayer();
+  ASSERT_TRUE(replayer->Play(8.0, events_.size()).ok());
+  replayer->Rewind();
+  EXPECT_EQ(replayer->cursor(), 0u);
+  EXPECT_EQ(replayer->NodeColor("n0").value(), viz::Color::Gray());
+}
+
+TEST_F(ReplayFixture, SeekForwardAndBack) {
+  auto replayer = MakeReplayer();
+  ASSERT_TRUE(replayer->SeekTo(4).ok());
+  EXPECT_EQ(replayer->cursor(), 4u);
+  // Events 0..3 are start/done of pcs 0 and 1 -> both GREEN, pc 2 untouched.
+  EXPECT_EQ(replayer->NodeColor(NodeForPc(events_[0].pc)).value(),
+            viz::Color::Green());
+  EXPECT_EQ(replayer->NodeColor(NodeForPc(events_[4].pc)).value(),
+            viz::Color::Gray());
+  ASSERT_TRUE(replayer->StepBack().ok());
+  EXPECT_EQ(replayer->cursor(), 3u);
+  // After stepping back past pc 1's done, pc 1 is RED (start applied only).
+  EXPECT_EQ(replayer->NodeColor(NodeForPc(events_[2].pc)).value(),
+            viz::Color::Red());
+  EXPECT_FALSE(replayer->SeekTo(events_.size() + 1).ok());
+}
+
+TEST_F(ReplayFixture, StepBackAtStartFails) {
+  auto replayer = MakeReplayer();
+  EXPECT_FALSE(replayer->StepBack().ok());
+}
+
+TEST_F(ReplayFixture, RenderPacingAppliesToColoring) {
+  auto replayer = MakeReplayer();
+  ASSERT_TRUE(replayer->Play(1e9, events_.size()).ok());
+  auto stats = replayer->dispatcher()->Stats();
+  ASSERT_GT(stats.render_gaps_us.size(), 0u);
+  for (int64_t gap : stats.render_gaps_us) {
+    EXPECT_GE(gap, 150000);  // the paper's 150ms EDT delay
+  }
+}
+
+TEST_F(ReplayFixture, TooltipAndDebugWindow) {
+  auto replayer = MakeReplayer();
+  ASSERT_TRUE(replayer->Play(8.0, events_.size()).ok());
+  std::string tip = replayer->TooltipFor("n1");
+  EXPECT_NE(tip.find("n1:"), std::string::npos);
+  EXPECT_NE(tip.find("executions="), std::string::npos);
+  std::string dbg = replayer->DebugWindowText();
+  EXPECT_NE(dbg.find("state=done"), std::string::npos);
+  EXPECT_NE(dbg.find("progress:"), std::string::npos);
+  EXPECT_EQ(replayer->TooltipFor("zz"), "unknown node zz");
+}
+
+TEST_F(ReplayFixture, BirdsEyeViewShowsWholeGraph) {
+  auto replayer = MakeReplayer();
+  viz::Frame frame = replayer->BirdsEyeView();
+  // All shape+text+edge glyphs visible, nothing culled.
+  EXPECT_EQ(frame.culled, 0u);
+  EXPECT_GE(frame.commands.size(), 2 * graph_.num_nodes());
+}
+
+TEST_F(ReplayFixture, FocusNodeMovesCamera) {
+  auto replayer = MakeReplayer();
+  // n0 and n3 sit in different layout layers, so focusing them lands the
+  // camera at different vertical positions.
+  ASSERT_TRUE(replayer->FocusNode("n0").ok());
+  double y0 = replayer->camera()->y();
+  ASSERT_TRUE(replayer->FocusNode("n3").ok());
+  EXPECT_NE(replayer->camera()->y(), y0);
+  EXPECT_FALSE(replayer->FocusNode("n999").ok());
+}
+
+TEST_F(ReplayFixture, ThresholdModeOnlyColorsCostly) {
+  ReplayOptions options;
+  options.clock = &replay_clock_;
+  options.mode = ColoringMode::kThreshold;
+  options.threshold_us = 1LL << 60;  // nothing is that costly
+  auto replayer = OfflineReplayer::Create(graph_, events_, options);
+  ASSERT_TRUE(replayer.ok());
+  ASSERT_TRUE(replayer.value()->Play(8.0, events_.size()).ok());
+  for (size_t pc = 0; pc < outcome_.plan.size(); ++pc) {
+    EXPECT_EQ(
+        replayer.value()->NodeColor(NodeForPc(static_cast<int>(pc))).value(),
+        viz::Color::Gray());
+  }
+}
+
+TEST_F(ReplayFixture, ColorFadeAnimatesToTarget) {
+  ReplayOptions options;
+  options.clock = &replay_clock_;
+  options.render_interval_us = 0;
+  options.color_fade_us = 80000;  // 80ms fades
+  auto replayer = OfflineReplayer::Create(graph_, events_, options);
+  ASSERT_TRUE(replayer.ok());
+  // Step completes the fade: target color exactly reached.
+  ASSERT_TRUE(replayer.value()->Step().ok());
+  EXPECT_EQ(replayer.value()->NodeColor(NodeForPc(events_[0].pc)).value(),
+            viz::Color::Red());
+  // A full play ends all green despite fading through intermediate colors.
+  ASSERT_TRUE(replayer.value()->Play(1e9, events_.size()).ok());
+  for (size_t pc = 0; pc < outcome_.plan.size(); ++pc) {
+    EXPECT_EQ(replayer.value()
+                  ->NodeColor(NodeForPc(static_cast<int>(pc)))
+                  .value(),
+              viz::Color::Green());
+  }
+  EXPECT_EQ(replayer.value()->animator()->active(), 0u);
+}
+
+TEST_F(ReplayFixture, GradientModeColorsByDuration) {
+  auto replayer = MakeReplayer(ColoringMode::kGradient);
+  ASSERT_TRUE(replayer->Play(8.0, events_.size()).ok());
+  // At least one node is fully red (the max-duration one).
+  bool saw_red = false;
+  for (size_t pc = 0; pc < outcome_.plan.size(); ++pc) {
+    if (replayer->NodeColor(NodeForPc(static_cast<int>(pc))).value() ==
+        viz::Color::Red()) {
+      saw_red = true;
+    }
+  }
+  EXPECT_TRUE(saw_red);
+}
+
+// --- online monitor ---
+
+TEST(OnlineMonitorTest, EndToEndColorsAndReports) {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.001;
+  auto cat = tpch::GenerateTpch(config);
+  ASSERT_TRUE(cat.ok());
+  server::MserverOptions soptions;
+  soptions.dop = 4;
+  soptions.mitosis_pieces = 4;
+  server::Mserver server(std::move(cat.value()), soptions);
+
+  OnlineOptions options;
+  options.render_interval_us = 0;  // no pacing: keep the test fast
+  options.analysis_period_us = 2000;
+  OnlineMonitor monitor(&server, options);
+  auto report = monitor.MonitorQuery(
+      "select sum(l_extendedprice * l_discount) as revenue from lineitem "
+      "where l_shipdate >= 19940101 and l_shipdate < 19950101");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const OnlineReport& r = report.value();
+  EXPECT_GT(r.graph_nodes, 0u);
+  EXPECT_EQ(r.graph_nodes, r.outcome.plan.size());
+  EXPECT_GT(r.events_received, 0);
+  EXPECT_GT(r.analysis_rounds, 0u);
+  EXPECT_FALSE(r.operators.empty());
+  EXPECT_DOUBLE_EQ(r.final_progress, 1.0);
+  // Progress series is monotone and ends complete.
+  ASSERT_FALSE(r.progress_series.empty());
+  for (size_t i = 1; i < r.progress_series.size(); ++i) {
+    EXPECT_GE(r.progress_series[i], r.progress_series[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(r.progress_series.back(), 1.0);
+  ASSERT_EQ(r.outcome.result.columns.size(), 1u);
+  ASSERT_NE(monitor.scene(), nullptr);
+}
+
+TEST(OnlineMonitorTest, DetectsSequentialAnomaly) {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.001;
+  auto cat = tpch::GenerateTpch(config);
+  ASSERT_TRUE(cat.ok());
+  server::MserverOptions soptions;
+  soptions.dop = 4;
+  soptions.mitosis_pieces = 4;
+  soptions.force_sequential = true;  // the misbehaving server
+  server::Mserver server(std::move(cat.value()), soptions);
+
+  OnlineOptions options;
+  options.render_interval_us = 0;
+  OnlineMonitor monitor(&server, options);
+  auto report =
+      monitor.MonitorQuery("select l_tax from lineitem where l_partkey = 1");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().parallelism.sequential_anomaly);
+  EXPECT_NE(report.value().parallelism.summary.find("ANOMALY"),
+            std::string::npos);
+}
+
+TEST(OnlineMonitorTest, QueryErrorPropagates) {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.001;
+  auto cat = tpch::GenerateTpch(config);
+  ASSERT_TRUE(cat.ok());
+  server::Mserver server(std::move(cat.value()), server::MserverOptions{});
+  OnlineOptions options;
+  OnlineMonitor monitor(&server, options);
+  EXPECT_FALSE(monitor.MonitorQuery("select bogus from nothing").ok());
+}
+
+}  // namespace
+}  // namespace stetho::scope

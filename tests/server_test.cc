@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "net/channel.h"
+#include "profiler/sink.h"
+#include "server/mserver.h"
+#include "server/result_printer.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace stetho::server {
+namespace {
+
+storage::Catalog TinyCatalog() {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.001;
+  auto cat = tpch::GenerateTpch(config);
+  EXPECT_TRUE(cat.ok());
+  return std::move(cat.value());
+}
+
+TEST(MserverTest, ExecutePaperQuery) {
+  Mserver server(TinyCatalog(), MserverOptions{});
+  auto r = server.ExecuteSql("select l_tax from lineitem where l_partkey = 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().name, "s0");
+  EXPECT_FALSE(r.value().dot.empty());
+  EXPECT_GT(r.value().plan.size(), 0u);
+  ASSERT_EQ(r.value().result.columns.size(), 1u);
+}
+
+TEST(MserverTest, QueryNamesIncrement) {
+  Mserver server(TinyCatalog(), MserverOptions{});
+  auto a = server.ExecuteSql("select l_tax from lineitem where l_partkey = 1");
+  auto b = server.ExecuteSql("select l_tax from lineitem where l_partkey = 2");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().name, "s0");
+  EXPECT_EQ(b.value().name, "s1");
+  EXPECT_NE(a.value().plan.function_name(), b.value().plan.function_name());
+}
+
+TEST(MserverTest, ExplainDoesNotExecute) {
+  Mserver server(TinyCatalog(), MserverOptions{});
+  auto plan = server.Explain("select l_tax from lineitem where l_partkey = 1");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_GT(plan.value().size(), 0u);
+  EXPECT_EQ(plan.value().instruction(0).FullName(), "language.dataflow");
+}
+
+TEST(MserverTest, MitosisGrowsPlan) {
+  MserverOptions plain_opts;
+  Mserver plain(TinyCatalog(), plain_opts);
+  MserverOptions split_opts;
+  split_opts.mitosis_pieces = 8;
+  Mserver split(TinyCatalog(), split_opts);
+  const char* sql = "select l_tax from lineitem where l_partkey = 1";
+  auto a = plain.Explain(sql);
+  auto b = split.Explain(sql);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b.value().size(), a.value().size());
+}
+
+TEST(MserverTest, ProfilerEventsFlowDuringQuery) {
+  Mserver server(TinyCatalog(), MserverOptions{});
+  auto ring = std::make_shared<profiler::RingBufferSink>(10000);
+  server.profiler()->AddSink(ring);
+  auto r = server.ExecuteSql("select l_tax from lineitem where l_partkey = 1");
+  ASSERT_TRUE(r.ok());
+  // Two events per instruction.
+  EXPECT_EQ(ring->total_consumed(),
+            static_cast<int64_t>(2 * r.value().plan.size()));
+}
+
+TEST(MserverTest, FilterSetRemotely) {
+  Mserver server(TinyCatalog(), MserverOptions{});
+  auto ring = std::make_shared<profiler::RingBufferSink>(10000);
+  server.profiler()->AddSink(ring);
+  ASSERT_TRUE(server.SetProfilerFilter("start=0;done=1;").ok());
+  auto r = server.ExecuteSql("select l_tax from lineitem where l_partkey = 1");
+  ASSERT_TRUE(r.ok());
+  auto events = ring->Snapshot();
+  ASSERT_FALSE(events.empty());
+  for (const auto& e : events) {
+    EXPECT_EQ(e.state, profiler::EventState::kDone);
+  }
+  EXPECT_FALSE(server.SetProfilerFilter("garbage").ok());
+}
+
+TEST(MserverTest, StreamCarriesDotThenTraceThenEof) {
+  Mserver server(TinyCatalog(), MserverOptions{});
+  auto [sender, receiver] = net::Channel::CreatePair(1 << 18);
+  server.AttachStream(std::shared_ptr<net::DatagramSender>(std::move(sender)));
+  auto r = server.ExecuteSql("select l_tax from lineitem where l_partkey = 1");
+  ASSERT_TRUE(r.ok());
+
+  std::vector<std::string> lines;
+  std::string payload;
+  while (true) {
+    auto got = receiver->Receive(&payload, 10);
+    if (!got.ok() || !got.value()) break;
+    lines.push_back(payload);
+  }
+  ASSERT_GT(lines.size(), 4u);
+  EXPECT_EQ(lines.front().rfind("%DOT-BEGIN", 0), 0u);
+  EXPECT_EQ(lines.back().rfind("%EOF", 0), 0u);
+  // Dot content precedes all trace lines.
+  size_t dot_end = 0;
+  size_t first_trace = lines.size();
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].rfind("%DOT-END", 0) == 0) dot_end = i;
+    if (lines[i].front() == '[' && i < first_trace) first_trace = i;
+  }
+  EXPECT_LT(dot_end, first_trace);
+  EXPECT_LT(first_trace, lines.size());
+}
+
+TEST(MserverTest, ForceSequentialUsesOneThread) {
+  MserverOptions options;
+  options.force_sequential = true;
+  Mserver server(TinyCatalog(), options);
+  auto r = server.ExecuteSql("select l_tax from lineitem where l_partkey = 1");
+  ASSERT_TRUE(r.ok());
+  for (const auto& stat : r.value().result.stats) {
+    EXPECT_EQ(stat.thread, 0);
+  }
+}
+
+TEST(MserverTest, CompileErrorsSurface) {
+  Mserver server(TinyCatalog(), MserverOptions{});
+  EXPECT_FALSE(server.ExecuteSql("select nonsense from nothing").ok());
+  EXPECT_FALSE(server.Explain("not even sql").ok());
+}
+
+TEST(ResultPrinterTest, FormatsColumnsAndRows) {
+  Mserver server(TinyCatalog(), MserverOptions{});
+  auto r = server.ExecuteSql(
+      "select l_returnflag, count(*) as n from lineitem group by "
+      "l_returnflag order by l_returnflag");
+  ASSERT_TRUE(r.ok());
+  std::string table = FormatResultTable(r.value().result);
+  EXPECT_NE(table.find("| l_returnflag |"), std::string::npos);
+  EXPECT_NE(table.find(" n |"), std::string::npos);  // right-aligned header
+  EXPECT_NE(table.find(" A "), std::string::npos);
+  // Bordered: starts and ends with a rule.
+  EXPECT_EQ(table.rfind("+--", 0), 0u);
+  EXPECT_NE(table.find("rows)"), std::string::npos);
+}
+
+TEST(ResultPrinterTest, ScalarResultSingleRow) {
+  Mserver server(TinyCatalog(), MserverOptions{});
+  auto r = server.ExecuteSql("select count(*) from lineitem");
+  ASSERT_TRUE(r.ok());
+  std::string table = FormatResultTable(r.value().result);
+  EXPECT_NE(table.find("(1 row)"), std::string::npos);
+}
+
+TEST(ResultPrinterTest, ElidesLongResults) {
+  Mserver server(TinyCatalog(), MserverOptions{});
+  auto r = server.ExecuteSql("select l_orderkey from lineitem");
+  ASSERT_TRUE(r.ok());
+  PrintOptions options;
+  options.max_rows = 5;
+  std::string table = FormatResultTable(r.value().result, options);
+  EXPECT_NE(table.find("(5 of "), std::string::npos);
+}
+
+TEST(ResultPrinterTest, EmptyResult) {
+  engine::QueryResult empty;
+  EXPECT_EQ(FormatResultTable(empty), "(no result columns)\n");
+}
+
+TEST(MserverTest, EveryTpchQueryExecutes) {
+  MserverOptions options;
+  options.mitosis_pieces = 4;
+  options.dop = 4;
+  Mserver server(TinyCatalog(), options);
+  for (const auto& q : tpch::TpchQueries()) {
+    auto r = server.ExecuteSql(q.sql);
+    EXPECT_TRUE(r.ok()) << q.id << ": " << r.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace stetho::server

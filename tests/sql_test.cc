@@ -1,0 +1,501 @@
+#include <gtest/gtest.h>
+
+#include "engine/interpreter.h"
+#include "sql/compiler.h"
+#include "sql/parser.h"
+#include "storage/table.h"
+
+namespace stetho::sql {
+namespace {
+
+using engine::ExecOptions;
+using engine::Interpreter;
+using engine::QueryResult;
+using storage::Catalog;
+using storage::ColumnPtr;
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+using storage::TablePtr;
+using storage::Value;
+
+// ---------------------------------------------------------------------------
+// Parser tests
+// ---------------------------------------------------------------------------
+
+TEST(SqlParserTest, MinimalSelect) {
+  auto r = ParseSelect("select l_tax from lineitem");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& s = r.value();
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_EQ(s.items[0].expr->kind, ExprKind::kColumn);
+  EXPECT_EQ(s.items[0].expr->column, "l_tax");
+  EXPECT_EQ(s.from.name, "lineitem");
+  EXPECT_EQ(s.where, nullptr);
+}
+
+TEST(SqlParserTest, PaperQuery) {
+  auto r = ParseSelect("select l_tax from lineitem where l_partkey = 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_NE(r.value().where, nullptr);
+  EXPECT_EQ(r.value().where->kind, ExprKind::kBinary);
+  EXPECT_EQ(r.value().where->bin_op, BinaryOp::kEq);
+}
+
+TEST(SqlParserTest, OperatorPrecedence) {
+  auto r = ParseSelect("select a + b * c - d from t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // ((a + (b*c)) - d)
+  EXPECT_EQ(r.value().items[0].expr->ToString(), "((a + (b * c)) - d)");
+}
+
+TEST(SqlParserTest, BooleanPrecedence) {
+  auto r = ParseSelect("select a from t where x = 1 or y = 2 and z = 3");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // OR binds loosest: (x=1 OR (y=2 AND z=3))
+  const ExprPtr& w = r.value().where;
+  EXPECT_EQ(w->bin_op, BinaryOp::kOr);
+  EXPECT_EQ(w->right->bin_op, BinaryOp::kAnd);
+}
+
+TEST(SqlParserTest, BetweenAndLike) {
+  auto r = ParseSelect(
+      "select a from t where a between 1 and 5 and b like 'PROMO%'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ExprPtr& w = r.value().where;
+  EXPECT_EQ(w->bin_op, BinaryOp::kAnd);
+  EXPECT_EQ(w->left->kind, ExprKind::kBetween);
+  EXPECT_EQ(w->right->kind, ExprKind::kLike);
+  EXPECT_EQ(w->right->pattern, "PROMO%");
+}
+
+TEST(SqlParserTest, Aggregates) {
+  auto r = ParseSelect(
+      "select sum(a), count(*), avg(a + b) as x from t group by c");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& s = r.value();
+  EXPECT_EQ(s.items[0].expr->kind, ExprKind::kAggregate);
+  EXPECT_EQ(s.items[0].expr->agg, AggFunc::kSum);
+  EXPECT_EQ(s.items[1].expr->agg, AggFunc::kCount);
+  EXPECT_EQ(s.items[1].expr->agg_arg, nullptr);
+  EXPECT_EQ(s.items[2].alias, "x");
+  ASSERT_EQ(s.group_by.size(), 1u);
+}
+
+TEST(SqlParserTest, JoinsAndQualifiedColumns) {
+  auto r = ParseSelect(
+      "select o.o_orderkey from customer c join orders o on c.c_custkey = "
+      "o.o_custkey");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& s = r.value();
+  EXPECT_EQ(s.from.alias, "c");
+  ASSERT_EQ(s.joins.size(), 1u);
+  EXPECT_EQ(s.joins[0].table.alias, "o");
+  EXPECT_EQ(s.joins[0].on->left->table, "c");
+}
+
+TEST(SqlParserTest, OrderLimitOffset) {
+  auto r = ParseSelect(
+      "select a from t order by a desc, b limit 10 offset 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& s = r.value();
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_TRUE(s.order_by[0].desc);
+  EXPECT_FALSE(s.order_by[1].desc);
+  EXPECT_EQ(s.limit, 10);
+  EXPECT_EQ(s.offset, 5);
+}
+
+TEST(SqlParserTest, CaseWhen) {
+  auto r = ParseSelect(
+      "select case when a > 1 then b else 0 end from t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().items[0].expr->kind, ExprKind::kCase);
+}
+
+TEST(SqlParserTest, StringEscapes) {
+  auto r = ParseSelect("select a from t where b = 'O''BRIEN'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().where->right->literal.AsString(), "O'BRIEN");
+}
+
+TEST(SqlParserTest, Rejections) {
+  EXPECT_FALSE(ParseSelect("").ok());
+  EXPECT_FALSE(ParseSelect("select").ok());
+  EXPECT_FALSE(ParseSelect("select a").ok());                 // missing FROM
+  EXPECT_FALSE(ParseSelect("select a from t where").ok());    // dangling WHERE
+  EXPECT_FALSE(ParseSelect("select a from t garbage here").ok());
+  EXPECT_FALSE(ParseSelect("select sum(*) from t").ok());     // * only in COUNT
+  EXPECT_FALSE(ParseSelect("select a from t where b like 5").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Compiler + execution tests on a hand-checked fixture
+// ---------------------------------------------------------------------------
+
+Catalog SmallCatalog() {
+  Catalog cat;
+  TablePtr t = Table::Make(
+      "sales", Schema({{"region", DataType::kString},
+                       {"item", DataType::kInt64},
+                       {"amount", DataType::kDouble},
+                       {"qty", DataType::kInt64}}));
+  struct Row {
+    const char* region;
+    int64_t item;
+    double amount;
+    int64_t qty;
+  };
+  const Row rows[] = {
+      {"east", 1, 10.0, 1}, {"west", 2, 20.0, 2}, {"east", 1, 30.0, 3},
+      {"west", 3, 40.0, 4}, {"east", 2, 50.0, 5}, {"north", 1, 60.0, 6},
+  };
+  for (const Row& r : rows) {
+    EXPECT_TRUE(t->AppendRow({Value::String(r.region), Value::Int(r.item),
+                              Value::Double(r.amount), Value::Int(r.qty)})
+                    .ok());
+  }
+  EXPECT_TRUE(cat.AddTable(t).ok());
+
+  TablePtr items = Table::Make(
+      "items", Schema({{"item_id", DataType::kInt64},
+                       {"label", DataType::kString}}));
+  EXPECT_TRUE(items->AppendRow({Value::Int(1), Value::String("apple")}).ok());
+  EXPECT_TRUE(items->AppendRow({Value::Int(2), Value::String("banana")}).ok());
+  EXPECT_TRUE(items->AppendRow({Value::Int(3), Value::String("cherry")}).ok());
+  EXPECT_TRUE(cat.AddTable(items).ok());
+  return cat;
+}
+
+Result<QueryResult> Exec(Catalog* cat, const std::string& sql,
+                         bool dataflow = false) {
+  auto program = Compiler::CompileSql(cat, sql);
+  if (!program.ok()) return program.status();
+  Interpreter interp(cat);
+  ExecOptions opts;
+  opts.use_dataflow = dataflow;
+  return interp.Execute(program.value(), opts);
+}
+
+TEST(SqlExecTest, SimpleProjectionFilter) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat, "select amount from sales where region = 'east'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().columns.size(), 1u);
+  ColumnPtr col = r.value().columns[0].column;
+  ASSERT_EQ(col->size(), 3u);
+  EXPECT_DOUBLE_EQ(col->DoubleAt(0), 10.0);
+  EXPECT_DOUBLE_EQ(col->DoubleAt(1), 30.0);
+  EXPECT_DOUBLE_EQ(col->DoubleAt(2), 50.0);
+}
+
+TEST(SqlExecTest, ArithmeticInSelectList) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat, "select amount * qty + 1 from sales where item = 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ColumnPtr col = r.value().columns[0].column;
+  ASSERT_EQ(col->size(), 2u);
+  EXPECT_DOUBLE_EQ(col->DoubleAt(0), 20.0 * 2 + 1);
+  EXPECT_DOUBLE_EQ(col->DoubleAt(1), 50.0 * 5 + 1);
+}
+
+TEST(SqlExecTest, StarExpansion) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat, "select * from sales where qty >= 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().columns.size(), 4u);
+  EXPECT_EQ(r.value().columns[0].name, "region");
+  EXPECT_EQ(r.value().columns[0].column->size(), 2u);
+}
+
+TEST(SqlExecTest, OrPredicateResidual) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat,
+                "select amount from sales where region = 'north' or qty <= 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().columns[0].column->size(), 3u);  // rows 0, 1, 5
+}
+
+TEST(SqlExecTest, BetweenPushdown) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat, "select qty from sales where amount between 20 and 40");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ColumnPtr col = r.value().columns[0].column;
+  ASSERT_EQ(col->size(), 3u);
+  EXPECT_EQ(col->IntAt(0), 2);
+  EXPECT_EQ(col->IntAt(2), 4);
+}
+
+TEST(SqlExecTest, LikePushdown) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat, "select item from sales where region like '%st'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().columns[0].column->size(), 5u);  // east/west rows
+}
+
+TEST(SqlExecTest, OrderByDescWithLimit) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat, "select amount from sales order by amount desc limit 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ColumnPtr col = r.value().columns[0].column;
+  ASSERT_EQ(col->size(), 2u);
+  EXPECT_DOUBLE_EQ(col->DoubleAt(0), 60.0);
+  EXPECT_DOUBLE_EQ(col->DoubleAt(1), 50.0);
+}
+
+TEST(SqlExecTest, OrderByMultipleKeysStable) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat, "select region, amount from sales order by region, "
+                      "amount desc");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ColumnPtr region = r.value().columns[0].column;
+  ColumnPtr amount = r.value().columns[1].column;
+  ASSERT_EQ(region->size(), 6u);
+  // east rows first (amount desc within): 50, 30, 10
+  EXPECT_EQ(region->StringAt(0), "east");
+  EXPECT_DOUBLE_EQ(amount->DoubleAt(0), 50.0);
+  EXPECT_DOUBLE_EQ(amount->DoubleAt(2), 10.0);
+  EXPECT_EQ(region->StringAt(3), "north");
+  EXPECT_EQ(region->StringAt(4), "west");
+  EXPECT_DOUBLE_EQ(amount->DoubleAt(4), 40.0);
+}
+
+TEST(SqlExecTest, OffsetSlicing) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat, "select amount from sales order by amount limit 2 offset 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ColumnPtr col = r.value().columns[0].column;
+  ASSERT_EQ(col->size(), 2u);
+  EXPECT_DOUBLE_EQ(col->DoubleAt(0), 20.0);
+  EXPECT_DOUBLE_EQ(col->DoubleAt(1), 30.0);
+}
+
+TEST(SqlExecTest, ScalarAggregatesNoGroup) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat,
+                "select sum(amount), count(*), min(qty), max(qty), avg(amount) "
+                "from sales");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().columns.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.value().columns[0].scalar.AsDouble(), 210.0);
+  EXPECT_EQ(r.value().columns[1].scalar.AsInt(), 6);
+  EXPECT_EQ(r.value().columns[2].scalar.AsInt(), 1);
+  EXPECT_EQ(r.value().columns[3].scalar.AsInt(), 6);
+  EXPECT_DOUBLE_EQ(r.value().columns[4].scalar.AsDouble(), 35.0);
+}
+
+TEST(SqlExecTest, AggregateExpression) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat, "select sum(amount) / count(*) from sales");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r.value().columns[0].scalar.AsDouble(), 35.0);
+}
+
+TEST(SqlExecTest, GroupByWithAggregates) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat,
+                "select region, sum(amount) as total, count(*) as n from sales "
+                "group by region order by region");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ColumnPtr region = r.value().columns[0].column;
+  ColumnPtr total = r.value().columns[1].column;
+  ColumnPtr n = r.value().columns[2].column;
+  ASSERT_EQ(region->size(), 3u);
+  EXPECT_EQ(region->StringAt(0), "east");
+  EXPECT_DOUBLE_EQ(total->DoubleAt(0), 90.0);
+  EXPECT_EQ(n->IntAt(0), 3);
+  EXPECT_EQ(region->StringAt(1), "north");
+  EXPECT_DOUBLE_EQ(total->DoubleAt(1), 60.0);
+  EXPECT_EQ(region->StringAt(2), "west");
+  EXPECT_DOUBLE_EQ(total->DoubleAt(2), 60.0);
+}
+
+TEST(SqlExecTest, GroupByTwoKeys) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat,
+                "select region, item, count(*) as n from sales group by "
+                "region, item order by region, item");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Distinct (region, item): (east,1)x2,(west,2),(west,3),(east,2),(north,1)
+  EXPECT_EQ(r.value().columns[0].column->size(), 5u);
+  EXPECT_EQ(r.value().columns[2].column->IntAt(0), 2);  // (east,1)
+}
+
+TEST(SqlExecTest, CaseWhenAggregate) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat,
+                "select sum(case when region = 'east' then amount else 0.0 "
+                "end) from sales");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r.value().columns[0].scalar.AsDouble(), 90.0);
+}
+
+TEST(SqlExecTest, JoinTwoTables) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat,
+                "select label, amount from sales join items on item = item_id "
+                "order by amount");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ColumnPtr label = r.value().columns[0].column;
+  ColumnPtr amount = r.value().columns[1].column;
+  ASSERT_EQ(label->size(), 6u);
+  EXPECT_EQ(label->StringAt(0), "apple");    // amount 10, item 1
+  EXPECT_EQ(label->StringAt(1), "banana");   // amount 20, item 2
+  EXPECT_EQ(label->StringAt(3), "cherry");   // amount 40, item 3
+}
+
+TEST(SqlExecTest, JoinWithGroupBy) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat,
+                "select label, sum(amount) as total from sales join items on "
+                "item = item_id group by label order by total desc");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ColumnPtr label = r.value().columns[0].column;
+  ColumnPtr total = r.value().columns[1].column;
+  ASSERT_EQ(label->size(), 3u);
+  EXPECT_EQ(label->StringAt(0), "apple");  // 10+30+60 = 100
+  EXPECT_DOUBLE_EQ(total->DoubleAt(0), 100.0);
+  EXPECT_EQ(label->StringAt(1), "banana");  // 20+50 = 70
+  EXPECT_EQ(label->StringAt(2), "cherry");  // 40
+}
+
+TEST(SqlExecTest, DataflowMatchesSequential) {
+  Catalog cat = SmallCatalog();
+  const char* sql =
+      "select region, sum(amount * qty) as v from sales group by region "
+      "order by v desc";
+  auto seq = Exec(&cat, sql, /*dataflow=*/false);
+  auto par = Exec(&cat, sql, /*dataflow=*/true);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+  for (size_t c = 0; c < seq.value().columns.size(); ++c) {
+    ColumnPtr a = seq.value().columns[c].column;
+    ColumnPtr b = par.value().columns[c].column;
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ(a->GetValue(i), b->GetValue(i));
+    }
+  }
+}
+
+TEST(SqlExecTest, CompileErrors) {
+  Catalog cat = SmallCatalog();
+  EXPECT_FALSE(Exec(&cat, "select x from sales").ok());            // no column
+  EXPECT_FALSE(Exec(&cat, "select amount from nosuch").ok());      // no table
+  EXPECT_FALSE(Exec(&cat, "select item from sales join items on item < item_id").ok());
+  EXPECT_FALSE(Exec(&cat, "select region, sum(amount) from sales").ok());
+  EXPECT_FALSE(Exec(&cat, "select item_id from sales join items on item = "
+                          "item_id group by label order by nope").ok());
+}
+
+TEST(SqlExecTest, Distinct) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat, "select distinct region from sales order by region");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ColumnPtr col = r.value().columns[0].column;
+  ASSERT_EQ(col->size(), 3u);
+  EXPECT_EQ(col->StringAt(0), "east");
+  EXPECT_EQ(col->StringAt(1), "north");
+  EXPECT_EQ(col->StringAt(2), "west");
+}
+
+TEST(SqlExecTest, DistinctMultipleColumns) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat, "select distinct region, item from sales");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Distinct (region, item): (east,1),(west,2),(west,3),(east,2),(north,1).
+  EXPECT_EQ(r.value().columns[0].column->size(), 5u);
+  EXPECT_EQ(r.value().columns[1].column->size(), 5u);
+}
+
+TEST(SqlExecTest, DistinctRejectsOrderByOutsideSelectList) {
+  Catalog cat = SmallCatalog();
+  EXPECT_FALSE(
+      Exec(&cat, "select distinct region from sales order by amount").ok());
+  EXPECT_FALSE(Exec(&cat, "select distinct region, sum(amount) from sales "
+                          "group by region").ok());
+}
+
+TEST(SqlExecTest, Having) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat,
+                "select region, sum(amount) as total from sales group by "
+                "region having sum(amount) > 60 order by total desc");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ColumnPtr region = r.value().columns[0].column;
+  ColumnPtr total = r.value().columns[1].column;
+  // east=90 qualifies; west=60 and north=60 do not (strict >).
+  ASSERT_EQ(region->size(), 1u);
+  EXPECT_EQ(region->StringAt(0), "east");
+  EXPECT_DOUBLE_EQ(total->DoubleAt(0), 90.0);
+}
+
+TEST(SqlExecTest, HavingOnCount) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat,
+                "select item, count(*) as n from sales group by item having "
+                "count(*) >= 2 order by item");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ColumnPtr item = r.value().columns[0].column;
+  ASSERT_EQ(item->size(), 2u);  // items 1 (x3) and 2 (x2)
+  EXPECT_EQ(item->IntAt(0), 1);
+  EXPECT_EQ(item->IntAt(1), 2);
+}
+
+TEST(SqlExecTest, CountDistinctScalar) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat, "select count(distinct region), count(distinct item) "
+                      "from sales");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().columns[0].scalar.AsInt(), 3);  // east west north
+  EXPECT_EQ(r.value().columns[1].scalar.AsInt(), 3);  // items 1 2 3
+}
+
+TEST(SqlExecTest, CountDistinctGrouped) {
+  Catalog cat = SmallCatalog();
+  auto r = Exec(&cat,
+                "select region, count(distinct item) as k, count(*) as n "
+                "from sales group by region order by region");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ColumnPtr region = r.value().columns[0].column;
+  ColumnPtr k = r.value().columns[1].column;
+  ColumnPtr n = r.value().columns[2].column;
+  ASSERT_EQ(region->size(), 3u);
+  // east: items {1,1,2} -> 2 distinct of 3 rows.
+  EXPECT_EQ(region->StringAt(0), "east");
+  EXPECT_EQ(k->IntAt(0), 2);
+  EXPECT_EQ(n->IntAt(0), 3);
+  // north: {1} -> 1; west: {2,3} -> 2.
+  EXPECT_EQ(k->IntAt(1), 1);
+  EXPECT_EQ(k->IntAt(2), 2);
+}
+
+TEST(SqlExecTest, DistinctOnlyForCount) {
+  Catalog cat = SmallCatalog();
+  EXPECT_FALSE(Exec(&cat, "select sum(distinct amount) from sales").ok());
+}
+
+TEST(SqlExecTest, HavingRequiresGroupBy) {
+  Catalog cat = SmallCatalog();
+  EXPECT_FALSE(Exec(&cat, "select sum(amount) from sales having sum(amount) "
+                          "> 1").ok());
+}
+
+TEST(SqlExecTest, PlanShapeMatchesPaperFigure1) {
+  Catalog cat = SmallCatalog();
+  auto program = Compiler::CompileSql(
+      &cat, "select amount from sales where item = 1");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  std::string text = program.value().ToString();
+  // The MonetDB-style scaffold of Fig. 1.
+  EXPECT_NE(text.find("sql.mvc()"), std::string::npos);
+  EXPECT_NE(text.find("sql.tid("), std::string::npos);
+  EXPECT_NE(text.find("sql.bind("), std::string::npos);
+  EXPECT_NE(text.find("algebra.thetaselect("), std::string::npos);
+  EXPECT_NE(text.find("algebra.projection("), std::string::npos);
+  EXPECT_NE(text.find("sql.resultSet("), std::string::npos);
+  EXPECT_NE(text.find("function user.main():void;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stetho::sql

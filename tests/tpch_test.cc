@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "engine/interpreter.h"
+#include "sql/compiler.h"
+#include "storage/table.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace stetho::tpch {
+namespace {
+
+using engine::ExecOptions;
+using engine::Interpreter;
+using engine::QueryResult;
+using storage::Catalog;
+using storage::ColumnPtr;
+
+// --- date helpers ---
+
+TEST(TpchDateTest, RoundTrip) {
+  for (int64_t date : {19920101LL, 19950617LL, 19981231LL, 20000229LL}) {
+    EXPECT_EQ(DaysToDate(DateToDays(date)), date);
+  }
+}
+
+TEST(TpchDateTest, EpochAnchor) {
+  EXPECT_EQ(DateToDays(19700101), 0);
+  EXPECT_EQ(DaysToDate(0), 19700101);
+}
+
+TEST(TpchDateTest, AddDaysCrossesMonthAndYear) {
+  EXPECT_EQ(AddDays(19940131, 1), 19940201);
+  EXPECT_EQ(AddDays(19941231, 1), 19950101);
+  EXPECT_EQ(AddDays(19940301, -1), 19940228);
+  EXPECT_EQ(AddDays(19960228, 1), 19960229);  // leap year
+}
+
+// --- generator ---
+
+class TpchFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TpchConfig config;
+    config.scale_factor = 0.001;
+    auto cat = GenerateTpch(config);
+    ASSERT_TRUE(cat.ok()) << cat.status().ToString();
+    catalog_ = new Catalog(std::move(cat.value()));
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+
+  static Catalog* catalog_;
+};
+
+Catalog* TpchFixture::catalog_ = nullptr;
+
+TEST_F(TpchFixture, AllTablesPresent) {
+  for (const char* name : {"region", "nation", "supplier", "part", "partsupp",
+                           "customer", "orders", "lineitem"}) {
+    EXPECT_TRUE(catalog_->GetTable(name).ok()) << name;
+  }
+}
+
+TEST_F(TpchFixture, RowCountsScale) {
+  TpchConfig config;
+  config.scale_factor = 0.001;
+  TpchRowCounts counts = RowCountsFor(config);
+  EXPECT_EQ(counts.region, 5u);
+  EXPECT_EQ(counts.nation, 25u);
+  EXPECT_EQ(counts.customer, 150u);
+  EXPECT_EQ(counts.orders, 1500u);
+  auto lineitem = catalog_->GetTable("lineitem");
+  ASSERT_TRUE(lineitem.ok());
+  // 1..7 lines per order.
+  EXPECT_GE(lineitem.value()->num_rows(), counts.orders);
+  EXPECT_LE(lineitem.value()->num_rows(), counts.orders * 7);
+}
+
+TEST_F(TpchFixture, Deterministic) {
+  TpchConfig config;
+  config.scale_factor = 0.001;
+  auto again = GenerateTpch(config);
+  ASSERT_TRUE(again.ok());
+  auto a = catalog_->GetTable("lineitem").value();
+  auto b = again.value().GetTable("lineitem").value();
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  for (size_t c = 0; c < a->schema().num_columns(); ++c) {
+    for (size_t i = 0; i < std::min<size_t>(a->num_rows(), 50); ++i) {
+      EXPECT_EQ(a->column(c)->GetValue(i), b->column(c)->GetValue(i));
+    }
+  }
+}
+
+TEST_F(TpchFixture, ForeignKeysInRange) {
+  auto lineitem = catalog_->GetTable("lineitem").value();
+  auto orders = catalog_->GetTable("orders").value();
+  auto part = catalog_->GetTable("part").value();
+  int64_t max_order = static_cast<int64_t>(orders->num_rows());
+  int64_t max_part = static_cast<int64_t>(part->num_rows());
+  ColumnPtr okey = lineitem->GetColumn("l_orderkey").value();
+  ColumnPtr pkey = lineitem->GetColumn("l_partkey").value();
+  for (size_t i = 0; i < lineitem->num_rows(); ++i) {
+    ASSERT_GE(okey->IntAt(i), 1);
+    ASSERT_LE(okey->IntAt(i), max_order);
+    ASSERT_GE(pkey->IntAt(i), 1);
+    ASSERT_LE(pkey->IntAt(i), max_part);
+  }
+}
+
+TEST_F(TpchFixture, DateInvariants) {
+  auto lineitem = catalog_->GetTable("lineitem").value();
+  ColumnPtr ship = lineitem->GetColumn("l_shipdate").value();
+  ColumnPtr receipt = lineitem->GetColumn("l_receiptdate").value();
+  ColumnPtr flag = lineitem->GetColumn("l_returnflag").value();
+  ColumnPtr status = lineitem->GetColumn("l_linestatus").value();
+  for (size_t i = 0; i < lineitem->num_rows(); ++i) {
+    ASSERT_LT(ship->IntAt(i), receipt->IntAt(i));
+    const std::string& f = flag->StringAt(i);
+    ASSERT_TRUE(f == "R" || f == "A" || f == "N") << f;
+    if (receipt->IntAt(i) > 19950617) {
+      ASSERT_EQ(f, "N");
+    }
+    const std::string& s = status->StringAt(i);
+    ASSERT_TRUE(s == "O" || s == "F");
+  }
+}
+
+// --- queries compile and run ---
+
+Result<QueryResult> RunQuery(Catalog* cat, const std::string& id,
+                             int threads = 2) {
+  auto q = GetQuery(id);
+  if (!q.ok()) return q.status();
+  auto program = sql::Compiler::CompileSql(cat, q.value().sql);
+  if (!program.ok()) return program.status();
+  Interpreter interp(cat);
+  ExecOptions opts;
+  opts.num_threads = threads;
+  return interp.Execute(program.value(), opts);
+}
+
+TEST_F(TpchFixture, EveryQueryCompilesAndRuns) {
+  for (const TpchQuery& q : TpchQueries()) {
+    auto r = RunQuery(catalog_, q.id);
+    EXPECT_TRUE(r.ok()) << q.id << ": " << r.status().ToString();
+  }
+}
+
+TEST_F(TpchFixture, PaperQueryReturnsTaxColumn) {
+  auto r = RunQuery(catalog_, "paper");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().columns.size(), 1u);
+  ColumnPtr tax = r.value().columns[0].column;
+  for (size_t i = 0; i < tax->size(); ++i) {
+    EXPECT_GE(tax->DoubleAt(i), 0.0);
+    EXPECT_LE(tax->DoubleAt(i), 0.08);
+  }
+}
+
+TEST_F(TpchFixture, Q1HasAtMostSixGroupsAndConsistentCounts) {
+  auto r = RunQuery(catalog_, "q1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& cols = r.value().columns;
+  ASSERT_EQ(cols.size(), 10u);
+  size_t ngroups = cols[0].column->size();
+  EXPECT_GE(ngroups, 1u);
+  EXPECT_LE(ngroups, 6u);  // 3 flags x 2 statuses
+  // count_order must sum to the number of lineitem rows passing the filter.
+  int64_t total = 0;
+  for (size_t g = 0; g < ngroups; ++g) {
+    total += cols[9].column->IntAt(g);
+  }
+  auto lineitem = catalog_->GetTable("lineitem").value();
+  ColumnPtr ship = lineitem->GetColumn("l_shipdate").value();
+  int64_t expected = 0;
+  for (size_t i = 0; i < lineitem->num_rows(); ++i) {
+    if (ship->IntAt(i) <= 19980902) ++expected;
+  }
+  EXPECT_EQ(total, expected);
+  // avg_disc within [0, 0.10].
+  for (size_t g = 0; g < ngroups; ++g) {
+    EXPECT_GE(cols[8].column->DoubleAt(g), 0.0);
+    EXPECT_LE(cols[8].column->DoubleAt(g), 0.10);
+  }
+}
+
+TEST_F(TpchFixture, Q3TopTenDescending) {
+  auto r = RunQuery(catalog_, "q3");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ColumnPtr revenue = r.value().columns[1].column;
+  ASSERT_LE(revenue->size(), 10u);
+  for (size_t i = 1; i < revenue->size(); ++i) {
+    EXPECT_GE(revenue->DoubleAt(i - 1), revenue->DoubleAt(i));
+  }
+}
+
+TEST_F(TpchFixture, Q6MatchesHandRolledScan) {
+  auto r = RunQuery(catalog_, "q6");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().columns.size(), 1u);
+  double got = r.value().columns[0].scalar.AsDouble();
+
+  auto lineitem = catalog_->GetTable("lineitem").value();
+  ColumnPtr ship = lineitem->GetColumn("l_shipdate").value();
+  ColumnPtr disc = lineitem->GetColumn("l_discount").value();
+  ColumnPtr qty = lineitem->GetColumn("l_quantity").value();
+  ColumnPtr price = lineitem->GetColumn("l_extendedprice").value();
+  double expected = 0;
+  for (size_t i = 0; i < lineitem->num_rows(); ++i) {
+    if (ship->IntAt(i) >= 19940101 && ship->IntAt(i) < 19950101 &&
+        disc->DoubleAt(i) >= 0.05 && disc->DoubleAt(i) <= 0.07 &&
+        qty->IntAt(i) < 24) {
+      expected += price->DoubleAt(i) * disc->DoubleAt(i);
+    }
+  }
+  EXPECT_NEAR(got, expected, 1e-6);
+}
+
+TEST_F(TpchFixture, Q14PercentageInRange) {
+  auto r = RunQuery(catalog_, "q14");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  double promo = r.value().columns[0].scalar.AsDouble();
+  EXPECT_GE(promo, 0.0);
+  EXPECT_LE(promo, 100.0);
+}
+
+TEST_F(TpchFixture, Q5RevenueByNationDescending) {
+  auto r = RunQuery(catalog_, "q5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ColumnPtr revenue = r.value().columns[1].column;
+  for (size_t i = 1; i < revenue->size(); ++i) {
+    EXPECT_GE(revenue->DoubleAt(i - 1), revenue->DoubleAt(i));
+  }
+}
+
+TEST_F(TpchFixture, QueriesDeterministicAcrossSchedulers) {
+  for (const char* id : {"q1", "q6", "q3"}) {
+    auto seq = RunQuery(catalog_, id, /*threads=*/1);
+    auto par = RunQuery(catalog_, id, /*threads=*/4);
+    ASSERT_TRUE(seq.ok()) << id;
+    ASSERT_TRUE(par.ok()) << id;
+    ASSERT_EQ(seq.value().columns.size(), par.value().columns.size()) << id;
+    for (size_t c = 0; c < seq.value().columns.size(); ++c) {
+      const auto& a = seq.value().columns[c];
+      const auto& b = par.value().columns[c];
+      if (a.is_scalar) {
+        EXPECT_EQ(a.scalar, b.scalar);
+        continue;
+      }
+      ASSERT_EQ(a.column->size(), b.column->size()) << id;
+      for (size_t i = 0; i < a.column->size(); ++i) {
+        EXPECT_EQ(a.column->GetValue(i), b.column->GetValue(i)) << id;
+      }
+    }
+  }
+}
+
+TEST(TpchQueriesTest, RegistryLookup) {
+  EXPECT_TRUE(GetQuery("paper").ok());
+  EXPECT_TRUE(GetQuery("q1").ok());
+  EXPECT_FALSE(GetQuery("q99").ok());
+  EXPECT_GE(TpchQueries().size(), 8u);
+}
+
+TEST(TpchGenTest, RejectsNonPositiveScale) {
+  TpchConfig config;
+  config.scale_factor = 0;
+  EXPECT_FALSE(GenerateTpch(config).ok());
+}
+
+}  // namespace
+}  // namespace stetho::tpch

@@ -1,0 +1,519 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/clock.h"
+#include "dot/parser.h"
+#include "layout/sugiyama.h"
+#include "viz/animation.h"
+#include "viz/camera.h"
+#include "viz/color.h"
+#include "viz/event_dispatch.h"
+#include "viz/lens.h"
+#include "viz/raster.h"
+#include "viz/renderer.h"
+#include "viz/virtual_space.h"
+
+namespace stetho::viz {
+namespace {
+
+// --- Color ---
+
+TEST(ColorTest, HexRoundTrip) {
+  Color c{0x12, 0xAB, 0xEF};
+  auto parsed = Color::Parse(c.ToHex());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), c);
+}
+
+TEST(ColorTest, NamedColors) {
+  EXPECT_EQ(Color::Parse("red").value(), Color::Red());
+  EXPECT_EQ(Color::Parse("GREEN").value(), Color::Green());
+  EXPECT_FALSE(Color::Parse("mauve-ish").ok());
+}
+
+TEST(ColorTest, LerpEndpointsAndClamp) {
+  Color a = Color::White();
+  Color b = Color::Black();
+  EXPECT_EQ(Color::Lerp(a, b, 0.0), a);
+  EXPECT_EQ(Color::Lerp(a, b, 1.0), b);
+  EXPECT_EQ(Color::Lerp(a, b, -5.0), a);
+  EXPECT_EQ(Color::Lerp(a, b, 5.0), b);
+  Color mid = Color::Lerp(a, b, 0.5);
+  EXPECT_NEAR(mid.r, 128, 2);
+}
+
+// --- VirtualSpace + scene building ---
+
+dot::Graph TwoNodeGraph() {
+  dot::Graph g;
+  g.AddNode("n0").attrs["label"] = "first";
+  g.AddNode("n1").attrs["label"] = "second";
+  g.AddEdge("n0", "n1");
+  return g;
+}
+
+TEST(VirtualSpaceTest, GlyphModelMatchesZvtm) {
+  // Paper §3.1: a two-node graph with one edge is represented by two shape
+  // glyphs, two text glyphs, and one edge glyph — five objects.
+  dot::Graph g = TwoNodeGraph();
+  auto layout = layout::LayoutGraph(g);
+  ASSERT_TRUE(layout.ok());
+  VirtualSpace space;
+  BuildScene(g, layout.value(), &space);
+  EXPECT_EQ(space.size(), 5u);
+  int shapes = 0;
+  int texts = 0;
+  int edges = 0;
+  for (const Glyph& glyph : space.Snapshot()) {
+    switch (glyph.kind) {
+      case GlyphKind::kShape:
+        ++shapes;
+        break;
+      case GlyphKind::kText:
+        ++texts;
+        break;
+      case GlyphKind::kEdge:
+        ++edges;
+        break;
+    }
+  }
+  EXPECT_EQ(shapes, 2);
+  EXPECT_EQ(texts, 2);
+  EXPECT_EQ(edges, 1);
+}
+
+TEST(VirtualSpaceTest, OwnerLookup) {
+  dot::Graph g = TwoNodeGraph();
+  auto layout = layout::LayoutGraph(g);
+  ASSERT_TRUE(layout.ok());
+  VirtualSpace space;
+  BuildScene(g, layout.value(), &space);
+  EXPECT_EQ(space.GlyphsForOwner("n0").size(), 2u);  // shape + text
+  int shape = space.ShapeFor("n0");
+  ASSERT_GE(shape, 0);
+  EXPECT_EQ(space.GetGlyph(shape).value().kind, GlyphKind::kShape);
+  EXPECT_EQ(space.ShapeFor("nope"), -1);
+}
+
+TEST(VirtualSpaceTest, MutateGlyph) {
+  VirtualSpace space;
+  Glyph g;
+  g.kind = GlyphKind::kShape;
+  g.owner = "n0";
+  int id = space.AddGlyph(g);
+  ASSERT_TRUE(space.MutateGlyph(id, [](Glyph* gg) {
+    gg->fill = Color::Red();
+  }).ok());
+  EXPECT_EQ(space.GetGlyph(id).value().fill, Color::Red());
+  EXPECT_FALSE(space.MutateGlyph(999, [](Glyph*) {}).ok());
+}
+
+TEST(VirtualSpaceTest, SnapshotZOrder) {
+  VirtualSpace space;
+  Glyph top;
+  top.z = 5;
+  top.owner = "a";
+  Glyph bottom;
+  bottom.z = 1;
+  bottom.owner = "b";
+  space.AddGlyph(top);
+  space.AddGlyph(bottom);
+  auto snap = space.Snapshot();
+  EXPECT_EQ(snap[0].owner, "b");
+  EXPECT_EQ(snap[1].owner, "a");
+}
+
+// --- Camera ---
+
+TEST(CameraTest, ProjectUnprojectInverse) {
+  Camera cam(800, 600);
+  cam.MoveTo(100, 50);
+  cam.SetAltitude(150);
+  layout::Point world{37.5, -12.25};
+  layout::Point screen = cam.Project(world);
+  layout::Point back = cam.Unproject(screen);
+  EXPECT_NEAR(back.x, world.x, 1e-9);
+  EXPECT_NEAR(back.y, world.y, 1e-9);
+}
+
+TEST(CameraTest, AltitudeZoomsOut) {
+  Camera cam(800, 600);
+  cam.SetAltitude(0);
+  double scale0 = cam.Scale();
+  cam.SetAltitude(100);
+  EXPECT_LT(cam.Scale(), scale0);
+  layout::Point size = cam.VisibleSize();
+  EXPECT_GT(size.x, 800);  // sees more world than the viewport at 1:1
+}
+
+TEST(CameraTest, AltitudeClampedNonNegative) {
+  Camera cam(800, 600);
+  cam.SetAltitude(-50);
+  EXPECT_EQ(cam.altitude(), 0);
+  EXPECT_DOUBLE_EQ(cam.Scale(), 1.0);
+}
+
+TEST(CameraTest, FitRectContainsRect) {
+  Camera cam(800, 600);
+  cam.FitRect(0, 0, 4000, 1000);
+  layout::Point origin = cam.VisibleOrigin();
+  layout::Point size = cam.VisibleSize();
+  EXPECT_LE(origin.x, 0.0 + 1e-6);
+  EXPECT_LE(origin.y, 0.0 + 1e-6);
+  EXPECT_GE(origin.x + size.x, 4000 - 1e-6);
+  EXPECT_GE(origin.y + size.y, 1000 - 1e-6);
+}
+
+TEST(CameraTest, FitSmallRectStaysAtUnitScale) {
+  Camera cam(800, 600);
+  cam.FitRect(0, 0, 100, 100);
+  EXPECT_DOUBLE_EQ(cam.Scale(), 1.0);
+}
+
+// --- Animator ---
+
+TEST(AnimatorTest, CameraAnimationReachesTarget) {
+  VirtualClock clock;
+  Camera cam(800, 600);
+  Animator animator(&clock);
+  animator.AnimateCamera(&cam, 200, 300, 50, 100000);
+  EXPECT_EQ(animator.active(), 1u);
+  clock.Advance(50000);
+  animator.Tick();
+  // Mid-flight: somewhere strictly between start and target.
+  EXPECT_GT(cam.x(), 0);
+  EXPECT_LT(cam.x(), 200);
+  clock.Advance(60000);
+  animator.Tick();
+  EXPECT_DOUBLE_EQ(cam.x(), 200);
+  EXPECT_DOUBLE_EQ(cam.y(), 300);
+  EXPECT_DOUBLE_EQ(cam.altitude(), 50);
+  EXPECT_EQ(animator.active(), 0u);
+}
+
+TEST(AnimatorTest, GlyphFillAnimation) {
+  VirtualClock clock;
+  VirtualSpace space;
+  Glyph g;
+  g.kind = GlyphKind::kShape;
+  g.fill = Color::White();
+  int id = space.AddGlyph(g);
+  Animator animator(&clock);
+  animator.AnimateGlyphFill(&space, id, Color::Red(), 10000);
+  clock.Advance(20000);
+  animator.Tick();
+  EXPECT_EQ(space.GetGlyph(id).value().fill, Color::Red());
+}
+
+TEST(AnimatorTest, RunToCompletionOnVirtualClock) {
+  VirtualClock clock;
+  Camera cam(800, 600);
+  Animator animator(&clock);
+  animator.AnimateCamera(&cam, 10, 10, 0, 500000);
+  animator.RunToCompletion(50000);
+  EXPECT_DOUBLE_EQ(cam.x(), 10);
+  EXPECT_EQ(animator.active(), 0u);
+}
+
+TEST(AnimatorTest, EasingMonotone) {
+  double prev = 0;
+  for (int i = 0; i <= 10; ++i) {
+    double t = ApplyEasing(Easing::kEaseInOut, i / 10.0);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+  EXPECT_DOUBLE_EQ(ApplyEasing(Easing::kEaseInOut, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ApplyEasing(Easing::kEaseInOut, 1.0), 1.0);
+}
+
+// --- FisheyeLens ---
+
+TEST(LensTest, CenterMagnificationAndRimFixed) {
+  FisheyeLens lens(100, 100, 50, 3.0);
+  EXPECT_NEAR(lens.GainAt(0), 3.0, 1e-9);
+  EXPECT_NEAR(lens.GainAt(50), 1.0, 1e-9);
+  // Point at the rim is unmoved.
+  layout::Point rim{150, 100};
+  layout::Point moved = lens.Apply(rim);
+  EXPECT_NEAR(moved.x, rim.x, 1e-9);
+}
+
+TEST(LensTest, MagnifiesNearFocus) {
+  FisheyeLens lens(0, 0, 100, 4.0);
+  layout::Point p{10, 0};
+  layout::Point moved = lens.Apply(p);
+  EXPECT_GT(moved.x, p.x * 2);   // strongly magnified
+  EXPECT_LT(moved.x, 100.0);     // never escapes the lens
+}
+
+TEST(LensTest, MonotoneRadialMapping) {
+  FisheyeLens lens(0, 0, 100, 5.0);
+  double prev = 0;
+  for (int d = 1; d < 100; ++d) {
+    layout::Point moved = lens.Apply({static_cast<double>(d), 0});
+    EXPECT_GT(moved.x, prev) << "fold-over at d=" << d;
+    prev = moved.x;
+  }
+}
+
+TEST(LensTest, OutsideUntouched) {
+  FisheyeLens lens(0, 0, 10, 3.0);
+  layout::Point p{50, 50};
+  layout::Point moved = lens.Apply(p);
+  EXPECT_EQ(moved.x, p.x);
+  EXPECT_EQ(moved.y, p.y);
+  EXPECT_FALSE(lens.Contains(p));
+}
+
+// --- EventDispatchThread ---
+
+TEST(EventDispatchTest, TasksRunInOrder) {
+  VirtualClock clock;
+  EventDispatchThread edt(&clock, 0);
+  std::vector<int> order;
+  std::mutex mu;
+  for (int i = 0; i < 10; ++i) {
+    edt.Post([&, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+    });
+  }
+  edt.Drain();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventDispatchTest, RenderPacingEnforcesInterval) {
+  // The paper's observation: queued rendering introduces a delay of up to
+  // 150 ms between consecutive node renders. On a virtual clock the pacing
+  // is exact.
+  VirtualClock clock;
+  EventDispatchThread edt(&clock, 150000);
+  std::atomic<int> renders{0};
+  for (int i = 0; i < 5; ++i) {
+    edt.PostRender([&] { renders.fetch_add(1); });
+  }
+  edt.Drain();
+  EXPECT_EQ(renders.load(), 5);
+  DispatchStats stats = edt.Stats();
+  EXPECT_EQ(stats.renders, 5);
+  ASSERT_EQ(stats.render_gaps_us.size(), 4u);
+  for (int64_t gap : stats.render_gaps_us) {
+    EXPECT_GE(gap, 150000);
+  }
+}
+
+TEST(EventDispatchTest, NonRenderTasksNotThrottled) {
+  VirtualClock clock;
+  EventDispatchThread edt(&clock, 150000);
+  for (int i = 0; i < 100; ++i) {
+    edt.Post([] {});
+  }
+  edt.Drain();
+  // Virtual clock never advanced: no pacing sleeps happened.
+  EXPECT_EQ(clock.NowMicros(), 0);
+  EXPECT_EQ(edt.Stats().tasks_executed, 100);
+}
+
+TEST(EventDispatchTest, QueueDepthTracked) {
+  VirtualClock clock;
+  EventDispatchThread edt(&clock, 150000);
+  for (int i = 0; i < 20; ++i) {
+    edt.PostRender([] {});
+  }
+  edt.Drain();
+  EXPECT_GE(edt.Stats().max_queue_depth, 1);
+}
+
+TEST(EventDispatchTest, ShutdownIdempotent) {
+  VirtualClock clock;
+  auto* edt = new EventDispatchThread(&clock, 0);
+  edt->Post([] {});
+  edt->Shutdown();
+  edt->Shutdown();
+  delete edt;
+}
+
+// --- Renderer ---
+
+TEST(RendererTest, FrameContainsProjectedGlyphs) {
+  dot::Graph g = TwoNodeGraph();
+  auto layout = layout::LayoutGraph(g);
+  ASSERT_TRUE(layout.ok());
+  VirtualSpace space;
+  BuildScene(g, layout.value(), &space);
+  Camera cam(800, 600);
+  cam.FitRect(0, 0, layout.value().width, layout.value().height);
+  Frame frame = Renderer::RenderFrame(space, cam);
+  EXPECT_EQ(frame.commands.size(), 5u);
+  EXPECT_EQ(frame.culled, 0u);
+  std::string svg = frame.ToSvg();
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  EXPECT_NE(svg.find(">first<"), std::string::npos);
+}
+
+TEST(RendererTest, CullsOffscreenGlyphs) {
+  VirtualSpace space;
+  Glyph g;
+  g.kind = GlyphKind::kShape;
+  g.x = 1e6;
+  g.y = 1e6;
+  g.width = 10;
+  g.height = 10;
+  space.AddGlyph(g);
+  Camera cam(800, 600);
+  Frame frame = Renderer::RenderFrame(space, cam);
+  EXPECT_TRUE(frame.commands.empty());
+  EXPECT_EQ(frame.culled, 1u);
+}
+
+TEST(RendererTest, InvisibleGlyphsSkipped) {
+  VirtualSpace space;
+  Glyph g;
+  g.kind = GlyphKind::kShape;
+  g.visible = false;
+  space.AddGlyph(g);
+  Camera cam(800, 600);
+  Frame frame = Renderer::RenderFrame(space, cam);
+  EXPECT_TRUE(frame.commands.empty());
+}
+
+TEST(RendererTest, MinimapShowsViewportMarker) {
+  dot::Graph g = TwoNodeGraph();
+  auto layout = layout::LayoutGraph(g);
+  ASSERT_TRUE(layout.ok());
+  VirtualSpace space;
+  BuildScene(g, layout.value(), &space);
+
+  Camera main(800, 600);
+  main.SetAltitude(0);
+  main.CenterOn(layout.value().nodes[0].x, layout.value().nodes[0].y);
+  Frame minimap = Renderer::RenderMinimap(space, main, 200, 150);
+  EXPECT_EQ(minimap.viewport_width, 200);
+  // Whole scene (5 glyphs) plus the viewport marker.
+  ASSERT_EQ(minimap.commands.size(), 6u);
+  const DrawCommand& marker = minimap.commands.back();
+  EXPECT_EQ(marker.owner, "viewport");
+  EXPECT_EQ(marker.stroke, Color::Red());
+  EXPECT_GT(marker.width, 0);
+  // Zooming the main camera out grows the marker.
+  main.SetAltitude(500);
+  Frame wider = Renderer::RenderMinimap(space, main, 200, 150);
+  EXPECT_GT(wider.commands.back().width, marker.width);
+}
+
+TEST(RendererTest, LensMagnifiesNearbyGlyphs) {
+  VirtualSpace space;
+  Glyph g;
+  g.kind = GlyphKind::kShape;
+  g.x = 0;
+  g.y = 0;
+  g.width = 20;
+  g.height = 10;
+  space.AddGlyph(g);
+  Camera cam(800, 600);
+  cam.MoveTo(0, 0);
+  // Lens centered on the glyph's screen position (viewport center).
+  FisheyeLens lens(400, 300, 200, 3.0);
+  Frame plain = Renderer::RenderFrame(space, cam);
+  Frame magnified = Renderer::RenderFrame(space, cam, &lens);
+  ASSERT_EQ(plain.commands.size(), 1u);
+  ASSERT_EQ(magnified.commands.size(), 1u);
+  EXPECT_GT(magnified.commands[0].width, plain.commands[0].width * 2);
+}
+
+// --- Raster ---
+
+TEST(RasterTest, SetGetAndClipping) {
+  Raster raster(10, 8, Color::White());
+  EXPECT_EQ(raster.At(0, 0), Color::White());
+  raster.Set(3, 4, Color::Red());
+  EXPECT_EQ(raster.At(3, 4), Color::Red());
+  raster.Set(-1, 0, Color::Red());   // clipped, no crash
+  raster.Set(10, 8, Color::Red());
+  EXPECT_EQ(raster.At(-1, 0), Color::Black());  // out of range sentinel
+}
+
+TEST(RasterTest, PpmFormat) {
+  Raster raster(4, 2);
+  std::string ppm = raster.ToPpm();
+  EXPECT_EQ(ppm.rfind("P6\n4 2\n255\n", 0), 0u);
+  EXPECT_EQ(ppm.size(), std::string("P6\n4 2\n255\n").size() + 4 * 2 * 3);
+}
+
+TEST(RasterTest, RasterizeColoredScene) {
+  // One red node centered in the viewport over a white background.
+  VirtualSpace space;
+  Glyph shape;
+  shape.kind = GlyphKind::kShape;
+  shape.x = 0;
+  shape.y = 0;
+  shape.width = 40;
+  shape.height = 20;
+  shape.fill = Color::Red();
+  shape.stroke = Color::Black();
+  space.AddGlyph(shape);
+  Camera cam(200, 100);
+  cam.MoveTo(0, 0);
+  Frame frame = Renderer::RenderFrame(space, cam);
+  Raster raster = RasterizeFrame(frame);
+  EXPECT_EQ(raster.width(), 200);
+  EXPECT_EQ(raster.height(), 100);
+  // Center pixel: node fill. Corner: background. Node border: stroke.
+  EXPECT_EQ(raster.At(100, 50), Color::Red());
+  EXPECT_EQ(raster.At(2, 2), Color::White());
+  EXPECT_EQ(raster.At(100 - 20, 50), Color::Black());  // left border
+}
+
+TEST(RasterTest, EdgesDrawLines) {
+  VirtualSpace space;
+  Glyph edge;
+  edge.kind = GlyphKind::kEdge;
+  edge.x = -50;
+  edge.y = 0;
+  edge.x2 = 50;
+  edge.y2 = 0;
+  edge.stroke = Color::Black();
+  space.AddGlyph(edge);
+  Camera cam(200, 100);
+  Frame frame = Renderer::RenderFrame(space, cam);
+  Raster raster = RasterizeFrame(frame);
+  // Horizontal line through the middle.
+  EXPECT_EQ(raster.At(100, 50), Color::Black());
+  EXPECT_EQ(raster.At(60, 50), Color::Black());
+  EXPECT_EQ(raster.At(100, 40), Color::White());
+}
+
+TEST(RasterTest, DiffRatioDetectsChange) {
+  Raster a(20, 20);
+  Raster b(20, 20);
+  EXPECT_DOUBLE_EQ(a.DiffRatio(b), 0.0);
+  b.Set(0, 0, Color::Red());
+  EXPECT_NEAR(a.DiffRatio(b), 1.0 / 400.0, 1e-12);
+  Raster c(10, 10);
+  EXPECT_DOUBLE_EQ(a.DiffRatio(c), 1.0);
+}
+
+TEST(RasterTest, ReplayChangesPixels) {
+  // A colored replay produces a visually different screenshot than the
+  // initial gray scene — the pixel-level proof of the coloring pipeline.
+  dot::Graph g = TwoNodeGraph();
+  auto layout = layout::LayoutGraph(g);
+  ASSERT_TRUE(layout.ok());
+  VirtualSpace space;
+  BuildScene(g, layout.value(), &space);
+  Camera cam(400, 300);
+  cam.FitRect(0, 0, layout.value().width, layout.value().height);
+  Raster before = RasterizeFrame(Renderer::RenderFrame(space, cam));
+  int shape = space.ShapeFor("n0");
+  ASSERT_GE(shape, 0);
+  ASSERT_TRUE(space.MutateGlyph(shape, [](Glyph* gg) {
+    gg->fill = Color::Green();
+  }).ok());
+  Raster after = RasterizeFrame(Renderer::RenderFrame(space, cam));
+  EXPECT_GT(after.DiffRatio(before), 0.001);
+}
+
+}  // namespace
+}  // namespace stetho::viz
