@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_passes.dir/bench_ablation_passes.cc.o"
+  "CMakeFiles/bench_ablation_passes.dir/bench_ablation_passes.cc.o.d"
+  "bench_ablation_passes"
+  "bench_ablation_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_edt_pacing.dir/bench_c1_edt_pacing.cc.o"
+  "CMakeFiles/bench_c1_edt_pacing.dir/bench_c1_edt_pacing.cc.o.d"
+  "bench_c1_edt_pacing"
+  "bench_c1_edt_pacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_edt_pacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_coloring.dir/bench_c2_coloring.cc.o"
+  "CMakeFiles/bench_c2_coloring.dir/bench_c2_coloring.cc.o.d"
+  "bench_c2_coloring"
+  "bench_c2_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

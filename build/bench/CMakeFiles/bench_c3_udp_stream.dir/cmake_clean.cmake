@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_udp_stream.dir/bench_c3_udp_stream.cc.o"
+  "CMakeFiles/bench_c3_udp_stream.dir/bench_c3_udp_stream.cc.o.d"
+  "bench_c3_udp_stream"
+  "bench_c3_udp_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_udp_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_multicore.dir/bench_c4_multicore.cc.o"
+  "CMakeFiles/bench_c4_multicore.dir/bench_c4_multicore.cc.o.d"
+  "bench_c4_multicore"
+  "bench_c4_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_c5_replay.cc" "bench/CMakeFiles/bench_c5_replay.dir/bench_c5_replay.cc.o" "gcc" "bench/CMakeFiles/bench_c5_replay.dir/bench_c5_replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scope/CMakeFiles/stetho_scope.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/stetho_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/stetho_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/stetho_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/stetho_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/stetho_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/stetho_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/stetho_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/dot/CMakeFiles/stetho_dot.dir/DependInfo.cmake"
+  "/root/repo/build/src/mal/CMakeFiles/stetho_mal.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/stetho_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/stetho_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/stetho_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stetho_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_replay.dir/bench_c5_replay.cc.o"
+  "CMakeFiles/bench_c5_replay.dir/bench_c5_replay.cc.o.d"
+  "bench_c5_replay"
+  "bench_c5_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_pipeline.dir/bench_c6_pipeline.cc.o"
+  "CMakeFiles/bench_c6_pipeline.dir/bench_c6_pipeline.cc.o.d"
+  "bench_c6_pipeline"
+  "bench_c6_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

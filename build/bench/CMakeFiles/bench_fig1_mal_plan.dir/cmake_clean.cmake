@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_mal_plan.dir/bench_fig1_mal_plan.cc.o"
+  "CMakeFiles/bench_fig1_mal_plan.dir/bench_fig1_mal_plan.cc.o.d"
+  "bench_fig1_mal_plan"
+  "bench_fig1_mal_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_mal_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_large_graph.dir/bench_fig2_large_graph.cc.o"
+  "CMakeFiles/bench_fig2_large_graph.dir/bench_fig2_large_graph.cc.o.d"
+  "bench_fig2_large_graph"
+  "bench_fig2_large_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_large_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

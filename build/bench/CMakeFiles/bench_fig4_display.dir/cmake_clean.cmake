@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_display.dir/bench_fig4_display.cc.o"
+  "CMakeFiles/bench_fig4_display.dir/bench_fig4_display.cc.o.d"
+  "bench_fig4_display"
+  "bench_fig4_display.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_display.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_debugger.dir/mal_debugger.cpp.o"
+  "CMakeFiles/mal_debugger.dir/mal_debugger.cpp.o.d"
+  "mal_debugger"
+  "mal_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

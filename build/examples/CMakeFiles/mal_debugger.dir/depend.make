@@ -1,0 +1,2 @@
+# Empty dependencies file for mal_debugger.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_analysis.dir/offline_analysis.cpp.o"
+  "CMakeFiles/offline_analysis.dir/offline_analysis.cpp.o.d"
+  "offline_analysis"
+  "offline_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_gallery.dir/plan_gallery.cpp.o"
+  "CMakeFiles/plan_gallery.dir/plan_gallery.cpp.o.d"
+  "plan_gallery"
+  "plan_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

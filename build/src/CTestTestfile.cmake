@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("storage")
+subdirs("mal")
+subdirs("profiler")
+subdirs("engine")
+subdirs("sql")
+subdirs("net")
+subdirs("server")
+subdirs("viz")
+subdirs("scope")
+subdirs("tpch")
+subdirs("optimizer")
+subdirs("dot")
+subdirs("layout")

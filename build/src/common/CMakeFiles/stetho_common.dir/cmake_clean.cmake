@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stetho_common.dir/clock.cc.o"
+  "CMakeFiles/stetho_common.dir/clock.cc.o.d"
+  "CMakeFiles/stetho_common.dir/logging.cc.o"
+  "CMakeFiles/stetho_common.dir/logging.cc.o.d"
+  "CMakeFiles/stetho_common.dir/status.cc.o"
+  "CMakeFiles/stetho_common.dir/status.cc.o.d"
+  "CMakeFiles/stetho_common.dir/string_util.cc.o"
+  "CMakeFiles/stetho_common.dir/string_util.cc.o.d"
+  "libstetho_common.a"
+  "libstetho_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stetho_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

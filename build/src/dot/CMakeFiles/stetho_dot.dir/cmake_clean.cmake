@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stetho_dot.dir/graph.cc.o"
+  "CMakeFiles/stetho_dot.dir/graph.cc.o.d"
+  "CMakeFiles/stetho_dot.dir/parser.cc.o"
+  "CMakeFiles/stetho_dot.dir/parser.cc.o.d"
+  "CMakeFiles/stetho_dot.dir/writer.cc.o"
+  "CMakeFiles/stetho_dot.dir/writer.cc.o.d"
+  "libstetho_dot.a"
+  "libstetho_dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stetho_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

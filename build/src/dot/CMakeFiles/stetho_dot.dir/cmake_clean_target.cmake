@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstetho_dot.a"
+)

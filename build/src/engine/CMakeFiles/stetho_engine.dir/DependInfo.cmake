@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/debugger.cc" "src/engine/CMakeFiles/stetho_engine.dir/debugger.cc.o" "gcc" "src/engine/CMakeFiles/stetho_engine.dir/debugger.cc.o.d"
+  "/root/repo/src/engine/interpreter.cc" "src/engine/CMakeFiles/stetho_engine.dir/interpreter.cc.o" "gcc" "src/engine/CMakeFiles/stetho_engine.dir/interpreter.cc.o.d"
+  "/root/repo/src/engine/kernel.cc" "src/engine/CMakeFiles/stetho_engine.dir/kernel.cc.o" "gcc" "src/engine/CMakeFiles/stetho_engine.dir/kernel.cc.o.d"
+  "/root/repo/src/engine/kernels_algebra.cc" "src/engine/CMakeFiles/stetho_engine.dir/kernels_algebra.cc.o" "gcc" "src/engine/CMakeFiles/stetho_engine.dir/kernels_algebra.cc.o.d"
+  "/root/repo/src/engine/kernels_core.cc" "src/engine/CMakeFiles/stetho_engine.dir/kernels_core.cc.o" "gcc" "src/engine/CMakeFiles/stetho_engine.dir/kernels_core.cc.o.d"
+  "/root/repo/src/engine/kernels_group.cc" "src/engine/CMakeFiles/stetho_engine.dir/kernels_group.cc.o" "gcc" "src/engine/CMakeFiles/stetho_engine.dir/kernels_group.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mal/CMakeFiles/stetho_mal.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/stetho_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/stetho_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stetho_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

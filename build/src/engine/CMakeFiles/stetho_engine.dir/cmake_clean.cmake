@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stetho_engine.dir/debugger.cc.o"
+  "CMakeFiles/stetho_engine.dir/debugger.cc.o.d"
+  "CMakeFiles/stetho_engine.dir/interpreter.cc.o"
+  "CMakeFiles/stetho_engine.dir/interpreter.cc.o.d"
+  "CMakeFiles/stetho_engine.dir/kernel.cc.o"
+  "CMakeFiles/stetho_engine.dir/kernel.cc.o.d"
+  "CMakeFiles/stetho_engine.dir/kernels_algebra.cc.o"
+  "CMakeFiles/stetho_engine.dir/kernels_algebra.cc.o.d"
+  "CMakeFiles/stetho_engine.dir/kernels_core.cc.o"
+  "CMakeFiles/stetho_engine.dir/kernels_core.cc.o.d"
+  "CMakeFiles/stetho_engine.dir/kernels_group.cc.o"
+  "CMakeFiles/stetho_engine.dir/kernels_group.cc.o.d"
+  "libstetho_engine.a"
+  "libstetho_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stetho_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

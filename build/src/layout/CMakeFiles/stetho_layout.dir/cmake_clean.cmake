@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stetho_layout.dir/sugiyama.cc.o"
+  "CMakeFiles/stetho_layout.dir/sugiyama.cc.o.d"
+  "CMakeFiles/stetho_layout.dir/svg.cc.o"
+  "CMakeFiles/stetho_layout.dir/svg.cc.o.d"
+  "libstetho_layout.a"
+  "libstetho_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stetho_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

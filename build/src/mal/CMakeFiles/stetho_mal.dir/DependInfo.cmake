@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mal/parser.cc" "src/mal/CMakeFiles/stetho_mal.dir/parser.cc.o" "gcc" "src/mal/CMakeFiles/stetho_mal.dir/parser.cc.o.d"
+  "/root/repo/src/mal/program.cc" "src/mal/CMakeFiles/stetho_mal.dir/program.cc.o" "gcc" "src/mal/CMakeFiles/stetho_mal.dir/program.cc.o.d"
+  "/root/repo/src/mal/types.cc" "src/mal/CMakeFiles/stetho_mal.dir/types.cc.o" "gcc" "src/mal/CMakeFiles/stetho_mal.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/stetho_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stetho_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stetho_mal.dir/parser.cc.o"
+  "CMakeFiles/stetho_mal.dir/parser.cc.o.d"
+  "CMakeFiles/stetho_mal.dir/program.cc.o"
+  "CMakeFiles/stetho_mal.dir/program.cc.o.d"
+  "CMakeFiles/stetho_mal.dir/types.cc.o"
+  "CMakeFiles/stetho_mal.dir/types.cc.o.d"
+  "libstetho_mal.a"
+  "libstetho_mal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stetho_mal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stetho_net.dir/channel.cc.o"
+  "CMakeFiles/stetho_net.dir/channel.cc.o.d"
+  "CMakeFiles/stetho_net.dir/trace_stream.cc.o"
+  "CMakeFiles/stetho_net.dir/trace_stream.cc.o.d"
+  "CMakeFiles/stetho_net.dir/udp.cc.o"
+  "CMakeFiles/stetho_net.dir/udp.cc.o.d"
+  "libstetho_net.a"
+  "libstetho_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stetho_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stetho_optimizer.dir/pass.cc.o"
+  "CMakeFiles/stetho_optimizer.dir/pass.cc.o.d"
+  "CMakeFiles/stetho_optimizer.dir/passes.cc.o"
+  "CMakeFiles/stetho_optimizer.dir/passes.cc.o.d"
+  "libstetho_optimizer.a"
+  "libstetho_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stetho_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for stetho_optimizer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiler/event.cc" "src/profiler/CMakeFiles/stetho_profiler.dir/event.cc.o" "gcc" "src/profiler/CMakeFiles/stetho_profiler.dir/event.cc.o.d"
+  "/root/repo/src/profiler/filter.cc" "src/profiler/CMakeFiles/stetho_profiler.dir/filter.cc.o" "gcc" "src/profiler/CMakeFiles/stetho_profiler.dir/filter.cc.o.d"
+  "/root/repo/src/profiler/profiler.cc" "src/profiler/CMakeFiles/stetho_profiler.dir/profiler.cc.o" "gcc" "src/profiler/CMakeFiles/stetho_profiler.dir/profiler.cc.o.d"
+  "/root/repo/src/profiler/sink.cc" "src/profiler/CMakeFiles/stetho_profiler.dir/sink.cc.o" "gcc" "src/profiler/CMakeFiles/stetho_profiler.dir/sink.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stetho_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

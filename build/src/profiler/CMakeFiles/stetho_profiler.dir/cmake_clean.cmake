@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stetho_profiler.dir/event.cc.o"
+  "CMakeFiles/stetho_profiler.dir/event.cc.o.d"
+  "CMakeFiles/stetho_profiler.dir/filter.cc.o"
+  "CMakeFiles/stetho_profiler.dir/filter.cc.o.d"
+  "CMakeFiles/stetho_profiler.dir/profiler.cc.o"
+  "CMakeFiles/stetho_profiler.dir/profiler.cc.o.d"
+  "CMakeFiles/stetho_profiler.dir/sink.cc.o"
+  "CMakeFiles/stetho_profiler.dir/sink.cc.o.d"
+  "libstetho_profiler.a"
+  "libstetho_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stetho_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stetho_scope.dir/analysis.cc.o"
+  "CMakeFiles/stetho_scope.dir/analysis.cc.o.d"
+  "CMakeFiles/stetho_scope.dir/coloring.cc.o"
+  "CMakeFiles/stetho_scope.dir/coloring.cc.o.d"
+  "CMakeFiles/stetho_scope.dir/mapping.cc.o"
+  "CMakeFiles/stetho_scope.dir/mapping.cc.o.d"
+  "CMakeFiles/stetho_scope.dir/online.cc.o"
+  "CMakeFiles/stetho_scope.dir/online.cc.o.d"
+  "CMakeFiles/stetho_scope.dir/replayer.cc.o"
+  "CMakeFiles/stetho_scope.dir/replayer.cc.o.d"
+  "CMakeFiles/stetho_scope.dir/session.cc.o"
+  "CMakeFiles/stetho_scope.dir/session.cc.o.d"
+  "CMakeFiles/stetho_scope.dir/textual.cc.o"
+  "CMakeFiles/stetho_scope.dir/textual.cc.o.d"
+  "CMakeFiles/stetho_scope.dir/timeline.cc.o"
+  "CMakeFiles/stetho_scope.dir/timeline.cc.o.d"
+  "CMakeFiles/stetho_scope.dir/trace.cc.o"
+  "CMakeFiles/stetho_scope.dir/trace.cc.o.d"
+  "libstetho_scope.a"
+  "libstetho_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stetho_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stetho_server.dir/mserver.cc.o"
+  "CMakeFiles/stetho_server.dir/mserver.cc.o.d"
+  "CMakeFiles/stetho_server.dir/result_printer.cc.o"
+  "CMakeFiles/stetho_server.dir/result_printer.cc.o.d"
+  "libstetho_server.a"
+  "libstetho_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stetho_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

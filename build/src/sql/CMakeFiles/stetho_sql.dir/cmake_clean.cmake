@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stetho_sql.dir/ast.cc.o"
+  "CMakeFiles/stetho_sql.dir/ast.cc.o.d"
+  "CMakeFiles/stetho_sql.dir/compiler.cc.o"
+  "CMakeFiles/stetho_sql.dir/compiler.cc.o.d"
+  "CMakeFiles/stetho_sql.dir/lexer.cc.o"
+  "CMakeFiles/stetho_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/stetho_sql.dir/parser.cc.o"
+  "CMakeFiles/stetho_sql.dir/parser.cc.o.d"
+  "libstetho_sql.a"
+  "libstetho_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stetho_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

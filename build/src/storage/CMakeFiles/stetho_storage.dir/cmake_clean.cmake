@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stetho_storage.dir/column.cc.o"
+  "CMakeFiles/stetho_storage.dir/column.cc.o.d"
+  "CMakeFiles/stetho_storage.dir/table.cc.o"
+  "CMakeFiles/stetho_storage.dir/table.cc.o.d"
+  "CMakeFiles/stetho_storage.dir/value.cc.o"
+  "CMakeFiles/stetho_storage.dir/value.cc.o.d"
+  "libstetho_storage.a"
+  "libstetho_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stetho_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

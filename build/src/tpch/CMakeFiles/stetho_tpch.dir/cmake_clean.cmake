@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stetho_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/stetho_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/stetho_tpch.dir/queries.cc.o"
+  "CMakeFiles/stetho_tpch.dir/queries.cc.o.d"
+  "libstetho_tpch.a"
+  "libstetho_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stetho_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/animation.cc" "src/viz/CMakeFiles/stetho_viz.dir/animation.cc.o" "gcc" "src/viz/CMakeFiles/stetho_viz.dir/animation.cc.o.d"
+  "/root/repo/src/viz/camera.cc" "src/viz/CMakeFiles/stetho_viz.dir/camera.cc.o" "gcc" "src/viz/CMakeFiles/stetho_viz.dir/camera.cc.o.d"
+  "/root/repo/src/viz/color.cc" "src/viz/CMakeFiles/stetho_viz.dir/color.cc.o" "gcc" "src/viz/CMakeFiles/stetho_viz.dir/color.cc.o.d"
+  "/root/repo/src/viz/event_dispatch.cc" "src/viz/CMakeFiles/stetho_viz.dir/event_dispatch.cc.o" "gcc" "src/viz/CMakeFiles/stetho_viz.dir/event_dispatch.cc.o.d"
+  "/root/repo/src/viz/lens.cc" "src/viz/CMakeFiles/stetho_viz.dir/lens.cc.o" "gcc" "src/viz/CMakeFiles/stetho_viz.dir/lens.cc.o.d"
+  "/root/repo/src/viz/raster.cc" "src/viz/CMakeFiles/stetho_viz.dir/raster.cc.o" "gcc" "src/viz/CMakeFiles/stetho_viz.dir/raster.cc.o.d"
+  "/root/repo/src/viz/renderer.cc" "src/viz/CMakeFiles/stetho_viz.dir/renderer.cc.o" "gcc" "src/viz/CMakeFiles/stetho_viz.dir/renderer.cc.o.d"
+  "/root/repo/src/viz/virtual_space.cc" "src/viz/CMakeFiles/stetho_viz.dir/virtual_space.cc.o" "gcc" "src/viz/CMakeFiles/stetho_viz.dir/virtual_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/stetho_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stetho_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dot/CMakeFiles/stetho_dot.dir/DependInfo.cmake"
+  "/root/repo/build/src/mal/CMakeFiles/stetho_mal.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/stetho_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

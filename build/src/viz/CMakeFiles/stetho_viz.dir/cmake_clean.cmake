@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stetho_viz.dir/animation.cc.o"
+  "CMakeFiles/stetho_viz.dir/animation.cc.o.d"
+  "CMakeFiles/stetho_viz.dir/camera.cc.o"
+  "CMakeFiles/stetho_viz.dir/camera.cc.o.d"
+  "CMakeFiles/stetho_viz.dir/color.cc.o"
+  "CMakeFiles/stetho_viz.dir/color.cc.o.d"
+  "CMakeFiles/stetho_viz.dir/event_dispatch.cc.o"
+  "CMakeFiles/stetho_viz.dir/event_dispatch.cc.o.d"
+  "CMakeFiles/stetho_viz.dir/lens.cc.o"
+  "CMakeFiles/stetho_viz.dir/lens.cc.o.d"
+  "CMakeFiles/stetho_viz.dir/raster.cc.o"
+  "CMakeFiles/stetho_viz.dir/raster.cc.o.d"
+  "CMakeFiles/stetho_viz.dir/renderer.cc.o"
+  "CMakeFiles/stetho_viz.dir/renderer.cc.o.d"
+  "CMakeFiles/stetho_viz.dir/virtual_space.cc.o"
+  "CMakeFiles/stetho_viz.dir/virtual_space.cc.o.d"
+  "libstetho_viz.a"
+  "libstetho_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stetho_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugger_test.dir/debugger_test.cc.o"
+  "CMakeFiles/debugger_test.dir/debugger_test.cc.o.d"
+  "debugger_test"
+  "debugger_test.pdb"
+  "debugger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_property_test.dir/kernel_property_test.cc.o"
+  "CMakeFiles/kernel_property_test.dir/kernel_property_test.cc.o.d"
+  "kernel_property_test"
+  "kernel_property_test.pdb"
+  "kernel_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

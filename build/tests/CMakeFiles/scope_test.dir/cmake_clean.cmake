@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scope_test.dir/scope_test.cc.o"
+  "CMakeFiles/scope_test.dir/scope_test.cc.o.d"
+  "scope_test"
+  "scope_test.pdb"
+  "scope_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

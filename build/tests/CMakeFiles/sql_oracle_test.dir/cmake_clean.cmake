@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_oracle_test.dir/sql_oracle_test.cc.o"
+  "CMakeFiles/sql_oracle_test.dir/sql_oracle_test.cc.o.d"
+  "sql_oracle_test"
+  "sql_oracle_test.pdb"
+  "sql_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

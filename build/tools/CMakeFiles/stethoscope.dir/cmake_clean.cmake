@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stethoscope.dir/stethoscope_cli.cpp.o"
+  "CMakeFiles/stethoscope.dir/stethoscope_cli.cpp.o.d"
+  "stethoscope"
+  "stethoscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stethoscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
