@@ -1,0 +1,59 @@
+#ifndef STETHO_ANALYSIS_CHECK_H_
+#define STETHO_ANALYSIS_CHECK_H_
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "dot/graph.h"
+#include "engine/kernel.h"
+#include "mal/program.h"
+#include "profiler/event.h"
+
+namespace stetho::analysis {
+
+/// Everything a check may inspect. All pointers are optional and borrowed;
+/// checks declare what they need via Check::needs() and the Runner skips a
+/// check whose required inputs are absent. A check may still use inputs it
+/// did not declare when they happen to be present (e.g. the trace check
+/// cross-validates statement text only when a program is supplied).
+struct CheckContext {
+  const mal::Program* program = nullptr;
+  const dot::Graph* graph = nullptr;
+  const std::vector<profiler::TraceEvent>* trace = nullptr;
+  const engine::ModuleRegistry* registry = nullptr;
+};
+
+/// Bitmask of CheckContext fields a check requires to run at all.
+enum CheckInputs : unsigned {
+  kNeedsProgram = 1u << 0,
+  kNeedsGraph = 1u << 1,
+  kNeedsTrace = 1u << 2,
+  kNeedsRegistry = 1u << 3,
+};
+
+/// One pluggable static-analysis rule over plans, plan graphs, and traces.
+/// Implementations are stateless and const: the same instance may run from
+/// several threads (the optimizer pipeline shares one Runner).
+class Check {
+ public:
+  virtual ~Check() = default;
+
+  /// Stable kebab-case identifier, e.g. "ssa-def-before-use". Appears in
+  /// diagnostics, pipeline errors, and mal_lint output.
+  virtual const char* id() const = 0;
+
+  /// One-line human description for catalogs (`mal_lint --list-checks`).
+  virtual const char* description() const = 0;
+
+  /// OR of CheckInputs bits; the Runner only invokes Run() when every
+  /// required context field is non-null.
+  virtual unsigned needs() const = 0;
+
+  /// Appends findings to `out`. Must not mutate the context.
+  virtual void Run(const CheckContext& context,
+                   std::vector<Diagnostic>* out) const = 0;
+};
+
+}  // namespace stetho::analysis
+
+#endif  // STETHO_ANALYSIS_CHECK_H_

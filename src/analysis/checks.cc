@@ -1,0 +1,746 @@
+#include "analysis/checks.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "analysis/signatures.h"
+#include "common/string_util.h"
+
+namespace stetho::analysis {
+namespace {
+
+using mal::Argument;
+using mal::Instruction;
+using mal::Program;
+using profiler::EventState;
+using profiler::TraceEvent;
+
+/// Every check stops after this many findings; a closing note records the
+/// suppression. Keeps lint output (and pipeline error Statuses) bounded on
+/// pathological plans.
+constexpr size_t kMaxDiagnosticsPerCheck = 64;
+
+/// Bounded sink for one check run.
+class Emitter {
+ public:
+  Emitter(const char* check_id, std::vector<Diagnostic>* out)
+      : check_id_(check_id), out_(out) {}
+
+  ~Emitter() {
+    if (suppressed_ > 0) {
+      Diagnostic d;
+      d.severity = Severity::kNote;
+      d.check_id = check_id_;
+      d.message = StrFormat("%zu further findings suppressed", suppressed_);
+      out_->push_back(std::move(d));
+    }
+  }
+
+  void Emit(Severity severity, int pc, int var, std::string message,
+            std::string fix_hint = "") {
+    if (emitted_ >= kMaxDiagnosticsPerCheck) {
+      ++suppressed_;
+      return;
+    }
+    ++emitted_;
+    Diagnostic d;
+    d.severity = severity;
+    d.check_id = check_id_;
+    d.pc = pc;
+    d.var = var;
+    d.message = std::move(message);
+    d.fix_hint = std::move(fix_hint);
+    out_->push_back(std::move(d));
+  }
+
+ private:
+  const char* check_id_;
+  std::vector<Diagnostic>* out_;
+  size_t emitted_ = 0;
+  size_t suppressed_ = 0;
+};
+
+std::string VarName(const Program& p, int var) {
+  if (var < 0 || static_cast<size_t>(var) >= p.num_variables()) {
+    return StrFormat("<invalid:%d>", var);
+  }
+  return p.variable(var).name;
+}
+
+/// Static shape of one argument: constants are always scalars; variables
+/// follow their declared MAL type.
+ValueKind ArgKind(const Program& p, const Argument& arg) {
+  if (arg.kind == Argument::Kind::kConst) return ValueKind::kScalar;
+  if (arg.var < 0 || static_cast<size_t>(arg.var) >= p.num_variables()) {
+    return ValueKind::kAny;
+  }
+  return p.variable(arg.var).type.is_bat ? ValueKind::kBat : ValueKind::kScalar;
+}
+
+ValueKind ResultKind(const Program& p, int var) {
+  if (var < 0 || static_cast<size_t>(var) >= p.num_variables()) {
+    return ValueKind::kAny;
+  }
+  return p.variable(var).type.is_bat ? ValueKind::kBat : ValueKind::kScalar;
+}
+
+bool Satisfies(ValueKind actual, ValueKind constraint) {
+  return constraint == ValueKind::kAny || actual == ValueKind::kAny ||
+         actual == constraint;
+}
+
+bool VarInRange(const Program& p, int var) {
+  return var >= 0 && static_cast<size_t>(var) < p.num_variables();
+}
+
+/// Parses the dot naming convention "n<pc>"; returns -1 on mismatch.
+int PcFromNodeId(const std::string& id) {
+  if (id.size() < 2 || id[0] != 'n') return -1;
+  int pc = 0;
+  for (size_t i = 1; i < id.size(); ++i) {
+    if (id[i] < '0' || id[i] > '9') return -1;
+    if (pc > 100000000) return -1;  // overflow guard; no plan is this large
+    pc = pc * 10 + (id[i] - '0');
+  }
+  return pc;
+}
+
+std::string Ellipsize(const std::string& s, size_t limit = 96) {
+  if (s.size() <= limit) return s;
+  return s.substr(0, limit) + "...";
+}
+
+/// Number of instructions reading each variable (the interpreter's
+/// reference-count initialization).
+std::vector<int> ConsumerCounts(const Program& p) {
+  std::vector<int> consumers(p.num_variables(), 0);
+  for (const Instruction& ins : p.instructions()) {
+    for (const Argument& arg : ins.args) {
+      if (arg.kind == Argument::Kind::kVar && VarInRange(p, arg.var)) {
+        ++consumers[static_cast<size_t>(arg.var)];
+      }
+    }
+  }
+  return consumers;
+}
+
+/// Trace events of one plan, sorted back into emission order (UDP transport
+/// may reorder datagrams).
+std::vector<TraceEvent> SortedByEventId(const std::vector<TraceEvent>& events) {
+  std::vector<TraceEvent> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.event < b.event;
+                   });
+  return sorted;
+}
+
+// ---------------------------------------------------------------------------
+// ssa-def-before-use
+// ---------------------------------------------------------------------------
+
+class DefBeforeUseCheck final : public Check {
+ public:
+  const char* id() const override { return "ssa-def-before-use"; }
+  const char* description() const override {
+    return "every variable argument is in range and defined by an earlier "
+           "instruction";
+  }
+  unsigned needs() const override { return kNeedsProgram; }
+
+  void Run(const CheckContext& ctx, std::vector<Diagnostic>* out) const override {
+    const Program& p = *ctx.program;
+    Emitter emit(id(), out);
+    std::vector<bool> defined(p.num_variables(), false);
+    for (const Instruction& ins : p.instructions()) {
+      for (size_t i = 0; i < ins.args.size(); ++i) {
+        const Argument& arg = ins.args[i];
+        if (arg.kind != Argument::Kind::kVar) continue;
+        if (!VarInRange(p, arg.var)) {
+          emit.Emit(Severity::kError, ins.pc, arg.var,
+                    StrFormat("argument %zu references out-of-range variable "
+                              "id %d (program has %zu variables)",
+                              i, arg.var, p.num_variables()));
+          continue;
+        }
+        if (!defined[static_cast<size_t>(arg.var)]) {
+          emit.Emit(Severity::kError, ins.pc, arg.var,
+                    StrFormat("argument %zu uses %s before its definition", i,
+                              VarName(p, arg.var).c_str()),
+                    "reorder the plan so the producing instruction precedes "
+                    "this consumer");
+        }
+      }
+      for (int r : ins.results) {
+        if (VarInRange(p, r)) defined[static_cast<size_t>(r)] = true;
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ssa-single-assignment
+// ---------------------------------------------------------------------------
+
+class SingleAssignmentCheck final : public Check {
+ public:
+  const char* id() const override { return "ssa-single-assignment"; }
+  const char* description() const override {
+    return "every variable has exactly one defining instruction (SSA)";
+  }
+  unsigned needs() const override { return kNeedsProgram; }
+
+  void Run(const CheckContext& ctx, std::vector<Diagnostic>* out) const override {
+    const Program& p = *ctx.program;
+    Emitter emit(id(), out);
+    std::vector<int> writer(p.num_variables(), -1);
+    for (const Instruction& ins : p.instructions()) {
+      for (int r : ins.results) {
+        if (!VarInRange(p, r)) {
+          emit.Emit(Severity::kError, ins.pc, r,
+                    StrFormat("result references out-of-range variable id %d "
+                              "(program has %zu variables)",
+                              r, p.num_variables()));
+          continue;
+        }
+        int& w = writer[static_cast<size_t>(r)];
+        if (w >= 0) {
+          emit.Emit(Severity::kError, ins.pc, r,
+                    StrFormat("%s assigned a second time (first assignment at "
+                              "pc=%d)",
+                              VarName(p, r).c_str(), w),
+                    "introduce a fresh variable for the second definition");
+        } else {
+          w = ins.pc;
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// dead-instruction
+// ---------------------------------------------------------------------------
+
+class DeadInstructionCheck final : public Check {
+ public:
+  const char* id() const override { return "dead-instruction"; }
+  const char* description() const override {
+    return "side-effect-free instruction whose results are never consumed";
+  }
+  unsigned needs() const override { return kNeedsProgram; }
+
+  void Run(const CheckContext& ctx, std::vector<Diagnostic>* out) const override {
+    const Program& p = *ctx.program;
+    Emitter emit(id(), out);
+    std::vector<int> consumers = ConsumerCounts(p);
+    for (const Instruction& ins : p.instructions()) {
+      if (ins.results.empty()) continue;  // sinks and markers are effects
+      const KernelSignature* sig =
+          LookupKernelSignature(ins.module, ins.function);
+      if (sig == nullptr || !sig->side_effect_free) continue;
+      bool any_used = false;
+      for (int r : ins.results) {
+        if (VarInRange(p, r) && consumers[static_cast<size_t>(r)] > 0) {
+          any_used = true;
+          break;
+        }
+      }
+      if (any_used) continue;
+      emit.Emit(Severity::kWarning, ins.pc,
+                ins.results.empty() ? -1 : ins.results[0],
+                StrFormat("%s result is never consumed — the instruction is "
+                          "dead",
+                          ins.FullName().c_str()),
+                "optimizer::MakeDeadCodePass removes it");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// kernel-signature
+// ---------------------------------------------------------------------------
+
+class KernelSignatureCheck final : public Check {
+ public:
+  const char* id() const override { return "kernel-signature"; }
+  const char* description() const override {
+    return "operations resolve to registered kernels and match their "
+           "arity and BAT/scalar register shapes";
+  }
+  unsigned needs() const override { return kNeedsProgram; }
+
+  void Run(const CheckContext& ctx, std::vector<Diagnostic>* out) const override {
+    const Program& p = *ctx.program;
+    Emitter emit(id(), out);
+    for (const Instruction& ins : p.instructions()) {
+      if (ctx.registry != nullptr &&
+          !ctx.registry->Lookup(ins.module, ins.function).ok()) {
+        emit.Emit(Severity::kError, ins.pc, -1,
+                  StrFormat("unknown kernel %s — not in the module registry",
+                            ins.FullName().c_str()),
+                  "register the kernel or fix the operation name");
+        continue;
+      }
+      const KernelSignature* sig =
+          LookupKernelSignature(ins.module, ins.function);
+      if (sig == nullptr) continue;  // extension kernel; no shape info
+
+      // Arity.
+      if (sig->variadic) {
+        if (ins.args.size() < static_cast<size_t>(sig->min_args)) {
+          emit.Emit(Severity::kError, ins.pc, -1,
+                    StrFormat("%s needs at least %d arguments, got %zu",
+                              ins.FullName().c_str(), sig->min_args,
+                              ins.args.size()));
+          continue;
+        }
+      } else if (ins.args.size() != sig->args.size()) {
+        emit.Emit(Severity::kError, ins.pc, -1,
+                  StrFormat("%s takes %zu arguments, got %zu",
+                            ins.FullName().c_str(), sig->args.size(),
+                            ins.args.size()));
+        continue;
+      }
+      if (ins.results.size() != sig->results.size()) {
+        emit.Emit(Severity::kError, ins.pc, -1,
+                  StrFormat("%s produces %zu results, got %zu",
+                            ins.FullName().c_str(), sig->results.size(),
+                            ins.results.size()));
+        continue;
+      }
+
+      // Argument shapes.
+      bool saw_bat_arg = false;
+      for (size_t i = 0; i < ins.args.size(); ++i) {
+        ValueKind want = sig->variadic ? sig->variadic_kind : sig->args[i];
+        ValueKind got = ArgKind(p, ins.args[i]);
+        if (got == ValueKind::kBat) saw_bat_arg = true;
+        if (!Satisfies(got, want)) {
+          int var = ins.args[i].kind == Argument::Kind::kVar ? ins.args[i].var
+                                                             : -1;
+          emit.Emit(Severity::kError, ins.pc, var,
+                    StrFormat("argument %zu of %s must be a %s, got %s%s", i,
+                              ins.FullName().c_str(), ValueKindName(want),
+                              ValueKindName(got),
+                              var >= 0
+                                  ? (" (" + VarName(p, var) + ")").c_str()
+                                  : ""));
+        }
+      }
+      if (sig->needs_bat_arg && !ins.args.empty() && !saw_bat_arg) {
+        emit.Emit(Severity::kError, ins.pc, -1,
+                  StrFormat("%s needs at least one BAT argument (all "
+                            "arguments are scalars)",
+                            ins.FullName().c_str()),
+                  "use the calc.* scalar variant instead");
+      }
+
+      // Result shapes, against the declared variable types.
+      for (size_t i = 0; i < ins.results.size(); ++i) {
+        if (!VarInRange(p, ins.results[i])) continue;  // ssa checks flag it
+        ValueKind want = sig->results[i];
+        ValueKind got = ResultKind(p, ins.results[i]);
+        if (!Satisfies(got, want)) {
+          emit.Emit(Severity::kError, ins.pc, ins.results[i],
+                    StrFormat("result %zu of %s is a %s but %s is declared "
+                              "%s",
+                              i, ins.FullName().c_str(), ValueKindName(want),
+                              VarName(p, ins.results[i]).c_str(),
+                              p.variable(ins.results[i]).type.ToString().c_str()),
+                    "fix the declared variable type");
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// bat-lifetime
+// ---------------------------------------------------------------------------
+
+class BatLifetimeCheck final : public Check {
+ public:
+  const char* id() const override { return "bat-lifetime"; }
+  const char* description() const override {
+    return "BAT registers are consumed by someone, and no consumer starts "
+           "before its producer finished (with a trace)";
+  }
+  unsigned needs() const override { return kNeedsProgram; }
+
+  void Run(const CheckContext& ctx, std::vector<Diagnostic>* out) const override {
+    const Program& p = *ctx.program;
+    Emitter emit(id(), out);
+    std::vector<int> consumers = ConsumerCounts(p);
+
+    // Plan side: a BAT produced by an effectful instruction that nobody
+    // reads is allocated, charged to the memory accountant, and released
+    // without ever being used. (Pure producers are the dead-instruction
+    // check's territory; unused side results of pure ops are normal MAL —
+    // the interpreter releases them immediately.)
+    for (const Instruction& ins : p.instructions()) {
+      const KernelSignature* sig =
+          LookupKernelSignature(ins.module, ins.function);
+      if (sig != nullptr && sig->side_effect_free) continue;
+      for (int r : ins.results) {
+        if (!VarInRange(p, r)) continue;
+        if (!p.variable(r).type.is_bat) continue;
+        if (consumers[static_cast<size_t>(r)] == 0) {
+          emit.Emit(Severity::kWarning, ins.pc, r,
+                    StrFormat("BAT %s is defined but never consumed — it is "
+                              "released without a reader",
+                              VarName(p, r).c_str()),
+                    "drop the unused result or add its consumer");
+        }
+      }
+    }
+
+    // Trace side: the dataflow contract says a consumer's start event is
+    // emitted after every producer's done event. A violation means the
+    // scheduler let an instruction read a register its producer had not
+    // finished (or already released) — use-after-free territory.
+    if (ctx.trace == nullptr) return;
+    std::vector<TraceEvent> events = SortedByEventId(*ctx.trace);
+    std::vector<int64_t> first_start(p.size(), -1), first_done(p.size(), -1);
+    for (size_t i = 0; i < events.size(); ++i) {
+      const TraceEvent& e = events[i];
+      if (e.pc < 0 || static_cast<size_t>(e.pc) >= p.size()) continue;
+      auto& slot = e.state == EventState::kStart
+                       ? first_start[static_cast<size_t>(e.pc)]
+                       : first_done[static_cast<size_t>(e.pc)];
+      if (slot < 0) slot = static_cast<int64_t>(i);
+    }
+    std::vector<std::vector<int>> deps = p.BuildDependencies();
+    for (size_t pc = 0; pc < deps.size(); ++pc) {
+      int64_t start = first_start[pc];
+      if (start < 0) continue;
+      for (int producer : deps[pc]) {
+        int64_t done = first_done[static_cast<size_t>(producer)];
+        if (done < 0 || start < done) {
+          emit.Emit(Severity::kError, static_cast<int>(pc), -1,
+                    StrFormat("started before its producer pc=%d finished — "
+                              "the register it reads may already be released",
+                              producer),
+                    "scheduler happens-before violation; check the dataflow "
+                    "dependency edges");
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// sink-order-key
+// ---------------------------------------------------------------------------
+
+class SinkOrderKeyCheck final : public Check {
+ public:
+  const char* id() const override { return "sink-order-key"; }
+  const char* description() const override {
+    return "result sinks carry a well-defined ResultColumn::order key so "
+           "parallel sink execution keeps columns in statement order";
+  }
+  unsigned needs() const override { return kNeedsProgram; }
+
+  void Run(const CheckContext& ctx, std::vector<Diagnostic>* out) const override {
+    const Program& p = *ctx.program;
+    Emitter emit(id(), out);
+    size_t sinks = 0;
+    for (const Instruction& ins : p.instructions()) {
+      const KernelSignature* sig =
+          LookupKernelSignature(ins.module, ins.function);
+      if (sig != nullptr && sig->is_sink) {
+        ++sinks;
+        // The order key is (pc << 8) | arg-index; more than 256 arguments
+        // would collide with the next pc's key space.
+        if (ins.args.size() > 256) {
+          emit.Emit(Severity::kError, ins.pc, -1,
+                    StrFormat("%s emits %zu result columns but the order key "
+                              "only encodes 256 per instruction — output "
+                              "order would collide with pc=%d",
+                              ins.FullName().c_str(), ins.args.size(),
+                              ins.pc + 1),
+                    "split the sink into several instructions");
+        }
+      } else if (sig == nullptr &&
+                 LooksLikeResultSink(ins.module, ins.function)) {
+        ++sinks;  // intended as a sink, however broken
+        emit.Emit(Severity::kError, ins.pc, -1,
+                  StrFormat("%s looks like a result sink but carries no "
+                            "ResultColumn::order key — sinks run in parallel "
+                            "under the dataflow scheduler, so its output "
+                            "column order is nondeterministic",
+                            ins.FullName().c_str()),
+                  "emit through sql.resultSet / io.print, or register the "
+                  "kernel with an order key");
+      }
+    }
+    if (sinks == 0 && p.size() > 0) {
+      emit.Emit(Severity::kNote, -1, -1,
+                "plan has no result sink — execution produces no output");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// dot-contract
+// ---------------------------------------------------------------------------
+
+class DotContractCheck final : public Check {
+ public:
+  const char* id() const override { return "dot-contract"; }
+  const char* description() const override {
+    return "dot nodes follow the pc N <-> \"nN\" <-> label contract and "
+           "edges match the plan's dataflow dependencies";
+  }
+  unsigned needs() const override { return kNeedsGraph; }
+
+  void Run(const CheckContext& ctx, std::vector<Diagnostic>* out) const override {
+    const dot::Graph& g = *ctx.graph;
+    Emitter emit(id(), out);
+
+    // Node ids must follow the "n<pc>" convention regardless of whether we
+    // have the plan; the trace↔graph join is impossible otherwise.
+    for (const dot::GraphNode& node : g.nodes()) {
+      int pc = PcFromNodeId(node.id);
+      if (pc < 0) {
+        emit.Emit(Severity::kError, -1, -1,
+                  StrFormat("node \"%s\" does not follow the \"n<pc>\" naming "
+                            "convention — trace events cannot be joined to it",
+                            Ellipsize(node.id).c_str()));
+        continue;
+      }
+      if (node.attrs.find("label") == node.attrs.end()) {
+        emit.Emit(Severity::kWarning, pc, -1,
+                  StrFormat("node \"n%d\" has no label attribute — the "
+                            "statement text is lost",
+                            pc));
+      }
+      if (ctx.program != nullptr &&
+          static_cast<size_t>(pc) >= ctx.program->size()) {
+        emit.Emit(Severity::kError, pc, -1,
+                  StrFormat("node \"n%d\" is beyond the plan (size %zu)", pc,
+                            ctx.program->size()));
+      }
+    }
+    if (ctx.program == nullptr) return;
+    const Program& p = *ctx.program;
+
+    // Every pc renders as node "nN" carrying the statement as its label.
+    for (const Instruction& ins : p.instructions()) {
+      int node_index = g.FindNode(StrFormat("n%d", ins.pc));
+      if (node_index < 0) {
+        emit.Emit(Severity::kError, ins.pc, -1,
+                  StrFormat("plan instruction pc=%d has no dot node \"n%d\"",
+                            ins.pc, ins.pc));
+        continue;
+      }
+      const std::string& label = g.node(static_cast<size_t>(node_index)).label();
+      std::string stmt = p.InstructionToString(ins);
+      if (label != stmt) {
+        emit.Emit(Severity::kError, ins.pc, -1,
+                  StrFormat("label mismatch: dot says \"%s\" but the plan "
+                            "says \"%s\"",
+                            Ellipsize(label).c_str(), Ellipsize(stmt).c_str()),
+                  "re-emit the dot file from the executed plan");
+      }
+    }
+
+    // Edges must be exactly the dataflow dependencies (producer -> consumer).
+    std::set<std::pair<int, int>> expected;
+    std::vector<std::vector<int>> deps = p.BuildDependencies();
+    for (size_t pc = 0; pc < deps.size(); ++pc) {
+      for (int producer : deps[pc]) {
+        expected.emplace(producer, static_cast<int>(pc));
+      }
+    }
+    std::set<std::pair<int, int>> actual;
+    for (const dot::GraphEdge& edge : g.edges()) {
+      int from = PcFromNodeId(edge.from);
+      int to = PcFromNodeId(edge.to);
+      if (from < 0 || to < 0) continue;  // ids already flagged above
+      actual.emplace(from, to);
+    }
+    for (const auto& [from, to] : expected) {
+      if (actual.find({from, to}) == actual.end()) {
+        emit.Emit(Severity::kError, to, -1,
+                  StrFormat("dependency edge n%d -> n%d is missing from the "
+                            "dot file",
+                            from, to));
+      }
+    }
+    for (const auto& [from, to] : actual) {
+      if (expected.find({from, to}) == expected.end()) {
+        emit.Emit(Severity::kWarning, to, -1,
+                  StrFormat("dot edge n%d -> n%d has no matching dataflow "
+                            "dependency in the plan",
+                            from, to));
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// trace-conformance
+// ---------------------------------------------------------------------------
+
+class TraceConformanceCheck final : public Check {
+ public:
+  const char* id() const override { return "trace-conformance"; }
+  const char* description() const override {
+    return "each executed pc emits exactly one start and one done event, "
+           "clocks are monotonic, pcs are in range, statements match";
+  }
+  unsigned needs() const override { return kNeedsTrace; }
+
+  void Run(const CheckContext& ctx, std::vector<Diagnostic>* out) const override {
+    Emitter emit(id(), out);
+    std::vector<TraceEvent> events = SortedByEventId(*ctx.trace);
+
+    struct PcInfo {
+      int starts = 0;
+      int dones = 0;
+      bool done_before_start = false;
+      bool stmt_mismatch = false;
+      std::string stmt;
+    };
+    std::map<int, PcInfo> per_pc;
+
+    int64_t prev_time = 0;
+    bool reported_clock = false;
+    for (const TraceEvent& e : events) {
+      if (e.time_us < prev_time && !reported_clock) {
+        emit.Emit(Severity::kError, e.pc, -1,
+                  StrFormat("event %lld timestamp runs backwards (%lld us "
+                            "after %lld us) — emission order is broken",
+                            static_cast<long long>(e.event),
+                            static_cast<long long>(e.time_us),
+                            static_cast<long long>(prev_time)),
+                  "sort the trace by event sequence number before analysis");
+        reported_clock = true;  // one report; later events usually cascade
+      }
+      prev_time = std::max(prev_time, e.time_us);
+
+      if (e.pc < 0) {
+        emit.Emit(Severity::kError, e.pc, -1,
+                  StrFormat("event %lld carries negative pc",
+                            static_cast<long long>(e.event)));
+        continue;
+      }
+      if (ctx.program != nullptr &&
+          static_cast<size_t>(e.pc) >= ctx.program->size()) {
+        emit.Emit(Severity::kError, e.pc, -1,
+                  StrFormat("event %lld references pc=%d outside the plan "
+                            "(size %zu)",
+                            static_cast<long long>(e.event), e.pc,
+                            ctx.program->size()));
+        continue;
+      }
+      if (ctx.graph != nullptr &&
+          ctx.graph->FindNode(StrFormat("n%d", e.pc)) < 0) {
+        emit.Emit(Severity::kError, e.pc, -1,
+                  StrFormat("event %lld references pc=%d but the dot file "
+                            "has no node \"n%d\"",
+                            static_cast<long long>(e.event), e.pc, e.pc));
+      }
+
+      PcInfo& info = per_pc[e.pc];
+      if (e.state == EventState::kStart) {
+        ++info.starts;
+        info.stmt = e.stmt;
+      } else {
+        if (info.starts == 0) info.done_before_start = true;
+        ++info.dones;
+        if (e.usec < 0) {
+          emit.Emit(Severity::kError, e.pc, -1,
+                    StrFormat("done event %lld reports negative duration "
+                              "%lld us",
+                              static_cast<long long>(e.event),
+                              static_cast<long long>(e.usec)));
+        }
+      }
+      if (ctx.program != nullptr && !info.stmt_mismatch) {
+        std::string stmt = ctx.program->InstructionToString(
+            ctx.program->instruction(e.pc));
+        if (e.stmt != stmt) {
+          info.stmt_mismatch = true;
+          emit.Emit(Severity::kError, e.pc, -1,
+                    StrFormat("statement text diverges from the plan: trace "
+                              "says \"%s\", plan says \"%s\"",
+                              Ellipsize(e.stmt).c_str(),
+                              Ellipsize(stmt).c_str()),
+                    "trace and plan come from different compilations");
+        }
+      }
+    }
+
+    for (const auto& [pc, info] : per_pc) {
+      if (info.starts == info.dones && info.starts == 1 &&
+          !info.done_before_start) {
+        continue;
+      }
+      if (info.done_before_start) {
+        emit.Emit(Severity::kError, pc, -1,
+                  "done event precedes its start event");
+      }
+      if (info.starts != info.dones) {
+        emit.Emit(Severity::kError, pc, -1,
+                  StrFormat("unpaired events: %d start vs %d done — every "
+                            "executed instruction emits exactly one of each",
+                            info.starts, info.dones),
+                  info.dones < info.starts
+                      ? "the query may have aborted mid-instruction"
+                      : "duplicate done events suggest a double release");
+      } else if (info.starts > 1) {
+        emit.Emit(Severity::kError, pc, -1,
+                  StrFormat("pc executed %d times — the contract is one "
+                            "start/done pair per instruction",
+                            info.starts));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> MakeDefBeforeUseCheck() {
+  return std::make_unique<DefBeforeUseCheck>();
+}
+std::unique_ptr<Check> MakeSingleAssignmentCheck() {
+  return std::make_unique<SingleAssignmentCheck>();
+}
+std::unique_ptr<Check> MakeDeadInstructionCheck() {
+  return std::make_unique<DeadInstructionCheck>();
+}
+std::unique_ptr<Check> MakeKernelSignatureCheck() {
+  return std::make_unique<KernelSignatureCheck>();
+}
+std::unique_ptr<Check> MakeBatLifetimeCheck() {
+  return std::make_unique<BatLifetimeCheck>();
+}
+std::unique_ptr<Check> MakeSinkOrderKeyCheck() {
+  return std::make_unique<SinkOrderKeyCheck>();
+}
+std::unique_ptr<Check> MakeDotContractCheck() {
+  return std::make_unique<DotContractCheck>();
+}
+std::unique_ptr<Check> MakeTraceConformanceCheck() {
+  return std::make_unique<TraceConformanceCheck>();
+}
+
+std::vector<std::unique_ptr<Check>> AllChecks() {
+  std::vector<std::unique_ptr<Check>> checks;
+  checks.push_back(MakeDefBeforeUseCheck());
+  checks.push_back(MakeSingleAssignmentCheck());
+  checks.push_back(MakeDeadInstructionCheck());
+  checks.push_back(MakeKernelSignatureCheck());
+  checks.push_back(MakeBatLifetimeCheck());
+  checks.push_back(MakeSinkOrderKeyCheck());
+  checks.push_back(MakeDotContractCheck());
+  checks.push_back(MakeTraceConformanceCheck());
+  return checks;
+}
+
+}  // namespace stetho::analysis

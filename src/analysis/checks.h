@@ -1,0 +1,44 @@
+#ifndef STETHO_ANALYSIS_CHECKS_H_
+#define STETHO_ANALYSIS_CHECKS_H_
+
+#include <memory>
+#include <vector>
+
+#include "analysis/check.h"
+
+namespace stetho::analysis {
+
+/// --- The built-in check suite ---
+///
+/// Plan checks (need a mal::Program):
+///   ssa-def-before-use      arguments reference in-range, already-defined vars
+///   ssa-single-assignment   every variable has at most one defining pc
+///   dead-instruction        pure instruction whose results are never read
+///   kernel-signature        op exists; arity and BAT/scalar shapes match the
+///                           kernel table (and the ModuleRegistry when given)
+///   bat-lifetime            BAT registers are consumed (plan) and never read
+///                           before their producer finished (plan + trace)
+///   sink-order-key          result sinks carry a well-defined
+///                           engine::ResultColumn::order key
+///
+/// Artifact checks:
+///   dot-contract            pc N ↔ node "nN", statement text ↔ label, edges
+///                           match dataflow dependencies (graph [+ program])
+///   trace-conformance       one start/done pair per pc, monotonic clock,
+///                           pc in range, stmt matches plan (trace [+ both])
+
+std::unique_ptr<Check> MakeDefBeforeUseCheck();
+std::unique_ptr<Check> MakeSingleAssignmentCheck();
+std::unique_ptr<Check> MakeDeadInstructionCheck();
+std::unique_ptr<Check> MakeKernelSignatureCheck();
+std::unique_ptr<Check> MakeBatLifetimeCheck();
+std::unique_ptr<Check> MakeSinkOrderKeyCheck();
+std::unique_ptr<Check> MakeDotContractCheck();
+std::unique_ptr<Check> MakeTraceConformanceCheck();
+
+/// All built-in checks, in the order listed above.
+std::vector<std::unique_ptr<Check>> AllChecks();
+
+}  // namespace stetho::analysis
+
+#endif  // STETHO_ANALYSIS_CHECKS_H_

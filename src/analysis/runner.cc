@@ -1,0 +1,129 @@
+#include "analysis/runner.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "analysis/checks.h"
+#include "common/string_util.h"
+
+namespace stetho::analysis {
+namespace {
+
+bool NeedsSatisfied(unsigned needs, const CheckContext& ctx) {
+  if ((needs & kNeedsProgram) != 0 && ctx.program == nullptr) return false;
+  if ((needs & kNeedsGraph) != 0 && ctx.graph == nullptr) return false;
+  if ((needs & kNeedsTrace) != 0 && ctx.trace == nullptr) return false;
+  if ((needs & kNeedsRegistry) != 0 && ctx.registry == nullptr) return false;
+  return true;
+}
+
+/// Appends a JSON string literal, escaping quotes, backslashes, and control
+/// characters (messages can embed statement text).
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out->append(StrFormat("\\u%04x", c));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void Runner::Add(std::unique_ptr<Check> check) {
+  checks_.push_back(std::move(check));
+}
+
+std::vector<Diagnostic> Runner::Run(const CheckContext& context) const {
+  std::vector<Diagnostic> diagnostics;
+  for (const std::unique_ptr<Check>& check : checks_) {
+    if (!NeedsSatisfied(check->needs(), context)) continue;
+    check->Run(context, &diagnostics);
+  }
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::make_tuple(-static_cast<int>(a.severity),
+                                            a.pc, a.check_id, a.var) <
+                            std::make_tuple(-static_cast<int>(b.severity),
+                                            b.pc, b.check_id, b.var);
+                   });
+  return diagnostics;
+}
+
+Runner Runner::MakeDefault() {
+  Runner runner;
+  for (std::unique_ptr<Check>& check : AllChecks()) {
+    runner.Add(std::move(check));
+  }
+  return runner;
+}
+
+const Runner& Runner::Default() {
+  static const Runner& runner = *new Runner(MakeDefault());
+  return runner;
+}
+
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics) {
+  std::string out = "[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"severity\": ";
+    AppendJsonString(SeverityName(d.severity), &out);
+    out += ", \"check\": ";
+    AppendJsonString(d.check_id, &out);
+    out += StrFormat(", \"pc\": %d, \"var\": %d, \"message\": ", d.pc, d.var);
+    AppendJsonString(d.message, &out);
+    out += ", \"fix_hint\": ";
+    AppendJsonString(d.fix_hint, &out);
+    out += "}";
+  }
+  out += diagnostics.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+Status DiagnosticsToStatus(const std::vector<Diagnostic>& diagnostics,
+                           const std::string& context) {
+  size_t errors = CountSeverity(diagnostics, Severity::kError);
+  if (errors == 0) return Status::OK();
+  // Run() sorts errors first, so front() is the lead finding.
+  std::string msg =
+      StrFormat("%s: %s", context.c_str(), diagnostics.front().ToString().c_str());
+  if (errors > 1) {
+    msg += StrFormat(" (+%zu more errors)", errors - 1);
+  }
+  return Status::Internal(std::move(msg));
+}
+
+}  // namespace stetho::analysis

@@ -1,0 +1,58 @@
+#ifndef STETHO_ANALYSIS_RUNNER_H_
+#define STETHO_ANALYSIS_RUNNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/check.h"
+#include "common/status.h"
+
+namespace stetho::analysis {
+
+/// Runs a suite of checks over one CheckContext and aggregates their
+/// diagnostics. A Runner is immutable after construction and its checks are
+/// stateless, so one instance (Runner::Default()) is shared by the optimizer
+/// pipeline, mal_lint, and the tests.
+class Runner {
+ public:
+  Runner() = default;
+  Runner(Runner&&) = default;
+  Runner& operator=(Runner&&) = default;
+
+  void Add(std::unique_ptr<Check> check);
+
+  size_t size() const { return checks_.size(); }
+  const std::vector<std::unique_ptr<Check>>& checks() const { return checks_; }
+
+  /// Runs every check whose needs() are satisfied by `context`; checks with
+  /// missing inputs are skipped, not failed. Diagnostics come back sorted:
+  /// errors first, then by pc, check id, and variable.
+  std::vector<Diagnostic> Run(const CheckContext& context) const;
+
+  /// A Runner loaded with AllChecks().
+  static Runner MakeDefault();
+
+  /// Shared process-wide default suite.
+  static const Runner& Default();
+
+ private:
+  std::vector<std::unique_ptr<Check>> checks_;
+};
+
+/// Renders diagnostics one per line for terminals; "" for an empty list.
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics);
+
+/// Renders diagnostics as a JSON array of objects with keys `severity`,
+/// `check`, `pc`, `var`, `message`, `fix_hint` (mal_lint --json).
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics);
+
+/// OkStatus when no diagnostic is an error; otherwise an Internal status
+/// naming `context`, the first error, and how many findings follow. This is
+/// what the optimizer pipeline returns when a pass corrupts the plan.
+Status DiagnosticsToStatus(const std::vector<Diagnostic>& diagnostics,
+                           const std::string& context);
+
+}  // namespace stetho::analysis
+
+#endif  // STETHO_ANALYSIS_RUNNER_H_

@@ -1,0 +1,153 @@
+#include "analysis/signatures.h"
+
+#include <map>
+
+namespace stetho::analysis {
+namespace {
+
+constexpr ValueKind kAny = ValueKind::kAny;
+constexpr ValueKind kScalar = ValueKind::kScalar;
+constexpr ValueKind kBat = ValueKind::kBat;
+
+KernelSignature Fixed(std::vector<ValueKind> args,
+                      std::vector<ValueKind> results) {
+  KernelSignature s;
+  s.args = std::move(args);
+  s.results = std::move(results);
+  return s;
+}
+
+KernelSignature Variadic(int min_args, ValueKind kind,
+                         std::vector<ValueKind> results) {
+  KernelSignature s;
+  s.variadic = true;
+  s.min_args = min_args;
+  s.variadic_kind = kind;
+  s.results = std::move(results);
+  return s;
+}
+
+/// The table mirrors the registrations in RegisterCoreKernels /
+/// RegisterAlgebraKernels / RegisterGroupAggrKernels and each kernel's
+/// ExpectArity + Arg{Bat,Scalar} calls. Keep the three in sync when adding
+/// kernels (tests/analysis_test.cc cross-checks coverage against the
+/// default registry).
+std::map<std::string, KernelSignature> BuildTable() {
+  std::map<std::string, KernelSignature> t;
+
+  // --- sql: catalog access (pure: tables are immutable) + result sink ---
+  t["sql.mvc"] = Fixed({}, {kScalar});
+  t["sql.tid"] = Fixed({kScalar, kScalar, kScalar}, {kBat});
+  t["sql.bind"] = Fixed({kScalar, kScalar, kScalar, kScalar, kScalar}, {kBat});
+  {
+    KernelSignature s = Fixed({kScalar, kAny}, {});
+    s.is_sink = true;
+    s.side_effect_free = false;
+    t["sql.resultSet"] = s;
+  }
+
+  // --- bat / mat: BAT bookkeeping and mergetable ---
+  t["bat.mirror"] = Fixed({kBat}, {kBat});
+  t["bat.partition"] = Fixed({kBat, kScalar, kScalar}, {kBat});
+  t["bat.densebat"] = Fixed({kScalar}, {kBat});
+  t["bat.append"] = Fixed({kBat, kBat}, {kBat});
+  t["mat.pack"] = Variadic(1, kBat, {kBat});
+
+  // --- calc / batcalc: scalar and vectorized arithmetic ---
+  for (const char* op : {"add", "sub", "mul", "div", "eq", "ne", "lt", "le",
+                         "gt", "ge", "and", "or"}) {
+    t[std::string("calc.") + op] = Fixed({kScalar, kScalar}, {kScalar});
+    KernelSignature s = Fixed({kAny, kAny}, {kBat});
+    s.needs_bat_arg = true;
+    t[std::string("batcalc.") + op] = s;
+  }
+  t["calc.not"] = Fixed({kScalar}, {kScalar});
+  t["calc.lng"] = Fixed({kScalar}, {kScalar});
+  t["calc.dbl"] = Fixed({kScalar}, {kScalar});
+  t["calc.str"] = Fixed({kScalar}, {kScalar});
+  t["batcalc.not"] = Fixed({kBat}, {kBat});
+  t["batcalc.ifthenelse"] = Fixed({kBat, kAny, kAny}, {kBat});
+  t["batcalc.like"] = Fixed({kBat, kScalar}, {kBat});
+
+  // --- algebra: selections, projections, joins, sorting ---
+  t["algebra.select"] = Fixed({kBat, kBat, kScalar, kScalar}, {kBat});
+  t["algebra.thetaselect"] = Fixed({kBat, kBat, kScalar, kScalar}, {kBat});
+  t["algebra.likeselect"] = Fixed({kBat, kBat, kScalar}, {kBat});
+  t["algebra.selectmask"] = Fixed({kBat, kBat}, {kBat});
+  t["algebra.projection"] = Fixed({kBat, kBat}, {kBat});
+  t["algebra.join"] = Fixed({kBat, kBat}, {kBat, kBat});
+  t["algebra.sort"] = Fixed({kBat, kScalar}, {kBat, kBat});
+  t["algebra.slice"] = Fixed({kBat, kScalar, kScalar}, {kBat});
+  t["algebra.firstn"] = Fixed({kBat, kScalar, kScalar}, {kBat});
+
+  // --- group / aggr ---
+  t["group.group"] = Fixed({kBat}, {kBat, kBat, kBat});
+  t["group.subgroup"] = Fixed({kBat, kBat}, {kBat, kBat, kBat});
+  for (const char* agg : {"sum", "min", "max", "avg", "count"}) {
+    t[std::string("aggr.") + agg] = Fixed({kBat}, {kScalar});
+    t[std::string("aggr.sub") + agg] = Fixed({kBat, kBat, kBat}, {kBat});
+  }
+
+  // --- language / io / debug: administrative and effectful ---
+  {
+    KernelSignature s = Fixed({}, {});
+    s.side_effect_free = false;
+    t["language.dataflow"] = s;
+  }
+  {
+    KernelSignature s = Fixed({kAny}, {});
+    s.side_effect_free = false;
+    t["language.pass"] = s;
+  }
+  {
+    KernelSignature s = Variadic(0, kAny, {});
+    s.is_sink = true;
+    s.side_effect_free = false;
+    t["io.print"] = s;
+  }
+  {
+    KernelSignature s = Fixed({kScalar}, {});
+    s.side_effect_free = false;
+    t["debug.sleep"] = s;
+  }
+  {
+    KernelSignature s = Fixed({kScalar}, {kScalar});
+    s.side_effect_free = false;  // exists to defeat dead-code elimination
+    t["debug.spin"] = s;
+  }
+  return t;
+}
+
+}  // namespace
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kAny:
+      return "any";
+    case ValueKind::kScalar:
+      return "scalar";
+    case ValueKind::kBat:
+      return "bat";
+  }
+  return "unknown";
+}
+
+const KernelSignature* LookupKernelSignature(const std::string& module,
+                                             const std::string& function) {
+  static const std::map<std::string, KernelSignature>& table =
+      *new std::map<std::string, KernelSignature>(BuildTable());
+  auto it = table.find(module + "." + function);
+  return it != table.end() ? &it->second : nullptr;
+}
+
+bool LooksLikeResultSink(const std::string& module,
+                         const std::string& function) {
+  if (module == "io") return true;
+  auto contains = [&function](const char* needle) {
+    return function.find(needle) != std::string::npos;
+  };
+  return contains("print") || contains("result") || contains("Result") ||
+         contains("output") || contains("export");
+}
+
+}  // namespace stetho::analysis

@@ -1,0 +1,59 @@
+#ifndef STETHO_ANALYSIS_SIGNATURES_H_
+#define STETHO_ANALYSIS_SIGNATURES_H_
+
+#include <string>
+#include <vector>
+
+namespace stetho::analysis {
+
+/// Static shape of one MAL register (engine::RegisterValue is either a
+/// scalar or a BAT; kAny admits both).
+enum class ValueKind {
+  kAny = 0,
+  kScalar,
+  kBat,
+};
+
+const char* ValueKindName(ValueKind kind);
+
+/// Declared shape of one built-in kernel, mirroring the ExpectArity /
+/// ArgBat / ArgScalar contract its implementation enforces at run time
+/// (src/engine/kernels_*.cc). The lint checks plans against this table so
+/// shape bugs surface before execution.
+struct KernelSignature {
+  /// Kind constraint per positional argument (size == arity) for
+  /// fixed-arity kernels. Empty for variadic kernels.
+  std::vector<ValueKind> args;
+  /// Kind constraint per result register.
+  std::vector<ValueKind> results;
+  /// Variadic kernels (io.print, mat.pack): minimum argument count, and the
+  /// kind every argument must satisfy. variadic == false means arity is
+  /// exactly args.size().
+  bool variadic = false;
+  int min_args = 0;
+  ValueKind variadic_kind = ValueKind::kAny;
+  /// At least one argument must be a BAT (batcalc broadcast semantics).
+  bool needs_bat_arg = false;
+  /// Produces engine::ResultColumn entries keyed by (pc << 8) | arg-index.
+  bool is_sink = false;
+  /// Only observable effect is the result value (same notion as
+  /// optimizer::IsPureOperation; kept separate so the analysis library does
+  /// not depend on the optimizer it validates).
+  bool side_effect_free = true;
+};
+
+/// Signature of "module.function", or nullptr for kernels the table does not
+/// cover (user extensions).
+const KernelSignature* LookupKernelSignature(const std::string& module,
+                                             const std::string& function);
+
+/// Heuristic: the operation name suggests it emits result columns
+/// (print/result/output/export). Used to flag sinks that are NOT in the
+/// signature table — such kernels have no defined ResultColumn::order key,
+/// so their output order under the dataflow scheduler is nondeterministic.
+bool LooksLikeResultSink(const std::string& module,
+                         const std::string& function);
+
+}  // namespace stetho::analysis
+
+#endif  // STETHO_ANALYSIS_SIGNATURES_H_

@@ -279,7 +279,9 @@ Status ParseStatement(Scanner* scan, Program* program) {
 
 }  // namespace
 
-Result<Program> ParseProgram(const std::string& text) {
+namespace {
+
+Result<Program> ParseProgramImpl(const std::string& text, bool validate) {
   Scanner scan(text);
   Program program;
 
@@ -306,12 +308,22 @@ Result<Program> ParseProgram(const std::string& text) {
         (void)tok;
         scan.Consume('.');
       }
-      STETHO_RETURN_IF_ERROR(program.Validate());
+      if (validate) STETHO_RETURN_IF_ERROR(program.Validate());
       return program;
     }
     STETHO_RETURN_IF_ERROR(ParseStatement(&scan, &program));
   }
   return Status::ParseError("missing 'end' in MAL listing");
+}
+
+}  // namespace
+
+Result<Program> ParseProgram(const std::string& text) {
+  return ParseProgramImpl(text, /*validate=*/true);
+}
+
+Result<Program> ParseProgramLenient(const std::string& text) {
+  return ParseProgramImpl(text, /*validate=*/false);
 }
 
 }  // namespace stetho::mal

@@ -11,8 +11,15 @@ namespace stetho::mal {
 /// Parses a MAL listing in the format emitted by Program::ToString()
 /// (the paper's Fig. 1 format) back into a Program. Supports single- and
 /// multi-result statements, typed variable annotations, and literal operands
-/// (integers, floats, strings, oids `N@0`, booleans, nil).
+/// (integers, floats, strings, oids `N@0`, booleans, nil). The parsed
+/// program must pass Program::Validate().
 Result<Program> ParseProgram(const std::string& text);
+
+/// ParseProgram without the final Validate() call: accepts syntactically
+/// well-formed listings that violate SSA or def-before-use. This is the
+/// entry point mal_lint uses, so structural breakage surfaces as pc-accurate
+/// lint diagnostics instead of a parse failure.
+Result<Program> ParseProgramLenient(const std::string& text);
 
 }  // namespace stetho::mal
 

@@ -1,5 +1,9 @@
 #include "optimizer/pass.h"
 
+#include "analysis/runner.h"
+#include "common/string_util.h"
+#include "engine/kernel.h"
+
 namespace stetho::optimizer {
 
 bool IsPureOperation(const std::string& module, const std::string& function) {
@@ -14,9 +18,17 @@ bool IsPureOperation(const std::string& module, const std::string& function) {
 
 Result<std::vector<std::string>> Pipeline::Run(mal::Program* program) const {
   std::vector<std::string> fired;
+  analysis::CheckContext ctx;
+  ctx.program = program;
+  ctx.registry = engine::ModuleRegistry::Default();
   for (const auto& pass : passes_) {
     STETHO_ASSIGN_OR_RETURN(bool changed, pass->Run(program));
-    STETHO_RETURN_IF_ERROR(program->Validate());
+    // Full lint after every pass (superset of the old Validate() call):
+    // a failure names the pass, the check, and the offending pc/variable.
+    STETHO_RETURN_IF_ERROR(analysis::DiagnosticsToStatus(
+        analysis::Runner::Default().Run(ctx),
+        StrFormat("optimizer pass '%s' produced an invalid plan",
+                  pass->name())));
     if (changed) fired.push_back(pass->name());
   }
   return fired;

@@ -34,7 +34,9 @@ class Pipeline {
   size_t size() const { return passes_.size(); }
 
   /// Runs all passes in order. Returns the names of passes that changed the
-  /// program. The program revalidates after every pass.
+  /// program. The program is re-linted with analysis::Runner::Default() after
+  /// every pass; an error diagnostic fails the pipeline with a Status naming
+  /// the pass, the check id, and the offending pc/variable.
   Result<std::vector<std::string>> Run(mal::Program* program) const;
 
   /// MonetDB-like default pipeline: constant folding, common subexpression

@@ -302,5 +302,36 @@ TEST(PipelineTest, OptimizedPlanMatchesUnoptimized) {
   }
 }
 
+// A deliberately broken pass: rewrites the plan so an argument is used
+// before its definition. The pipeline's post-pass lint must fail with a
+// Status naming the pass and the violated check.
+class ClobberPass : public Pass {
+ public:
+  const char* name() const override { return "clobber"; }
+  Result<bool> Run(Program* program) override {
+    std::vector<mal::Instruction> reversed(program->instructions().rbegin(),
+                                           program->instructions().rend());
+    program->ReplaceInstructions(std::move(reversed));
+    return true;
+  }
+};
+
+TEST(PipelineTest, BrokenPassFailsWithPassNameAndCheckId) {
+  Catalog cat = TinyTpch();
+  auto base = sql::Compiler::CompileSql(&cat, tpch::GetQuery("q6").value().sql);
+  ASSERT_TRUE(base.ok());
+  Program p = std::move(base.value());
+
+  Pipeline pipeline;
+  pipeline.Add(std::make_unique<ClobberPass>());
+  auto fired = pipeline.Run(&p);
+  ASSERT_FALSE(fired.ok());
+  const Status st = fired.status();
+  const std::string& msg = st.message();
+  EXPECT_NE(msg.find("optimizer pass 'clobber'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("ssa-def-before-use"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("pc="), std::string::npos) << msg;
+}
+
 }  // namespace
 }  // namespace stetho::optimizer

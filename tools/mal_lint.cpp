@@ -1,0 +1,179 @@
+// mal_lint — static analysis over MAL plans, dot graphs, and trace files.
+//
+//   mal_lint [flags] <file>...
+//
+// Input kinds are inferred from the extension and can be forced with flags:
+//   *.dot            parsed with dot::ParseDot       (--dot <file>)
+//   *.trace          read with scope::ReadTraceFile  (--trace <file>)
+//   anything else    parsed with mal::ParseProgram   (--plan <file>)
+//
+// All inputs are linted together in one analysis::CheckContext, so passing a
+// plan + dot + trace triple cross-validates the pc ↔ "nN" ↔ label contract
+// and the start/done pairing of the trace against the plan.
+//
+// Flags:
+//   --json           emit diagnostics as a JSON array instead of text
+//   --list-checks    print the check catalog and exit
+//
+// Exit status: 0 clean (notes/warnings only), 1 error diagnostics, 2 usage
+// or input failure.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/runner.h"
+#include "common/string_util.h"
+#include "dot/parser.h"
+#include "engine/kernel.h"
+#include "mal/parser.h"
+#include "scope/trace.h"
+
+using namespace stetho;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mal_lint [--json] [--list-checks] "
+               "[--plan|--dot|--trace] <file>...\n"
+               "       kind is inferred from the extension (.dot, .trace; "
+               "anything else is a MAL plan)\n");
+  return 2;
+}
+
+int ListChecks() {
+  for (const auto& check : analysis::Runner::Default().checks()) {
+    std::printf("%-22s %s\n", check->id(), check->description());
+  }
+  return 0;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+enum class InputKind { kAuto, kPlan, kDot, kTrace };
+
+InputKind KindFromExtension(const std::string& path) {
+  if (EndsWith(path, ".dot")) return InputKind::kDot;
+  if (EndsWith(path, ".trace")) return InputKind::kTrace;
+  return InputKind::kPlan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  InputKind forced = InputKind::kAuto;
+  std::vector<std::pair<InputKind, std::string>> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(arg, "--list-checks") == 0) {
+      return ListChecks();
+    } else if (std::strcmp(arg, "--plan") == 0) {
+      forced = InputKind::kPlan;
+    } else if (std::strcmp(arg, "--dot") == 0) {
+      forced = InputKind::kDot;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      forced = InputKind::kTrace;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return Usage();
+    } else {
+      InputKind kind =
+          forced != InputKind::kAuto ? forced : KindFromExtension(arg);
+      inputs.emplace_back(kind, arg);
+      forced = InputKind::kAuto;  // a forcing flag applies to the next file
+    }
+  }
+  if (inputs.empty()) return Usage();
+
+  std::optional<mal::Program> program;
+  std::optional<dot::Graph> graph;
+  std::optional<std::vector<profiler::TraceEvent>> trace;
+
+  for (const auto& [kind, path] : inputs) {
+    switch (kind) {
+      case InputKind::kPlan: {
+        auto text = ReadWholeFile(path);
+        if (!text.ok()) {
+          std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                       text.status().ToString().c_str());
+          return 2;
+        }
+        auto parsed = mal::ParseProgramLenient(text.value());
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                       parsed.status().ToString().c_str());
+          return 2;
+        }
+        program = std::move(parsed).value();
+        break;
+      }
+      case InputKind::kDot: {
+        auto text = ReadWholeFile(path);
+        if (!text.ok()) {
+          std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                       text.status().ToString().c_str());
+          return 2;
+        }
+        auto parsed = dot::ParseDot(text.value());
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                       parsed.status().ToString().c_str());
+          return 2;
+        }
+        graph = std::move(parsed).value();
+        break;
+      }
+      case InputKind::kTrace: {
+        auto events = scope::ReadTraceFile(path);
+        if (!events.ok()) {
+          std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                       events.status().ToString().c_str());
+          return 2;
+        }
+        trace = std::move(events).value();
+        break;
+      }
+      case InputKind::kAuto:
+        break;  // unreachable
+    }
+  }
+
+  analysis::CheckContext ctx;
+  if (program.has_value()) {
+    ctx.program = &program.value();
+    ctx.registry = engine::ModuleRegistry::Default();
+  }
+  if (graph.has_value()) ctx.graph = &graph.value();
+  if (trace.has_value()) ctx.trace = &trace.value();
+
+  std::vector<analysis::Diagnostic> diagnostics =
+      analysis::Runner::Default().Run(ctx);
+
+  if (json) {
+    std::fputs(analysis::DiagnosticsToJson(diagnostics).c_str(), stdout);
+  } else {
+    std::fputs(analysis::FormatDiagnostics(diagnostics).c_str(), stdout);
+    std::printf("%zu diagnostics (%zu errors, %zu warnings, %zu notes)\n",
+                diagnostics.size(),
+                analysis::CountSeverity(diagnostics, analysis::Severity::kError),
+                analysis::CountSeverity(diagnostics,
+                                        analysis::Severity::kWarning),
+                analysis::CountSeverity(diagnostics, analysis::Severity::kNote));
+  }
+  return analysis::HasErrors(diagnostics) ? 1 : 0;
+}
