@@ -8,17 +8,23 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "engine/worker_pool.h"
 
 namespace stetho::engine {
 namespace {
 
-/// All mutable state shared by the workers of one query execution.
+/// All mutable state shared by the dataflow tasks of one query execution —
+/// the per-query "epoch" the shared WorkerPool knows nothing about. Execute
+/// owns it on the stack and blocks until the job signals done, so tasks may
+/// hold raw pointers; a task is only ever submitted after being counted in
+/// `in_flight`, which the done predicate drains to zero first.
 struct RunState {
   const mal::Program* program = nullptr;
   const ModuleRegistry* registry = nullptr;
   ExecContext* ctx = nullptr;
   const ExecOptions* options = nullptr;
   Clock* clock = nullptr;
+  WorkerPool* pool = nullptr;
 
   std::vector<RegisterValue> registers;
   std::vector<std::string> stmt_text;          // rendered once per pc
@@ -27,18 +33,30 @@ struct RunState {
   std::atomic<int64_t> peak_bytes{0};
   std::vector<InstructionStat> stats;
 
-  // Scheduler state (guarded by mu).
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<int> ready;
-  std::vector<int> indegree;
+  // Dependency graph. indegree is decremented lock-free by finishing
+  // predecessors; the acq_rel counter is also the fence that publishes a
+  // predecessor's register writes to the dependent's executing worker.
   std::vector<std::vector<int>> dependents;
+  std::vector<std::atomic<int>> indegree;
+  std::atomic<bool> abort{false};
+
+  // Admission state (guarded by job_mu): at most `dop` instructions of this
+  // query are in flight on the shared pool, each carrying a "slot" — the
+  // virtual thread id in [0, dop) recorded in stats and trace events, so
+  // thread-utilization analysis keeps its per-query meaning on a pool whose
+  // workers serve many queries.
+  std::mutex job_mu;
+  std::condition_variable done_cv;
+  std::deque<int> ready;
+  std::vector<int> free_slots;
+  int dop = 1;
+  int in_flight = 0;
   int unfinished = 0;
-  bool abort = false;
+  bool done = false;
   Status error;
 
-  explicit RunState(size_t num_vars)
-      : var_consumers(num_vars) {}
+  RunState(size_t num_vars, size_t num_ins)
+      : var_consumers(num_vars), indegree(num_ins) {}
 
   void AddLiveBytes(int64_t delta) {
     int64_t now = live_bytes.fetch_add(delta, std::memory_order_relaxed) + delta;
@@ -50,8 +68,8 @@ struct RunState {
   }
 };
 
-/// Executes one instruction on worker `thread_id`. Returns the kernel's
-/// status; scheduling bookkeeping stays in the caller.
+/// Executes one instruction as logical thread `thread_id`. Returns the
+/// kernel's status; scheduling bookkeeping stays in the caller.
 Status RunInstruction(RunState* state, int pc, int thread_id) {
   const mal::Instruction& ins = state->program->instruction(pc);
   const std::string& stmt = state->stmt_text[static_cast<size_t>(pc)];
@@ -73,6 +91,8 @@ Status RunInstruction(RunState* state, int pc, int thread_id) {
   args.ctx = state->ctx;
   std::vector<RegisterValue> const_storage;
   const_storage.reserve(ins.args.size());
+  args.args.reserve(ins.args.size());
+  args.results.reserve(ins.results.size());
   // Reserve first: pointers into const_storage must stay stable.
   for (const mal::Argument& arg : ins.args) {
     if (arg.kind == mal::Argument::Kind::kConst) {
@@ -147,37 +167,62 @@ Status RunInstruction(RunState* state, int pc, int thread_id) {
   return Status::OK();
 }
 
-/// Worker loop for the dataflow scheduler.
-void WorkerLoop(RunState* state, int thread_id) {
-  std::unique_lock<std::mutex> lock(state->mu);
-  while (true) {
-    state->cv.wait(lock, [state] {
-      return !state->ready.empty() || state->abort || state->unfinished == 0;
-    });
-    if (state->abort || (state->ready.empty() && state->unfinished == 0)) {
-      return;
-    }
-    if (state->ready.empty()) continue;
+void RunDataflowTask(RunState* state, int pc, int slot);
+
+/// Admits ready instructions to the pool while slots are free. job_mu held.
+void PumpLocked(RunState* state) {
+  while (!state->abort.load(std::memory_order_relaxed) &&
+         state->in_flight < state->dop && !state->ready.empty()) {
     int pc = state->ready.front();
     state->ready.pop_front();
-    lock.unlock();
+    int slot = state->free_slots.back();
+    state->free_slots.pop_back();
+    ++state->in_flight;
+    state->pool->Submit([state, pc, slot] { RunDataflowTask(state, pc, slot); });
+  }
+}
 
-    Status st = RunInstruction(state, pc, thread_id);
+/// One pool task: run the instruction, unlock dependents, admit more work,
+/// and signal completion. On abort the instruction is skipped but its
+/// in-flight/unfinished accounting is still drained, so a kernel failing
+/// mid-flight with queued dependents can never leave Execute hanging.
+void RunDataflowTask(RunState* state, int pc, int slot) {
+  Status st;
+  if (!state->abort.load(std::memory_order_acquire)) {
+    st = RunInstruction(state, pc, slot);
+  }
 
-    lock.lock();
-    --state->unfinished;
-    if (!st.ok()) {
-      if (state->error.ok()) state->error = st;
-      state->abort = true;
-      state->cv.notify_all();
-      return;
-    }
+  // Unlock dependents outside the job lock. The acq_rel decrement chains
+  // every predecessor's writes into the dependent's task.
+  std::vector<int> newly_ready;
+  if (st.ok() && !state->abort.load(std::memory_order_acquire)) {
     for (int dep : state->dependents[static_cast<size_t>(pc)]) {
-      if (--state->indegree[static_cast<size_t>(dep)] == 0) {
-        state->ready.push_back(dep);
+      if (state->indegree[static_cast<size_t>(dep)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        newly_ready.push_back(dep);
       }
     }
-    state->cv.notify_all();
+  }
+
+  std::lock_guard<std::mutex> lock(state->job_mu);
+  --state->in_flight;
+  --state->unfinished;
+  state->free_slots.push_back(slot);
+  if (!st.ok()) {
+    if (state->error.ok()) state->error = st;
+    state->abort.store(true, std::memory_order_release);
+  }
+  for (int dep : newly_ready) state->ready.push_back(dep);
+  PumpLocked(state);
+  bool finished = state->abort.load(std::memory_order_relaxed)
+                      ? state->in_flight == 0
+                      : state->unfinished == 0 ||
+                            (state->in_flight == 0 && state->ready.empty());
+  if (finished) {
+    state->done = true;
+    // Notify while holding job_mu: the waiting Execute cannot destroy the
+    // RunState before this task releases the lock.
+    state->done_cv.notify_all();
   }
 }
 
@@ -192,7 +237,7 @@ Result<QueryResult> Interpreter::Execute(const mal::Program& program,
                      : static_cast<Clock*>(SteadyClock::Default());
   ExecContext ctx(catalog_, clock);
 
-  RunState state(program.num_variables());
+  RunState state(program.num_variables(), program.size());
   state.program = &program;
   state.registry = registry_;
   state.ctx = &ctx;
@@ -222,33 +267,43 @@ Result<QueryResult> Interpreter::Execute(const mal::Program& program,
 
   if (!options.use_dataflow || num_threads == 1 || program.size() <= 1) {
     // Sequential interpretation in plan order (valid: SSA implies defs
-    // precede uses).
+    // precede uses) on the calling thread — the "sequential execution where
+    // multithreading was expected" anomaly path must not touch the pool.
     for (size_t pc = 0; pc < program.size(); ++pc) {
       Status st = RunInstruction(&state, static_cast<int>(pc), 0);
       if (!st.ok()) return st;
     }
   } else {
-    // Dataflow scheduling: dependency counting + worker pool.
+    // Dataflow scheduling on the shared worker pool: atomic dependency
+    // counters, per-query admission up to `num_threads` slots.
+    state.pool = options.pool != nullptr ? options.pool : WorkerPool::Default();
+    state.pool->EnsureWorkers(num_threads);
+    state.dop = num_threads;
+    state.free_slots.reserve(static_cast<size_t>(num_threads));
+    for (int slot = num_threads - 1; slot >= 0; --slot) {
+      state.free_slots.push_back(slot);
+    }
+
     std::vector<std::vector<int>> deps = program.BuildDependencies();
     state.dependents.resize(program.size());
-    state.indegree.assign(program.size(), 0);
     for (size_t pc = 0; pc < program.size(); ++pc) {
-      state.indegree[pc] = static_cast<int>(deps[pc].size());
+      state.indegree[pc].store(static_cast<int>(deps[pc].size()),
+                               std::memory_order_relaxed);
       for (int d : deps[pc]) {
         state.dependents[static_cast<size_t>(d)].push_back(static_cast<int>(pc));
       }
     }
     state.unfinished = static_cast<int>(program.size());
-    for (size_t pc = 0; pc < program.size(); ++pc) {
-      if (state.indegree[pc] == 0) state.ready.push_back(static_cast<int>(pc));
-    }
 
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<size_t>(num_threads));
-    for (int t = 0; t < num_threads; ++t) {
-      workers.emplace_back(WorkerLoop, &state, t);
+    std::unique_lock<std::mutex> lock(state.job_mu);
+    for (size_t pc = 0; pc < program.size(); ++pc) {
+      if (state.indegree[pc].load(std::memory_order_relaxed) == 0) {
+        state.ready.push_back(static_cast<int>(pc));
+      }
     }
-    for (std::thread& t : workers) t.join();
+    PumpLocked(&state);
+    if (state.in_flight == 0) state.done = true;  // nothing runnable: stall
+    state.done_cv.wait(lock, [&state] { return state.done; });
     if (!state.error.ok()) return state.error;
     if (state.unfinished != 0) {
       return Status::Internal(

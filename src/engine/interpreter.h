@@ -12,10 +12,16 @@
 
 namespace stetho::engine {
 
+class WorkerPool;
+
 /// Execution configuration for one query.
 struct ExecOptions {
-  /// Worker threads for the dataflow scheduler; 0 = hardware concurrency.
+  /// Degree of parallelism: at most this many instructions of the query are
+  /// in flight on the worker pool at once; 0 = hardware concurrency.
   int num_threads = 0;
+  /// Worker pool executing dataflow tasks; nullptr = the lazily-started
+  /// process-wide WorkerPool::Default(), shared by all concurrent queries.
+  WorkerPool* pool = nullptr;
   /// When false, instructions run sequentially in plan order on one thread —
   /// the "sequential execution where multithreading was expected" anomaly the
   /// paper's demo uncovers is produced exactly this way.
@@ -32,6 +38,9 @@ struct ExecOptions {
 /// of the profiler, which may be filtered or absent).
 struct InstructionStat {
   int pc = 0;
+  /// Logical thread id in [0, num_threads): the query-local admission slot
+  /// under dataflow execution (pool workers are shared across queries), or
+  /// 0 on the sequential path. Also stamped on trace events.
   int thread = 0;
   int64_t start_us = 0;       ///< clock time at instruction start
   int64_t usec = 0;           ///< elapsed microseconds

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <numeric>
 #include <unordered_map>
 
@@ -70,6 +71,43 @@ bool LikeMatch(std::string_view text, std::string_view pattern) {
   return p == pattern.size();
 }
 
+/// True when `v` can drive the int64 fast path (kOid scalars share the
+/// int64 representation).
+bool IsIntScalar(const Value& v) {
+  return v.type() == DataType::kInt64 || v.type() == DataType::kOid;
+}
+
+/// True when `v` coerces losslessly into the double fast path.
+bool IsNumScalar(const Value& v) {
+  return IsIntScalar(v) || v.type() == DataType::kDouble;
+}
+
+double NumScalarValue(const Value& v) {
+  return v.type() == DataType::kDouble ? v.AsDouble()
+                                       : static_cast<double>(v.AsInt());
+}
+
+/// Typed range scan over the candidate list: branch on the column type once,
+/// then run a tight loop over the raw arrays. `lo`/`hi` are already widened
+/// to sentinels for NULL (unbounded) bounds.
+template <typename T>
+Status SelectScanTyped(const Column& col, const Column& cand, const T* vals,
+                       T lo, T hi, Column* out) {
+  const std::vector<int64_t>& cand_oids = cand.ints();
+  const size_t limit = col.size();
+  const bool check_nulls = col.has_nulls();
+  for (size_t k = 0; k < cand_oids.size(); ++k) {
+    uint64_t pos = static_cast<uint64_t>(cand_oids[k]);
+    if (pos >= limit) {
+      return Status::OutOfRange("algebra.select: candidate oid out of range");
+    }
+    if (check_nulls && col.IsNull(pos)) continue;
+    T v = vals[pos];
+    if (v >= lo && v <= hi) out->AppendOid(pos);
+  }
+  return Status::OK();
+}
+
 /// algebra.select(col, cand, low, high) :bat[:oid]
 /// Positions (from the candidate list) whose value lies in [low, high].
 /// A NULL bound means unbounded on that side; NULL values never qualify.
@@ -81,18 +119,58 @@ Status AlgebraSelect(KernelArgs& a) {
   STETHO_ASSIGN_OR_RETURN(Value high, ArgScalar(a, 3));
 
   ColumnPtr out = Column::Make(DataType::kOid);
-  for (size_t k = 0; k < cand->size(); ++k) {
-    uint64_t pos = cand->OidAt(k);
-    if (pos >= col->size()) {
-      return Status::OutOfRange("algebra.select: candidate oid out of range");
+  const DataType ct = col->type();
+  if ((ct == DataType::kInt64 || ct == DataType::kOid) &&
+      (low.is_null() || IsIntScalar(low)) &&
+      (high.is_null() || IsIntScalar(high))) {
+    int64_t lo = low.is_null() ? std::numeric_limits<int64_t>::min() : low.AsInt();
+    int64_t hi = high.is_null() ? std::numeric_limits<int64_t>::max() : high.AsInt();
+    STETHO_RETURN_IF_ERROR(
+        SelectScanTyped<int64_t>(*col, *cand, col->ints().data(), lo, hi, out.get()));
+  } else if (ct == DataType::kDouble && (low.is_null() || IsNumScalar(low)) &&
+             (high.is_null() || IsNumScalar(high))) {
+    double lo = low.is_null() ? -std::numeric_limits<double>::infinity()
+                              : NumScalarValue(low);
+    double hi = high.is_null() ? std::numeric_limits<double>::infinity()
+                               : NumScalarValue(high);
+    STETHO_RETURN_IF_ERROR(
+        SelectScanTyped<double>(*col, *cand, col->doubles().data(), lo, hi, out.get()));
+  } else {
+    // Generic boxed fallback: string columns, exotic bound types.
+    for (size_t k = 0; k < cand->size(); ++k) {
+      uint64_t pos = cand->OidAt(k);
+      if (pos >= col->size()) {
+        return Status::OutOfRange("algebra.select: candidate oid out of range");
+      }
+      if (col->IsNull(pos)) continue;
+      Value v = col->GetValue(pos);
+      if (!low.is_null() && v.Compare(low) < 0) continue;
+      if (!high.is_null() && v.Compare(high) > 0) continue;
+      out->AppendOid(pos);
     }
-    if (col->IsNull(pos)) continue;
-    Value v = col->GetValue(pos);
-    if (!low.is_null() && v.Compare(low) < 0) continue;
-    if (!high.is_null() && v.Compare(high) > 0) continue;
-    out->AppendOid(pos);
   }
   *a.results[0] = RegisterValue::Bat(std::move(out));
+  return Status::OK();
+}
+
+/// Typed theta scan: the comparison op is loop-invariant, so the per-row
+/// switch predicts perfectly; the win is never boxing values.
+template <typename T>
+Status ThetaScanTyped(const Column& col, const Column& cand, const T* vals,
+                      Theta op, T pivot, Column* out) {
+  const std::vector<int64_t>& cand_oids = cand.ints();
+  const size_t limit = col.size();
+  const bool check_nulls = col.has_nulls();
+  for (size_t k = 0; k < cand_oids.size(); ++k) {
+    uint64_t pos = static_cast<uint64_t>(cand_oids[k]);
+    if (pos >= limit) {
+      return Status::OutOfRange("algebra.thetaselect: candidate oid out of range");
+    }
+    if (check_nulls && col.IsNull(pos)) continue;
+    T v = vals[pos];
+    int cmp = v < pivot ? -1 : (v > pivot ? 1 : 0);
+    if (ThetaHolds(op, cmp)) out->AppendOid(pos);
+  }
   return Status::OK();
 }
 
@@ -106,14 +184,23 @@ Status AlgebraThetaSelect(KernelArgs& a) {
   STETHO_ASSIGN_OR_RETURN(Theta op, ParseTheta(op_name));
 
   ColumnPtr out = Column::Make(DataType::kOid);
-  for (size_t k = 0; k < cand->size(); ++k) {
-    uint64_t pos = cand->OidAt(k);
-    if (pos >= col->size()) {
-      return Status::OutOfRange("algebra.thetaselect: candidate oid out of range");
-    }
-    if (col->IsNull(pos)) continue;
-    if (ThetaHolds(op, col->GetValue(pos).Compare(pivot))) {
-      out->AppendOid(pos);
+  const DataType ct = col->type();
+  if ((ct == DataType::kInt64 || ct == DataType::kOid) && IsIntScalar(pivot)) {
+    STETHO_RETURN_IF_ERROR(ThetaScanTyped<int64_t>(
+        *col, *cand, col->ints().data(), op, pivot.AsInt(), out.get()));
+  } else if (ct == DataType::kDouble && IsNumScalar(pivot)) {
+    STETHO_RETURN_IF_ERROR(ThetaScanTyped<double>(
+        *col, *cand, col->doubles().data(), op, NumScalarValue(pivot), out.get()));
+  } else {
+    for (size_t k = 0; k < cand->size(); ++k) {
+      uint64_t pos = cand->OidAt(k);
+      if (pos >= col->size()) {
+        return Status::OutOfRange("algebra.thetaselect: candidate oid out of range");
+      }
+      if (col->IsNull(pos)) continue;
+      if (ThetaHolds(op, col->GetValue(pos).Compare(pivot))) {
+        out->AppendOid(pos);
+      }
     }
   }
   *a.results[0] = RegisterValue::Bat(std::move(out));
@@ -168,12 +255,9 @@ Status AlgebraProjection(KernelArgs& a) {
   STETHO_RETURN_IF_ERROR(ExpectArity(a, 2, 1));
   STETHO_ASSIGN_OR_RETURN(ColumnPtr cand, ArgBat(a, 0));
   STETHO_ASSIGN_OR_RETURN(ColumnPtr col, ArgBat(a, 1));
-  std::vector<int64_t> positions;
-  positions.reserve(cand->size());
-  for (size_t k = 0; k < cand->size(); ++k) {
-    positions.push_back(static_cast<int64_t>(cand->OidAt(k)));
-  }
-  STETHO_ASSIGN_OR_RETURN(ColumnPtr out, col->Gather(positions));
+  // Candidate oids share the int64 backing array: hand it to the typed
+  // gather directly instead of copying it into a positions vector.
+  STETHO_ASSIGN_OR_RETURN(ColumnPtr out, col->Gather(cand->ints()));
   *a.results[0] = RegisterValue::Bat(std::move(out));
   return Status::OK();
 }
@@ -264,10 +348,44 @@ Status AlgebraJoin(KernelArgs& a) {
   return Status::OK();
 }
 
+/// Stable-sorts `order` by raw array values — no per-comparison boxing.
+template <typename T>
+void SortOrderTyped(std::vector<int64_t>* order, const std::vector<T>& vals,
+                    bool reverse) {
+  if (reverse) {
+    std::stable_sort(order->begin(), order->end(), [&](int64_t x, int64_t y) {
+      return vals[static_cast<size_t>(y)] < vals[static_cast<size_t>(x)];
+    });
+  } else {
+    std::stable_sort(order->begin(), order->end(), [&](int64_t x, int64_t y) {
+      return vals[static_cast<size_t>(x)] < vals[static_cast<size_t>(y)];
+    });
+  }
+}
+
 /// Sort permutation of `col` (stable; NULLs first; ascending unless reverse).
 std::vector<int64_t> SortOrder(const ColumnPtr& col, bool reverse) {
   std::vector<int64_t> order(col->size());
   std::iota(order.begin(), order.end(), 0);
+  // Typed comparators for null-free columns; NULL handling (NULLs sort
+  // first via Value::Compare) stays on the boxed fallback.
+  if (!col->has_nulls()) {
+    switch (col->type()) {
+      case DataType::kInt64:
+      case DataType::kOid:
+      case DataType::kBool:
+        SortOrderTyped(&order, col->ints(), reverse);
+        return order;
+      case DataType::kDouble:
+        SortOrderTyped(&order, col->doubles(), reverse);
+        return order;
+      case DataType::kString:
+        SortOrderTyped(&order, col->strings(), reverse);
+        return order;
+      default:
+        break;
+    }
+  }
   std::stable_sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
     int c = col->GetValue(static_cast<size_t>(x))
                 .Compare(col->GetValue(static_cast<size_t>(y)));

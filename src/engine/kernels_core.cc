@@ -112,13 +112,7 @@ Status BatAppend(KernelArgs& a) {
     return Status::TypeError("bat.append: element type mismatch");
   }
   ColumnPtr out = x->Slice(0, x->size());
-  for (size_t i = 0; i < y->size(); ++i) {
-    if (y->IsNull(i)) {
-      out->AppendNull();
-    } else {
-      STETHO_RETURN_IF_ERROR(out->AppendValue(y->GetValue(i)));
-    }
-  }
+  STETHO_RETURN_IF_ERROR(out->AppendColumn(*y));
   *a.results[0] = RegisterValue::Bat(std::move(out));
   return Status::OK();
 }
@@ -135,18 +129,18 @@ Status MatPack(KernelArgs& a) {
   }
   STETHO_ASSIGN_OR_RETURN(ColumnPtr first, ArgBat(a, 0));
   ColumnPtr out = Column::Make(first->type());
+  size_t total = 0;
   for (size_t k = 0; k < a.args.size(); ++k) {
     STETHO_ASSIGN_OR_RETURN(ColumnPtr piece, ArgBat(a, k));
     if (piece->type() != first->type()) {
       return Status::TypeError("mat.pack: element type mismatch");
     }
-    for (size_t i = 0; i < piece->size(); ++i) {
-      if (piece->IsNull(i)) {
-        out->AppendNull();
-      } else {
-        STETHO_RETURN_IF_ERROR(out->AppendValue(piece->GetValue(i)));
-      }
-    }
+    total += piece->size();
+  }
+  out->Reserve(total);
+  for (size_t k = 0; k < a.args.size(); ++k) {
+    STETHO_ASSIGN_OR_RETURN(ColumnPtr piece, ArgBat(a, k));
+    STETHO_RETURN_IF_ERROR(out->AppendColumn(*piece));
   }
   *a.results[0] = RegisterValue::Bat(std::move(out));
   return Status::OK();

@@ -27,7 +27,10 @@ sockaddr_in LoopbackAddr(uint16_t port) {
 
 }  // namespace
 
-UdpReceiver::~UdpReceiver() { Close(); }
+UdpReceiver::~UdpReceiver() {
+  Close();
+  if (fd_ >= 0) ::close(fd_);
+}
 
 Result<std::unique_ptr<UdpReceiver>> UdpReceiver::Bind(uint16_t port) {
   int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
@@ -47,7 +50,7 @@ Result<std::unique_ptr<UdpReceiver>> UdpReceiver::Bind(uint16_t port) {
 }
 
 Result<bool> UdpReceiver::Receive(std::string* payload, int timeout_ms) {
-  if (fd_ < 0) return Status::Aborted("receiver closed");
+  if (closed_.load()) return Status::Aborted("receiver closed");
   timeval tv{};
   tv.tv_sec = timeout_ms / 1000;
   tv.tv_usec = (timeout_ms % 1000) * 1000;
@@ -64,16 +67,25 @@ Result<bool> UdpReceiver::Receive(std::string* payload, int timeout_ms) {
   ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
   if (n < 0) {
     if (errno == EBADF) return Status::Aborted("receiver closed");
+    if (errno == EINTR) return false;
     return Errno("recv");
   }
+  // A concurrent Close() may have raced with the wait above; its zero-byte
+  // wake-up datagram (or any payload) must not be delivered post-close.
+  if (closed_.load()) return Status::Aborted("receiver closed");
   payload->assign(buf, static_cast<size_t>(n));
   return true;
 }
 
 void UdpReceiver::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+  if (closed_.exchange(true)) return;
+  // Wake a listener parked in select(): a zero-byte datagram to our own
+  // port makes the descriptor readable; Receive() then observes `closed_`.
+  // The fd stays open (the destructor closes it) so the listener never
+  // races against ::close on a descriptor it is still using.
+  auto wake = UdpSender::Connect(port_);
+  if (wake.ok()) {
+    (void)wake.value()->Send(std::string());
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef STETHO_NET_UDP_H_
 #define STETHO_NET_UDP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -26,8 +27,14 @@ class UdpReceiver : public DatagramReceiver {
 
  private:
   UdpReceiver(int fd, uint16_t port) : fd_(fd), port_(port) {}
+  /// The descriptor is closed only by the destructor; Close() just flips
+  /// `closed_` and wakes a listener blocked in Receive() with a zero-byte
+  /// self-datagram, so no thread ever sees the fd die mid-syscall. Callers
+  /// must join listener threads before destroying the receiver (as
+  /// TextualStethoscope::Stop does).
   int fd_;
   uint16_t port_;
+  std::atomic<bool> closed_{false};
 };
 
 /// UDP sender addressed at 127.0.0.1:port.

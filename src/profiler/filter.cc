@@ -19,7 +19,8 @@ std::string_view StatementModule(std::string_view stmt) {
 
 }  // namespace
 
-bool EventFilter::Matches(const TraceEvent& event) const {
+bool EventFilter::Matches(const TraceEvent& event,
+                          std::string_view stmt) const {
   if (event.state == EventState::kStart && !pass_start_) return false;
   if (event.state == EventState::kDone && !pass_done_) return false;
   if (event.pc < pc_lo_ || event.pc > pc_hi_) return false;
@@ -28,7 +29,7 @@ bool EventFilter::Matches(const TraceEvent& event) const {
     return false;
   }
   if (!modules_.empty()) {
-    std::string_view module = StatementModule(event.stmt);
+    std::string_view module = StatementModule(stmt);
     bool hit = false;
     for (const std::string& m : modules_) {
       if (module == m) {

@@ -2,6 +2,7 @@
 #define STETHO_PROFILER_FILTER_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "profiler/event.h"
@@ -40,7 +41,12 @@ class EventFilter {
   }
 
   /// Returns true when `event` passes all configured criteria.
-  bool Matches(const TraceEvent& event) const;
+  bool Matches(const TraceEvent& event) const {
+    return Matches(event, event.stmt);
+  }
+  /// Hot-path variant: the statement text travels separately as a view so
+  /// the profiler can filter before materializing `TraceEvent.stmt`.
+  bool Matches(const TraceEvent& event, std::string_view stmt) const;
 
   /// Serializes to "key=value;..." so a client can ship filters to a server.
   std::string Serialize() const;

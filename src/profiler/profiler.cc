@@ -2,76 +2,92 @@
 
 namespace stetho::profiler {
 
+std::shared_ptr<const Profiler::Dispatch> Profiler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dispatch_;
+}
+
 void Profiler::AddSink(std::shared_ptr<EventSink> sink) {
   std::lock_guard<std::mutex> lock(mu_);
-  sinks_.push_back(std::move(sink));
+  auto next = std::make_shared<Dispatch>(*dispatch_);
+  next->sinks.push_back(std::move(sink));
+  dispatch_ = std::move(next);
 }
 
 void Profiler::ClearSinks() {
   std::lock_guard<std::mutex> lock(mu_);
-  sinks_.clear();
+  auto next = std::make_shared<Dispatch>(*dispatch_);
+  next->sinks.clear();
+  dispatch_ = std::move(next);
 }
 
-size_t Profiler::num_sinks() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return sinks_.size();
-}
+size_t Profiler::num_sinks() const { return Snapshot()->sinks.size(); }
 
 void Profiler::SetFilter(EventFilter filter) {
   std::lock_guard<std::mutex> lock(mu_);
-  filter_ = std::move(filter);
+  auto next = std::make_shared<Dispatch>(*dispatch_);
+  next->filter = std::move(filter);
+  dispatch_ = std::move(next);
 }
 
-EventFilter Profiler::GetFilter() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return filter_;
-}
+EventFilter Profiler::GetFilter() const { return Snapshot()->filter; }
 
-void Profiler::Emit(TraceEvent event) {
-  if (!enabled()) return;
-  event.event = next_event_.fetch_add(1, std::memory_order_relaxed);
-  event.time_us = clock_->NowMicros();
-
-  // Copy the sink list under the lock, dispatch outside it so slow sinks
-  // (file IO, UDP) never serialize worker threads against each other more
-  // than necessary.
-  std::vector<std::shared_ptr<EventSink>> sinks;
-  EventFilter filter;
+/// Hot path shared by Emit/EmitStart/EmitDone. `event.stmt` is empty on
+/// entry; `stmt` carries the statement text by view and is copied into the
+/// event only once it is known to be delivered.
+void Profiler::EmitImpl(TraceEvent& event, std::string_view stmt) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    sinks = sinks_;
-    filter = filter_;
+    // Stamp sequence number and timestamp together: the trace contract
+    // (analysis' trace-conformance check) demands timestamps be monotone in
+    // event order, which concurrent workers would otherwise violate when one
+    // is preempted between the two reads.
+    std::lock_guard<std::mutex> lock(stamp_mu_);
+    event.event = next_event_.fetch_add(1, std::memory_order_relaxed);
+    event.time_us = clock_->NowMicros();
   }
-  if (!filter.Matches(event)) {
+
+  // Grab the current dispatch snapshot (one shared_ptr copy under the
+  // lock); fan-out happens outside it so slow sinks (file IO, UDP) never
+  // serialize worker threads against each other more than necessary.
+  std::shared_ptr<const Dispatch> dispatch = Snapshot();
+  if (!dispatch->filter.Matches(event, stmt)) {
     filtered_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   emitted_.fetch_add(1, std::memory_order_relaxed);
-  for (const auto& sink : sinks) sink->Consume(event);
+  event.stmt.assign(stmt.data(), stmt.size());
+  for (const auto& sink : dispatch->sinks) sink->Consume(event);
+}
+
+void Profiler::Emit(TraceEvent event) {
+  if (!enabled()) return;
+  std::string stmt = std::move(event.stmt);
+  event.stmt.clear();
+  EmitImpl(event, stmt);
 }
 
 void Profiler::EmitStart(int pc, int thread, int64_t rss_bytes,
-                         std::string stmt) {
+                         std::string_view stmt) {
+  if (!enabled()) return;
   TraceEvent e;
   e.pc = pc;
   e.thread = thread;
   e.state = EventState::kStart;
   e.usec = 0;
   e.rss_bytes = rss_bytes;
-  e.stmt = std::move(stmt);
-  Emit(std::move(e));
+  EmitImpl(e, stmt);
 }
 
 void Profiler::EmitDone(int pc, int thread, int64_t usec, int64_t rss_bytes,
-                        std::string stmt) {
+                        std::string_view stmt) {
+  if (!enabled()) return;
   TraceEvent e;
   e.pc = pc;
   e.thread = thread;
   e.state = EventState::kDone;
   e.usec = usec;
   e.rss_bytes = rss_bytes;
-  e.stmt = std::move(stmt);
-  Emit(std::move(e));
+  EmitImpl(e, stmt);
 }
 
 }  // namespace stetho::profiler

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
 #include "common/clock.h"
@@ -41,11 +42,14 @@ class Profiler {
   /// assigned here; all other fields come from the caller.
   void Emit(TraceEvent event);
 
-  /// Convenience: emits a start event for (pc, thread, stmt).
-  void EmitStart(int pc, int thread, int64_t rss_bytes, std::string stmt);
+  /// Convenience: emits a start event for (pc, thread, stmt). The statement
+  /// text is taken by view — the interpreter renders each statement once per
+  /// program and passes the interned string here; `TraceEvent.stmt` is only
+  /// materialized for events that survive the filter.
+  void EmitStart(int pc, int thread, int64_t rss_bytes, std::string_view stmt);
   /// Convenience: emits a done event with the measured duration.
   void EmitDone(int pc, int thread, int64_t usec, int64_t rss_bytes,
-                std::string stmt);
+                std::string_view stmt);
 
   /// Total events emitted (post-filter).
   int64_t events_emitted() const { return emitted_.load(std::memory_order_relaxed); }
@@ -55,15 +59,27 @@ class Profiler {
   Clock* clock() const { return clock_; }
 
  private:
+  /// Immutable snapshot of the fan-out configuration. Writers (AddSink /
+  /// SetFilter — rare, client-driven) build a fresh snapshot and swap the
+  /// pointer under `mu_`; the per-event hot path only copies one shared_ptr
+  /// under the lock instead of the whole sink vector and filter.
+  struct Dispatch {
+    std::vector<std::shared_ptr<EventSink>> sinks;
+    EventFilter filter;
+  };
+
+  std::shared_ptr<const Dispatch> Snapshot() const;
+  void EmitImpl(TraceEvent& event, std::string_view stmt);
+
   Clock* clock_;
   std::atomic<bool> enabled_{true};
   std::atomic<int64_t> next_event_{0};
   std::atomic<int64_t> emitted_{0};
   std::atomic<int64_t> filtered_{0};
 
-  mutable std::mutex mu_;  // guards sinks_ and filter_
-  std::vector<std::shared_ptr<EventSink>> sinks_;
-  EventFilter filter_;
+  mutable std::mutex mu_;  // guards dispatch_ (pointer swap only)
+  std::mutex stamp_mu_;    // seq number + timestamp advance together
+  std::shared_ptr<const Dispatch> dispatch_ = std::make_shared<Dispatch>();
 };
 
 }  // namespace stetho::profiler

@@ -1,7 +1,10 @@
 #include "server/mserver.h"
 
+#include <thread>
+
 #include "common/string_util.h"
 #include "dot/writer.h"
+#include "engine/worker_pool.h"
 #include "net/trace_stream.h"
 
 namespace stetho::server {
@@ -11,7 +14,16 @@ Mserver::Mserver(storage::Catalog catalog, const MserverOptions& options)
       options_(options),
       clock_(options.clock != nullptr ? options.clock
                                       : static_cast<Clock*>(SteadyClock::Default())),
-      profiler_(clock_) {}
+      profiler_(clock_) {
+  // Pre-warm the shared worker pool to the configured dop so the first
+  // query never pays thread start-up inside its measured execution window.
+  if (!options_.force_sequential) {
+    int dop = options_.dop > 0
+                  ? options_.dop
+                  : static_cast<int>(std::thread::hardware_concurrency());
+    if (dop > 1) engine::WorkerPool::Default()->EnsureWorkers(dop);
+  }
+}
 
 Result<mal::Program> Mserver::Explain(const std::string& sql) const {
   STETHO_ASSIGN_OR_RETURN(mal::Program program,

@@ -1,5 +1,7 @@
 #include "storage/column.h"
 
+#include <cstddef>
+
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -132,6 +134,48 @@ void Column::Reserve(size_t n) {
     default:
       break;
   }
+  // Also reserve the (lazily materialized) null mask so the first NULL's
+  // backfill and subsequent appends never reallocate mid-load.
+  nulls_.reserve(n);
+}
+
+Status Column::AppendColumn(const Column& other) {
+  if (other.type_ != type_) {
+    return Status::TypeError("AppendColumn: element type mismatch (" +
+                             std::string(DataTypeName(type_)) + " vs " +
+                             std::string(DataTypeName(other.type_)) + ")");
+  }
+  // Merge null masks first: materialize ours iff either side has nulls.
+  if (!other.nulls_.empty() && nulls_.empty()) {
+    nulls_.reserve(size_ + other.size_);
+    nulls_.assign(size_, 0);
+  }
+  if (!nulls_.empty()) {
+    if (other.nulls_.empty()) {
+      nulls_.insert(nulls_.end(), other.size_, 0);
+    } else {
+      nulls_.insert(nulls_.end(), other.nulls_.begin(), other.nulls_.end());
+    }
+  }
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kOid:
+    case DataType::kBool:
+      ints_.insert(ints_.end(), other.ints_.begin(), other.ints_.end());
+      break;
+    case DataType::kDouble:
+      doubles_.insert(doubles_.end(), other.doubles_.begin(),
+                      other.doubles_.end());
+      break;
+    case DataType::kString:
+      strings_.insert(strings_.end(), other.strings_.begin(),
+                      other.strings_.end());
+      break;
+    default:
+      return Status::TypeError("AppendColumn: non-storable element type");
+  }
+  size_ += other.size_;
+  return Status::OK();
 }
 
 Value Column::GetValue(size_t i) const {
@@ -166,65 +210,80 @@ ColumnPtr Column::Slice(size_t lo, size_t hi) const {
   if (hi > size_) hi = size_;
   if (lo > hi) lo = hi;
   ColumnPtr out = std::make_shared<Column>(type_);
-  out->Reserve(hi - lo);
-  for (size_t i = lo; i < hi; ++i) {
-    if (IsNull(i)) {
-      out->AppendNull();
-      continue;
-    }
-    switch (type_) {
-      case DataType::kInt64:
-      case DataType::kOid:
-      case DataType::kBool:
-        out->ints_.push_back(ints_[i]);
-        out->MarkNull(false);
-        ++out->size_;
-        break;
-      case DataType::kDouble:
-        out->AppendDouble(doubles_[i]);
-        break;
-      case DataType::kString:
-        out->AppendString(strings_[i]);
-        break;
-      default:
-        break;
-    }
+  // Bulk range copy of the backing array and the null mask — no per-row
+  // dispatch. Null positions keep their zeroed placeholder values.
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kOid:
+    case DataType::kBool:
+      out->ints_.assign(ints_.begin() + static_cast<ptrdiff_t>(lo),
+                        ints_.begin() + static_cast<ptrdiff_t>(hi));
+      break;
+    case DataType::kDouble:
+      out->doubles_.assign(doubles_.begin() + static_cast<ptrdiff_t>(lo),
+                           doubles_.begin() + static_cast<ptrdiff_t>(hi));
+      break;
+    case DataType::kString:
+      out->strings_.assign(strings_.begin() + static_cast<ptrdiff_t>(lo),
+                           strings_.begin() + static_cast<ptrdiff_t>(hi));
+      break;
+    default:
+      break;
   }
+  if (!nulls_.empty()) {
+    out->nulls_.assign(nulls_.begin() + static_cast<ptrdiff_t>(lo),
+                       nulls_.begin() + static_cast<ptrdiff_t>(hi));
+  }
+  out->size_ = hi - lo;
   return out;
 }
 
 Result<ColumnPtr> Column::Gather(const std::vector<int64_t>& positions) const {
   ColumnPtr out = std::make_shared<Column>(type_);
-  out->Reserve(positions.size());
-  for (int64_t pos : positions) {
-    if (pos < 0 || static_cast<size_t>(pos) >= size_) {
-      return Status::OutOfRange(
-          StrFormat("projection position %lld out of range [0,%zu)",
-                    static_cast<long long>(pos), size_));
-    }
-    size_t i = static_cast<size_t>(pos);
-    if (IsNull(i)) {
-      out->AppendNull();
-      continue;
-    }
-    switch (type_) {
-      case DataType::kInt64:
-      case DataType::kOid:
-      case DataType::kBool:
-        out->ints_.push_back(ints_[i]);
-        out->MarkNull(false);
-        ++out->size_;
-        break;
-      case DataType::kDouble:
-        out->AppendDouble(doubles_[i]);
-        break;
-      case DataType::kString:
-        out->AppendString(strings_[i]);
-        break;
-      default:
-        break;
+  const size_t n = positions.size();
+  const bool with_nulls = !nulls_.empty();
+  // Typed gather loops: bounds-check and copy raw elements; the boxed
+  // GetValue/AppendValue path never runs. As in the append path, a NULL
+  // position contributes its zero/empty placeholder plus a mask bit.
+  auto out_of_range = [this](int64_t pos) {
+    return Status::OutOfRange(
+        StrFormat("projection position %lld out of range [0,%zu)",
+                  static_cast<long long>(pos), size_));
+  };
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kOid:
+    case DataType::kBool:
+      out->ints_.reserve(n);
+      for (int64_t pos : positions) {
+        if (pos < 0 || static_cast<size_t>(pos) >= size_) return out_of_range(pos);
+        out->ints_.push_back(ints_[static_cast<size_t>(pos)]);
+      }
+      break;
+    case DataType::kDouble:
+      out->doubles_.reserve(n);
+      for (int64_t pos : positions) {
+        if (pos < 0 || static_cast<size_t>(pos) >= size_) return out_of_range(pos);
+        out->doubles_.push_back(doubles_[static_cast<size_t>(pos)]);
+      }
+      break;
+    case DataType::kString:
+      out->strings_.reserve(n);
+      for (int64_t pos : positions) {
+        if (pos < 0 || static_cast<size_t>(pos) >= size_) return out_of_range(pos);
+        out->strings_.push_back(strings_[static_cast<size_t>(pos)]);
+      }
+      break;
+    default:
+      return Status::TypeError("Gather: non-storable element type");
+  }
+  if (with_nulls) {
+    out->nulls_.reserve(n);
+    for (int64_t pos : positions) {
+      out->nulls_.push_back(nulls_[static_cast<size_t>(pos)]);
     }
   }
+  out->size_ = n;
   return out;
 }
 

@@ -46,7 +46,12 @@ class Column {
   /// Appends a Value, coercing numerics when lossless; error on mismatch.
   Status AppendValue(const Value& v);
 
-  /// Reserves capacity for n elements.
+  /// Appends every row of `other` (same element type required): the bulk
+  /// concatenation behind bat.append / mat.pack. Copies the raw arrays and
+  /// merges null masks without per-row Value boxing.
+  Status AppendColumn(const Column& other);
+
+  /// Reserves capacity for n elements, including the null mask.
   void Reserve(size_t n);
 
   /// --- Element access ---

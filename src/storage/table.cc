@@ -54,6 +54,10 @@ Status Table::AppendRow(const std::vector<Value>& row) {
   return Status::OK();
 }
 
+void Table::Reserve(size_t rows) {
+  for (const ColumnPtr& col : columns_) col->Reserve(rows);
+}
+
 size_t Table::MemoryBytes() const {
   size_t bytes = 0;
   for (const ColumnPtr& col : columns_) bytes += col->MemoryBytes();

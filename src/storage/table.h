@@ -59,6 +59,10 @@ class Table {
   /// Appends one row given values in schema order.
   Status AppendRow(const std::vector<Value>& row);
 
+  /// Reserves capacity for `rows` rows in every column (including null
+  /// masks) so bulk loads with known row counts never reallocate.
+  void Reserve(size_t rows);
+
   /// Total approximate memory footprint of all columns.
   size_t MemoryBytes() const;
 

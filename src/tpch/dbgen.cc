@@ -109,6 +109,7 @@ Result<Catalog> GenerateTpch(const TpchConfig& config) {
   TablePtr region = Table::Make(
       "region",
       Schema({{"r_regionkey", DataType::kInt64}, {"r_name", DataType::kString}}));
+  region->Reserve(counts.region);
   for (size_t i = 0; i < counts.region; ++i) {
     STETHO_RETURN_IF_ERROR(region->AppendRow(
         {Value::Int(static_cast<int64_t>(i)), Value::String(kRegions[i])}));
@@ -120,6 +121,7 @@ Result<Catalog> GenerateTpch(const TpchConfig& config) {
       "nation", Schema({{"n_nationkey", DataType::kInt64},
                         {"n_name", DataType::kString},
                         {"n_regionkey", DataType::kInt64}}));
+  nation->Reserve(counts.nation);
   for (size_t i = 0; i < counts.nation; ++i) {
     STETHO_RETURN_IF_ERROR(nation->AppendRow(
         {Value::Int(static_cast<int64_t>(i)), Value::String(kNations[i]),
@@ -133,6 +135,7 @@ Result<Catalog> GenerateTpch(const TpchConfig& config) {
                           {"s_name", DataType::kString},
                           {"s_nationkey", DataType::kInt64},
                           {"s_acctbal", DataType::kDouble}}));
+  supplier->Reserve(counts.supplier);
   for (size_t i = 1; i <= counts.supplier; ++i) {
     STETHO_RETURN_IF_ERROR(supplier->AppendRow(
         {Value::Int(static_cast<int64_t>(i)),
@@ -149,6 +152,7 @@ Result<Catalog> GenerateTpch(const TpchConfig& config) {
                       {"p_type", DataType::kString},
                       {"p_size", DataType::kInt64},
                       {"p_retailprice", DataType::kDouble}}));
+  part->Reserve(counts.part);
   for (size_t i = 1; i <= counts.part; ++i) {
     std::string type = std::string(Pick(rng, kTypePrefix)) + " " +
                        Pick(rng, kTypeMid) + " " + Pick(rng, kTypeSuffix);
@@ -170,6 +174,7 @@ Result<Catalog> GenerateTpch(const TpchConfig& config) {
                           {"ps_suppkey", DataType::kInt64},
                           {"ps_availqty", DataType::kInt64},
                           {"ps_supplycost", DataType::kDouble}}));
+  partsupp->Reserve(counts.part * 4);
   for (size_t p = 1; p <= counts.part; ++p) {
     for (int i = 0; i < 4; ++i) {
       // Spread the 4 suppliers across the supplier table (the official
@@ -193,6 +198,7 @@ Result<Catalog> GenerateTpch(const TpchConfig& config) {
                           {"c_nationkey", DataType::kInt64},
                           {"c_mktsegment", DataType::kString},
                           {"c_acctbal", DataType::kDouble}}));
+  customer->Reserve(counts.customer);
   for (size_t i = 1; i <= counts.customer; ++i) {
     STETHO_RETURN_IF_ERROR(customer->AppendRow(
         {Value::Int(static_cast<int64_t>(i)),
@@ -232,6 +238,10 @@ Result<Catalog> GenerateTpch(const TpchConfig& config) {
   const int64_t kEndOffsetDays = DateToDays(19980802) - DateToDays(kStartDate);
   const int64_t kCutoff = 19950617;  // official returnflag/linestatus pivot
 
+  orders->Reserve(counts.orders);
+  // Lines per order are uniform in [1, 7], so reserve the expected four
+  // lineitem rows per order; the tail growth (if any) is a single doubling.
+  lineitem->Reserve(counts.orders * 4);
   for (size_t o = 1; o <= counts.orders; ++o) {
     int64_t orderdate =
         AddDays(kStartDate, rng.NextRange(0, kEndOffsetDays));
