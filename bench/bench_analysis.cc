@@ -1,0 +1,125 @@
+// Static-analysis cost on realistic plans: what one abstract-interpreter
+// sweep, one full lint-suite run, and the optimizer's pass-equivalence
+// differ cost on TPC-H plans, as a function of mitosis expansion (Arg =
+// pieces; 0 disables mitosis). The differ runs inside every Pipeline::Run,
+// so BM_PipelineWithDiffer is the end-to-end optimizer cost users actually
+// pay; the per-sweep numbers bound how that scales with plan size.
+// Shape expectation: all three are linear in plan instructions — the
+// interpreter is a single forward pass over SSA.
+
+#include <benchmark/benchmark.h>
+
+#include <utility>
+
+#include "analysis/absint.h"
+#include "analysis/runner.h"
+#include "bench_util.h"
+#include "engine/kernel.h"
+#include "optimizer/pass.h"
+#include "sql/compiler.h"
+
+namespace {
+
+using namespace stetho;
+
+/// Compiles `query_id` and expands it with the default pipeline at `pieces`
+/// mitosis partitions (0 = no mitosis) — the linted artifact.
+mal::Program ExpandedPlan(const char* query_id, int pieces) {
+  storage::Catalog& catalog = bench::SharedCatalog(0.01);
+  auto base =
+      sql::Compiler::CompileSql(&catalog, tpch::GetQuery(query_id).value().sql);
+  if (!base.ok()) std::abort();
+  mal::Program plan = std::move(base).value();
+  optimizer::Pipeline pipeline = optimizer::Pipeline::Default(pieces);
+  if (!pipeline.Run(&plan).ok()) std::abort();
+  return plan;
+}
+
+void BM_AbstractInterpret(benchmark::State& state, const char* query_id) {
+  mal::Program plan = ExpandedPlan(query_id, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    analysis::AbstractState facts = analysis::AnalyzeProgram(plan);
+    benchmark::DoNotOptimize(facts);
+  }
+  state.counters["plan_instructions"] = static_cast<double>(plan.size());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(plan.size()));
+}
+
+void BM_LintSuite(benchmark::State& state, const char* query_id) {
+  mal::Program plan = ExpandedPlan(query_id, static_cast<int>(state.range(0)));
+  analysis::CheckContext ctx;
+  ctx.program = &plan;
+  ctx.registry = engine::ModuleRegistry::Default();
+  for (auto _ : state) {
+    std::vector<analysis::Diagnostic> diags =
+        analysis::Runner::Default().Run(ctx);
+    benchmark::DoNotOptimize(diags);
+  }
+  state.counters["plan_instructions"] = static_cast<double>(plan.size());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(plan.size()));
+}
+
+void BM_SummaryDiff(benchmark::State& state, const char* query_id) {
+  mal::Program plan = ExpandedPlan(query_id, static_cast<int>(state.range(0)));
+  analysis::PlanSummary before = analysis::SummarizeObservable(plan);
+  for (auto _ : state) {
+    analysis::PlanSummary after = analysis::SummarizeObservable(plan);
+    Status st = analysis::CheckSummaryEquivalence(before, after, "bench");
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(after);
+  }
+  state.counters["sink_columns"] = static_cast<double>(before.columns.size());
+  state.counters["plan_instructions"] = static_cast<double>(plan.size());
+}
+
+/// End-to-end: compile + full default pipeline, which now re-lints and
+/// re-diffs the plan after every pass that fired.
+void BM_PipelineWithDiffer(benchmark::State& state, const char* query_id) {
+  storage::Catalog& catalog = bench::SharedCatalog(0.01);
+  auto base =
+      sql::Compiler::CompileSql(&catalog, tpch::GetQuery(query_id).value().sql);
+  if (!base.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  int pieces = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mal::Program plan = base.value();
+    optimizer::Pipeline pipeline = optimizer::Pipeline::Default(pieces);
+    auto fired = pipeline.Run(&plan);
+    if (!fired.ok()) {
+      state.SkipWithError(fired.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(plan);
+  }
+}
+
+void BM_AbsintQ1(benchmark::State& state) { BM_AbstractInterpret(state, "q1"); }
+void BM_AbsintQ3(benchmark::State& state) { BM_AbstractInterpret(state, "q3"); }
+void BM_LintQ1(benchmark::State& state) { BM_LintSuite(state, "q1"); }
+void BM_LintQ3(benchmark::State& state) { BM_LintSuite(state, "q3"); }
+void BM_DiffQ1(benchmark::State& state) { BM_SummaryDiff(state, "q1"); }
+void BM_PipelineQ1(benchmark::State& state) {
+  BM_PipelineWithDiffer(state, "q1");
+}
+void BM_PipelineQ6(benchmark::State& state) {
+  BM_PipelineWithDiffer(state, "q6");
+}
+
+BENCHMARK(BM_AbsintQ1)->Arg(0)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AbsintQ3)->Arg(0)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LintQ1)->Arg(0)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LintQ3)->Arg(0)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DiffQ1)->Arg(0)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PipelineQ1)->Arg(0)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PipelineQ6)->Arg(0)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

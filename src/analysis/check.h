@@ -21,6 +21,10 @@ struct CheckContext {
   const dot::Graph* graph = nullptr;
   const std::vector<profiler::TraceEvent>* trace = nullptr;
   const engine::ModuleRegistry* registry = nullptr;
+  /// True when the optimizer pipeline lints between passes. Checks may relax
+  /// severities for states that are routine mid-rewrite (e.g. dead code a
+  /// later pass removes) but hazards in a final plan.
+  bool in_pipeline = false;
 };
 
 /// Bitmask of CheckContext fields a check requires to run at all.

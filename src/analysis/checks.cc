@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "analysis/emitter.h"
 #include "analysis/signatures.h"
 #include "common/string_util.h"
 
@@ -16,58 +17,6 @@ using mal::Instruction;
 using mal::Program;
 using profiler::EventState;
 using profiler::TraceEvent;
-
-/// Every check stops after this many findings; a closing note records the
-/// suppression. Keeps lint output (and pipeline error Statuses) bounded on
-/// pathological plans.
-constexpr size_t kMaxDiagnosticsPerCheck = 64;
-
-/// Bounded sink for one check run.
-class Emitter {
- public:
-  Emitter(const char* check_id, std::vector<Diagnostic>* out)
-      : check_id_(check_id), out_(out) {}
-
-  ~Emitter() {
-    if (suppressed_ > 0) {
-      Diagnostic d;
-      d.severity = Severity::kNote;
-      d.check_id = check_id_;
-      d.message = StrFormat("%zu further findings suppressed", suppressed_);
-      out_->push_back(std::move(d));
-    }
-  }
-
-  void Emit(Severity severity, int pc, int var, std::string message,
-            std::string fix_hint = "") {
-    if (emitted_ >= kMaxDiagnosticsPerCheck) {
-      ++suppressed_;
-      return;
-    }
-    ++emitted_;
-    Diagnostic d;
-    d.severity = severity;
-    d.check_id = check_id_;
-    d.pc = pc;
-    d.var = var;
-    d.message = std::move(message);
-    d.fix_hint = std::move(fix_hint);
-    out_->push_back(std::move(d));
-  }
-
- private:
-  const char* check_id_;
-  std::vector<Diagnostic>* out_;
-  size_t emitted_ = 0;
-  size_t suppressed_ = 0;
-};
-
-std::string VarName(const Program& p, int var) {
-  if (var < 0 || static_cast<size_t>(var) >= p.num_variables()) {
-    return StrFormat("<invalid:%d>", var);
-  }
-  return p.variable(var).name;
-}
 
 /// Static shape of one argument: constants are always scalars; variables
 /// follow their declared MAL type.
@@ -249,7 +198,12 @@ class DeadInstructionCheck final : public Check {
         }
       }
       if (any_used) continue;
-      emit.Emit(Severity::kWarning, ins.pc,
+      // Mid-pipeline dead code is routine — an earlier pass just orphaned
+      // the instruction and a later MakeDeadCodePass cleans it up — so it is
+      // only worth a note there. From the CLI it is a real hazard.
+      Severity severity =
+          ctx.in_pipeline ? Severity::kNote : Severity::kWarning;
+      emit.Emit(severity, ins.pc,
                 ins.results.empty() ? -1 : ins.results[0],
                 StrFormat("%s result is never consumed — the instruction is "
                           "dead",
@@ -453,15 +407,18 @@ class SinkOrderKeyCheck final : public Check {
           LookupKernelSignature(ins.module, ins.function);
       if (sig != nullptr && sig->is_sink) {
         ++sinks;
-        // The order key is (pc << 8) | arg-index; more than 256 arguments
-        // would collide with the next pc's key space.
-        if (ins.args.size() > 256) {
+        // The order key is engine::ResultOrderKey(pc, arg-index); more
+        // arguments than its per-pc key space would collide with the next
+        // pc's keys.
+        constexpr size_t kKeysPerPc = size_t{1}
+                                      << engine::kResultOrderArgBits;
+        if (ins.args.size() > kKeysPerPc) {
           emit.Emit(Severity::kError, ins.pc, -1,
                     StrFormat("%s emits %zu result columns but the order key "
-                              "only encodes 256 per instruction — output "
+                              "only encodes %zu per instruction — output "
                               "order would collide with pc=%d",
                               ins.FullName().c_str(), ins.args.size(),
-                              ins.pc + 1),
+                              kKeysPerPc, ins.pc + 1),
                     "split the sink into several instructions");
         }
       } else if (sig == nullptr &&
@@ -740,6 +697,12 @@ std::vector<std::unique_ptr<Check>> AllChecks() {
   checks.push_back(MakeSinkOrderKeyCheck());
   checks.push_back(MakeDotContractCheck());
   checks.push_back(MakeTraceConformanceCheck());
+  // Abstract-interpretation checks (checks_absint.cc).
+  checks.push_back(MakeTypeFlowCheck());
+  checks.push_back(MakeCardinalityContradictionCheck());
+  checks.push_back(MakeGuaranteedEmptyCheck());
+  checks.push_back(MakeMissedConstantFoldCheck());
+  checks.push_back(MakeOrderKeyPropagationCheck());
   return checks;
 }
 

@@ -26,6 +26,20 @@ namespace stetho::analysis {
 ///                           match dataflow dependencies (graph [+ program])
 ///   trace-conformance       one start/done pair per pc, monotonic clock,
 ///                           pc in range, stmt matches plan (trace [+ both])
+///
+/// Abstract-interpretation checks (analysis/absint.h over the transfer
+/// functions in analysis/signatures.cc; all need a mal::Program):
+///   type-flow                   computed element types match declarations
+///                               and per-slot type constraints (strings,
+///                               booleans, append/pack homogeneity)
+///   cardinality-contradiction   equal-cardinality argument pairs and
+///                               candidate⊆column relations admit at least
+///                               one common row count
+///   guaranteed-empty            a BAT register is provably always empty
+///   missed-constant-fold        a pure calc.* over constant operands that
+///                               MakeConstantFoldingPass would remove
+///   order-key-propagation       candidate-list slots receive ascending,
+///                               NULL-free bat[:oid] values
 
 std::unique_ptr<Check> MakeDefBeforeUseCheck();
 std::unique_ptr<Check> MakeSingleAssignmentCheck();
@@ -35,6 +49,11 @@ std::unique_ptr<Check> MakeBatLifetimeCheck();
 std::unique_ptr<Check> MakeSinkOrderKeyCheck();
 std::unique_ptr<Check> MakeDotContractCheck();
 std::unique_ptr<Check> MakeTraceConformanceCheck();
+std::unique_ptr<Check> MakeTypeFlowCheck();
+std::unique_ptr<Check> MakeCardinalityContradictionCheck();
+std::unique_ptr<Check> MakeGuaranteedEmptyCheck();
+std::unique_ptr<Check> MakeMissedConstantFoldCheck();
+std::unique_ptr<Check> MakeOrderKeyPropagationCheck();
 
 /// All built-in checks, in the order listed above.
 std::vector<std::unique_ptr<Check>> AllChecks();

@@ -1,0 +1,74 @@
+#ifndef STETHO_ANALYSIS_EMITTER_H_
+#define STETHO_ANALYSIS_EMITTER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "common/string_util.h"
+#include "mal/program.h"
+
+namespace stetho::analysis {
+
+/// Every check stops after this many findings; a closing note records the
+/// suppression. Keeps lint output (and pipeline error Statuses) bounded on
+/// pathological plans.
+inline constexpr size_t kMaxDiagnosticsPerCheck = 64;
+
+/// Bounded diagnostic sink for one check run. Internal to the check
+/// implementations (checks.cc, checks_absint.cc).
+class Emitter {
+ public:
+  Emitter(const char* check_id, std::vector<Diagnostic>* out)
+      : check_id_(check_id), out_(out) {}
+
+  ~Emitter() {
+    if (suppressed_ > 0) {
+      Diagnostic d;
+      d.severity = Severity::kNote;
+      d.check_id = check_id_;
+      d.message = StrFormat("%zu further findings suppressed", suppressed_);
+      out_->push_back(std::move(d));
+    }
+  }
+
+  Emitter(const Emitter&) = delete;
+  Emitter& operator=(const Emitter&) = delete;
+
+  void Emit(Severity severity, int pc, int var, std::string message,
+            std::string fix_hint = "") {
+    if (emitted_ >= kMaxDiagnosticsPerCheck) {
+      ++suppressed_;
+      return;
+    }
+    ++emitted_;
+    Diagnostic d;
+    d.severity = severity;
+    d.check_id = check_id_;
+    d.pc = pc;
+    d.var = var;
+    d.message = std::move(message);
+    d.fix_hint = std::move(fix_hint);
+    out_->push_back(std::move(d));
+  }
+
+ private:
+  const char* check_id_;
+  std::vector<Diagnostic>* out_;
+  size_t emitted_ = 0;
+  size_t suppressed_ = 0;
+};
+
+/// Display name of a variable id, tolerating out-of-range ids (malformed
+/// plans are exactly what the checks inspect).
+inline std::string VarName(const mal::Program& p, int var) {
+  if (var < 0 || static_cast<size_t>(var) >= p.num_variables()) {
+    return StrFormat("<invalid:%d>", var);
+  }
+  return p.variable(var).name;
+}
+
+}  // namespace stetho::analysis
+
+#endif  // STETHO_ANALYSIS_EMITTER_H_

@@ -113,6 +113,96 @@ std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics) {
   return out;
 }
 
+std::string DiagnosticsToSarif(const std::vector<Diagnostic>& diagnostics,
+                               const std::string& artifact_uri) {
+  // Rule catalog: unique check ids in first-appearance order, described
+  // from the default suite when the id is a built-in check.
+  std::vector<std::string> rule_ids;
+  for (const Diagnostic& d : diagnostics) {
+    if (std::find(rule_ids.begin(), rule_ids.end(), d.check_id) ==
+        rule_ids.end()) {
+      rule_ids.push_back(d.check_id);
+    }
+  }
+  auto rule_description = [](const std::string& id) -> std::string {
+    for (const std::unique_ptr<Check>& check : Runner::Default().checks()) {
+      if (id == check->id()) return check->description();
+    }
+    return "";
+  };
+  auto rule_index = [&rule_ids](const std::string& id) -> size_t {
+    return static_cast<size_t>(
+        std::find(rule_ids.begin(), rule_ids.end(), id) - rule_ids.begin());
+  };
+
+  std::string out =
+      "{\n"
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"mal_lint\",\n"
+      "          \"rules\": [";
+  for (size_t i = 0; i < rule_ids.size(); ++i) {
+    out += i > 0 ? "," : "";
+    out += "\n            {\"id\": ";
+    AppendJsonString(rule_ids[i], &out);
+    std::string description = rule_description(rule_ids[i]);
+    if (!description.empty()) {
+      out += ", \"shortDescription\": {\"text\": ";
+      AppendJsonString(description, &out);
+      out += "}";
+    }
+    out += "}";
+  }
+  out += rule_ids.empty() ? "]\n" : "\n          ]\n";
+  out +=
+      "        }\n"
+      "      },\n"
+      "      \"results\": [";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    // SARIF levels happen to share our severity names (error/warning/note).
+    out += i > 0 ? "," : "";
+    out += "\n        {\"ruleId\": ";
+    AppendJsonString(d.check_id, &out);
+    out += StrFormat(", \"ruleIndex\": %zu, \"level\": ",
+                     rule_index(d.check_id));
+    AppendJsonString(SeverityName(d.severity), &out);
+    out += ", \"message\": {\"text\": ";
+    std::string text = d.message;
+    if (!d.fix_hint.empty()) text += " (hint: " + d.fix_hint + ")";
+    AppendJsonString(text, &out);
+    out += "}";
+    if (!artifact_uri.empty() || d.pc >= 0) {
+      out += ", \"locations\": [{\"physicalLocation\": {";
+      bool need_comma = false;
+      if (!artifact_uri.empty()) {
+        out += "\"artifactLocation\": {\"uri\": ";
+        AppendJsonString(artifact_uri, &out);
+        out += "}";
+        need_comma = true;
+      }
+      if (d.pc >= 0) {
+        if (need_comma) out += ", ";
+        // pc N renders on line N + 1 of the plan listing.
+        out += StrFormat("\"region\": {\"startLine\": %d}", d.pc + 1);
+      }
+      out += "}}]";
+    }
+    out += StrFormat(", \"properties\": {\"pc\": %d, \"var\": %d}}", d.pc,
+                     d.var);
+  }
+  out += diagnostics.empty() ? "]\n" : "\n      ]\n";
+  out +=
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
 Status DiagnosticsToStatus(const std::vector<Diagnostic>& diagnostics,
                            const std::string& context) {
   size_t errors = CountSeverity(diagnostics, Severity::kError);

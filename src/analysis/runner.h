@@ -47,6 +47,16 @@ std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics);
 /// `check`, `pc`, `var`, `message`, `fix_hint` (mal_lint --json).
 std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics);
 
+/// Renders diagnostics as a SARIF 2.1.0 log (mal_lint --sarif) so editors
+/// and CI annotators can ingest lint findings. One run with driver
+/// "mal_lint"; each unique check id becomes a rule (described from the
+/// default suite when known); each diagnostic becomes a result whose region
+/// startLine is pc + 1 (plans are rendered one statement per line).
+/// `artifact_uri` names the analyzed file ("" for in-memory plans). Output
+/// is deterministic for golden-file comparison.
+std::string DiagnosticsToSarif(const std::vector<Diagnostic>& diagnostics,
+                               const std::string& artifact_uri);
+
 /// OkStatus when no diagnostic is an error; otherwise an Internal status
 /// naming `context`, the first error, and how many findings follow. This is
 /// what the optimizer pipeline returns when a pass corrupts the plan.

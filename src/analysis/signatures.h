@@ -2,7 +2,11 @@
 #define STETHO_ANALYSIS_SIGNATURES_H_
 
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "analysis/domain.h"
+#include "storage/value.h"
 
 namespace stetho::analysis {
 
@@ -40,6 +44,24 @@ struct KernelSignature {
   /// optimizer::IsPureOperation; kept separate so the analysis library does
   /// not depend on the optimizer it validates).
   bool side_effect_free = true;
+
+  /// --- Abstract-interpretation metadata (analysis/absint.h) ---
+
+  /// Required element type per argument slot; kNull = unconstrained. Only
+  /// slots without a runtime coercion are constrained (strings, booleans),
+  /// so a violation is a guaranteed kernel error, not a style issue.
+  std::vector<storage::DataType> arg_elem;
+  /// Argument index pairs that must hold equal-cardinality BATs at run time
+  /// (batcalc zip semantics, selectmask, grouped aggregates). Disjoint
+  /// abstract cardinalities are a provable contradiction.
+  std::vector<std::pair<int, int>> equal_card_args;
+  /// Argument slots that must carry a candidate list: an ascending,
+  /// NULL-free bat[:oid]. Feeding a value-domain BAT here silently
+  /// misinterprets values as row ids.
+  std::vector<int> candidate_args;
+  /// Kernel-specific transfer function refining the generic result shapes;
+  /// nullptr falls back to the shape defaults alone.
+  AbstractTransferFn transfer = nullptr;
 };
 
 /// Signature of "module.function", or nullptr for kernels the table does not

@@ -17,16 +17,29 @@
 
 namespace stetho::engine {
 
+/// Bits of ResultColumn::order reserved for the argument index within one
+/// sink instruction; a sink can therefore order at most 2^bits columns.
+/// Shared with the analysis sink-order-key lint check, which flags sinks
+/// whose argument count would overflow this key space.
+inline constexpr int kResultOrderArgBits = 8;
+
+/// The canonical ResultColumn::order key: statement order first, operand
+/// order within the statement second.
+inline constexpr int64_t ResultOrderKey(int pc, size_t arg_index) {
+  return (static_cast<int64_t>(pc) << kResultOrderArgBits) |
+         static_cast<int64_t>(arg_index);
+}
+
 /// Named result column accumulated by sql.resultSet / io.print kernels.
 struct ResultColumn {
   std::string name;
   storage::ColumnPtr column;
   storage::Value scalar;  // used when the result is a scalar
   bool is_scalar = false;
-  /// Plan position of the producing sink ((pc << 8) | arg index). Sink
-  /// instructions are independent, so the dataflow scheduler may run them in
-  /// any order; TakeResults sorts on this key to keep output columns in
-  /// statement order.
+  /// Plan position of the producing sink (ResultOrderKey(pc, arg index)).
+  /// Sink instructions are independent, so the dataflow scheduler may run
+  /// them in any order; TakeResults sorts on this key to keep output columns
+  /// in statement order.
   int64_t order = 0;
 };
 

@@ -50,7 +50,7 @@ Status SqlResultSet(KernelArgs& a) {
   STETHO_ASSIGN_OR_RETURN(std::string name, ArgString(a, 0));
   ResultColumn rc;
   rc.name = std::move(name);
-  rc.order = static_cast<int64_t>(a.ins->pc) << 8;
+  rc.order = ResultOrderKey(a.ins->pc, 0);
   if (a.args[1]->is_bat()) {
     rc.column = a.args[1]->bat;
   } else {
@@ -658,7 +658,7 @@ Status IoPrint(KernelArgs& a) {
   for (size_t i = 0; i < a.args.size(); ++i) {
     ResultColumn rc;
     rc.name = StrFormat("column_%zu", i);
-    rc.order = (static_cast<int64_t>(a.ins->pc) << 8) | static_cast<int64_t>(i);
+    rc.order = ResultOrderKey(a.ins->pc, i);
     if (a.args[i]->is_bat()) {
       rc.column = a.args[i]->bat;
     } else {

@@ -25,6 +25,13 @@ int Program::FindVariable(const std::string& name) const {
   return -1;
 }
 
+void Program::AnnotateCardinality(int var, int64_t lo, int64_t hi) {
+  if (var < 0 || static_cast<size_t>(var) >= variables_.size()) return;
+  if (lo < 0 || hi < lo) return;
+  variables_[static_cast<size_t>(var)].card_lo = lo;
+  variables_[static_cast<size_t>(var)].card_hi = hi;
+}
+
 int Program::Add(std::string module, std::string function,
                  std::vector<int> results, std::vector<Argument> args) {
   Instruction ins;

@@ -16,6 +16,15 @@ struct Variable {
   int id = -1;
   std::string name;  // "X_<id>" unless explicitly named
   MalType type;
+  /// Optional cardinality interval: the row count of a BAT variable is known
+  /// to lie in [card_lo, card_hi]. The SQL compiler annotates catalog reads
+  /// (sql.tid / sql.bind results) with the exact table size; the abstract
+  /// interpreter (analysis/absint.h) propagates the interval through the
+  /// plan. card_lo < 0 means "no annotation".
+  int64_t card_lo = -1;
+  int64_t card_hi = -1;
+
+  bool has_cardinality() const { return card_lo >= 0; }
 };
 
 /// One operand of a MAL instruction: either a variable reference or an
@@ -75,6 +84,9 @@ class Program {
   size_t num_variables() const { return variables_.size(); }
   /// Id of the variable named `name`, or -1.
   int FindVariable(const std::string& name) const;
+  /// Attaches a [lo, hi] cardinality interval to `var` (see
+  /// Variable::card_lo). Out-of-range ids and inverted intervals are ignored.
+  void AnnotateCardinality(int var, int64_t lo, int64_t hi);
 
   /// --- Instructions ---
   /// Appends an instruction; assigns and returns its pc.

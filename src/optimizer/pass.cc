@@ -1,5 +1,8 @@
 #include "optimizer/pass.h"
 
+#include <utility>
+
+#include "analysis/absint.h"
 #include "analysis/runner.h"
 #include "common/string_util.h"
 #include "engine/kernel.h"
@@ -21,6 +24,12 @@ Result<std::vector<std::string>> Pipeline::Run(mal::Program* program) const {
   analysis::CheckContext ctx;
   ctx.program = program;
   ctx.registry = engine::ModuleRegistry::Default();
+  ctx.in_pipeline = true;
+  // Pass-equivalence differ: abstract summary of what the plan outputs
+  // (analysis/absint.h), re-checked after every pass. A pass may refine the
+  // summary (folding, mitosis re-packing) but never contradict it — that
+  // would be a provable change of query results.
+  analysis::PlanSummary summary = analysis::SummarizeObservable(*program);
   for (const auto& pass : passes_) {
     STETHO_ASSIGN_OR_RETURN(bool changed, pass->Run(program));
     // Full lint after every pass (superset of the old Validate() call):
@@ -29,7 +38,14 @@ Result<std::vector<std::string>> Pipeline::Run(mal::Program* program) const {
         analysis::Runner::Default().Run(ctx),
         StrFormat("optimizer pass '%s' produced an invalid plan",
                   pass->name())));
-    if (changed) fired.push_back(pass->name());
+    if (changed) {
+      analysis::PlanSummary rewritten = analysis::SummarizeObservable(*program);
+      STETHO_RETURN_IF_ERROR(analysis::CheckSummaryEquivalence(
+          summary, rewritten,
+          StrFormat("optimizer pass '%s'", pass->name())));
+      summary = std::move(rewritten);  // later passes diff against the refinement
+      fired.push_back(pass->name());
+    }
   }
   return fired;
 }

@@ -91,6 +91,10 @@ class CompileSession {
                   Argument::Const(Value::String(tables_[ti].table->name())),
                   Argument::Const(Value::String(ToLower(column))),
                   Argument::Const(Value::Int(0))});
+    // Catalog ground truth for the abstract interpreter: a bound column has
+    // exactly the table's row count.
+    int64_t rows = static_cast<int64_t>(tables_[ti].table->num_rows());
+    program_.AnnotateCardinality(v, rows, rows);
     bind_cache_[key] = v;
     return v;
   }
@@ -660,6 +664,8 @@ Status CompileSession::SetupTables(const SelectStmt& stmt) {
     program_.Add("sql", "tid", {t.rowmap},
                  {Argument::Var(mvc_), Argument::Const(Value::String("sys")),
                   Argument::Const(Value::String(t.table->name()))});
+    int64_t rows = static_cast<int64_t>(t.table->num_rows());
+    program_.AnnotateCardinality(t.rowmap, rows, rows);
   }
   tables_[0].joined = true;
   return Status::OK();

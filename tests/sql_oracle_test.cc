@@ -7,7 +7,10 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <utility>
 
+#include "analysis/absint.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "engine/interpreter.h"
@@ -208,6 +211,75 @@ TEST_P(SqlOracleTest, OrderByLimitOffset) {
   for (size_t i = 0; i < x->size(); ++i) {
     EXPECT_DOUBLE_EQ(x->DoubleAt(i), sorted[begin + i].x) << sql << " row " << i;
     EXPECT_EQ(a->IntAt(i), sorted[begin + i].a) << sql << " row " << i;
+  }
+}
+
+// Property: ANY subset of the optimizer passes, applied in ANY order, must
+// preserve both the abstract summary of the plan's sink columns (the
+// pipeline differ's contract) and the concrete execution results. This is
+// the external version of the equivalence guarantee Pipeline::Run enforces
+// internally after every pass.
+TEST_P(SqlOracleTest, RandomPipelinesPreserveSemantics) {
+  SplitMix64 rng(GetParam() + 1000);
+  Dataset data = RandomDataset(&rng, 250);
+  for (int trial = 0; trial < 3; ++trial) {
+    Predicate pred = RandomPredicate(&rng);
+    std::string sql = "select a, x from t where " + pred.sql;
+    auto compiled = sql::Compiler::CompileSql(&data.catalog, sql);
+    ASSERT_TRUE(compiled.ok()) << sql << ": " << compiled.status().ToString();
+    mal::Program baseline = compiled.value();  // kept unoptimized
+    mal::Program optimized = compiled.value();
+
+    optimizer::Pipeline pipeline;
+    std::vector<std::unique_ptr<optimizer::Pass>> pool;
+    pool.push_back(optimizer::MakeConstantFoldingPass());
+    pool.push_back(optimizer::MakeCommonSubexpressionPass());
+    pool.push_back(optimizer::MakeDeadCodePass());
+    pool.push_back(
+        optimizer::MakeMitosisPass(2 + static_cast<int>(rng.NextBounded(4))));
+    pool.push_back(optimizer::MakeDataflowMarkerPass());
+    pool.push_back(optimizer::MakeAdminPrunePass());
+    // Random order: Fisher-Yates over the pool, then a random subset.
+    for (size_t i = pool.size(); i > 1; --i) {
+      std::swap(pool[i - 1], pool[rng.NextBounded(i)]);
+    }
+    std::string pass_names;
+    for (auto& pass : pool) {
+      if (!rng.NextBool(0.7)) continue;
+      pass_names += std::string(pass->name()) + " ";
+      pipeline.Add(std::move(pass));
+    }
+
+    analysis::PlanSummary before = analysis::SummarizeObservable(optimized);
+    auto fired = pipeline.Run(&optimized);
+    ASSERT_TRUE(fired.ok())
+        << sql << " [" << pass_names << "]: " << fired.status().ToString();
+    analysis::PlanSummary after = analysis::SummarizeObservable(optimized);
+    Status equivalent =
+        analysis::CheckSummaryEquivalence(before, after, "random pipeline");
+    EXPECT_TRUE(equivalent.ok())
+        << sql << " [" << pass_names << "]: " << equivalent.ToString();
+
+    engine::Interpreter interp(&data.catalog);
+    engine::ExecOptions opts;
+    opts.num_threads = 3;
+    auto r0 = interp.Execute(baseline, opts);
+    auto r1 = interp.Execute(optimized, opts);
+    ASSERT_TRUE(r0.ok()) << sql << ": " << r0.status().ToString();
+    ASSERT_TRUE(r1.ok())
+        << sql << " [" << pass_names << "]: " << r1.status().ToString();
+    const auto& c0 = r0.value().columns;
+    const auto& c1 = r1.value().columns;
+    ASSERT_EQ(c0.size(), c1.size()) << sql << " [" << pass_names << "]";
+    ASSERT_EQ(c0.size(), 2u);
+    ASSERT_EQ(c0[0].column->size(), c1[0].column->size())
+        << sql << " [" << pass_names << "]";
+    for (size_t i = 0; i < c0[0].column->size(); ++i) {
+      EXPECT_EQ(c0[0].column->IntAt(i), c1[0].column->IntAt(i))
+          << sql << " [" << pass_names << "] row " << i;
+      EXPECT_DOUBLE_EQ(c0[1].column->DoubleAt(i), c1[1].column->DoubleAt(i))
+          << sql << " [" << pass_names << "] row " << i;
+    }
   }
 }
 

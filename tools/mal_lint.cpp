@@ -13,6 +13,7 @@
 //
 // Flags:
 //   --json           emit diagnostics as a JSON array instead of text
+//   --sarif          emit diagnostics as a SARIF 2.1.0 log (CI annotators)
 //   --list-checks    print the check catalog and exit
 //
 // Exit status: 0 clean (notes/warnings only), 1 error diagnostics, 2 usage
@@ -39,7 +40,7 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: mal_lint [--json] [--list-checks] "
+               "usage: mal_lint [--json|--sarif] [--list-checks] "
                "[--plan|--dot|--trace] <file>...\n"
                "       kind is inferred from the extension (.dot, .trace; "
                "anything else is a MAL plan)\n");
@@ -73,6 +74,7 @@ InputKind KindFromExtension(const std::string& path) {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool sarif = false;
   InputKind forced = InputKind::kAuto;
   std::vector<std::pair<InputKind, std::string>> inputs;
 
@@ -80,6 +82,8 @@ int main(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--json") == 0) {
       json = true;
+    } else if (std::strcmp(arg, "--sarif") == 0) {
+      sarif = true;
     } else if (std::strcmp(arg, "--list-checks") == 0) {
       return ListChecks();
     } else if (std::strcmp(arg, "--plan") == 0) {
@@ -164,7 +168,12 @@ int main(int argc, char** argv) {
   std::vector<analysis::Diagnostic> diagnostics =
       analysis::Runner::Default().Run(ctx);
 
-  if (json) {
+  if (sarif) {
+    // The first input file names the analyzed artifact in the log.
+    std::fputs(analysis::DiagnosticsToSarif(diagnostics, inputs.front().second)
+                   .c_str(),
+               stdout);
+  } else if (json) {
     std::fputs(analysis::DiagnosticsToJson(diagnostics).c_str(), stdout);
   } else {
     std::fputs(analysis::FormatDiagnostics(diagnostics).c_str(), stdout);
