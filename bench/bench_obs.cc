@@ -1,0 +1,159 @@
+// Experiment OBS (self-observability overhead): the platform that inspects
+// query execution must withstand its own stethoscope. Measures the C4
+// workload (TPC-H q1, mitosis-partitioned, dataflow execution) with
+// observability fully off (the shipped default), with metrics enabled, and
+// with metrics + span tracing + flight recorder enabled — the acceptance
+// bar is <=3% slowdown fully enabled and no measurable change disabled.
+// Micro-benchmarks pin down the per-operation costs behind those ratios.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace {
+
+using namespace stetho;
+
+/// Everything off (kill switch at its default): the baseline the other
+/// configurations are compared against.
+void BM_QueryObsOff(benchmark::State& state) {
+  obs::SetEnabled(false);
+  server::MserverOptions options;
+  options.dop = static_cast<int>(state.range(0));
+  options.mitosis_pieces = 16;
+  auto server = bench::MakeServer(options, /*scale_factor=*/0.02);
+  const std::string sql = tpch::GetQuery("q1").value().sql;
+  for (auto _ : state) {
+    auto outcome = server->ExecuteSql(sql);
+    if (!outcome.ok()) {
+      state.SkipWithError(outcome.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.counters["dop"] = static_cast<double>(options.dop);
+}
+BENCHMARK(BM_QueryObsOff)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Metrics only: kernel-family counters/histograms, pool task latency,
+/// per-pass timing — the clock-reading paths the kill switch gates.
+void BM_QueryObsMetrics(benchmark::State& state) {
+  obs::SetEnabled(true);
+  server::MserverOptions options;
+  options.dop = static_cast<int>(state.range(0));
+  options.mitosis_pieces = 16;
+  auto server = bench::MakeServer(options, /*scale_factor=*/0.02);
+  const std::string sql = tpch::GetQuery("q1").value().sql;
+  for (auto _ : state) {
+    auto outcome = server->ExecuteSql(sql);
+    if (!outcome.ok()) {
+      state.SkipWithError(outcome.status().ToString().c_str());
+      obs::SetEnabled(false);
+      return;
+    }
+    benchmark::DoNotOptimize(outcome);
+  }
+  obs::SetEnabled(false);
+  state.counters["dop"] = static_cast<double>(options.dop);
+}
+BENCHMARK(BM_QueryObsMetrics)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// The full stethoscope turned on itself: metrics + phase/pass/kernel spans
+/// + flight recorder armed. The tracer ring is cleared per iteration so
+/// span accumulation does not distort later iterations.
+void BM_QueryObsFullTrace(benchmark::State& state) {
+  obs::SetEnabled(true);
+  obs::Tracer::Default()->SetEnabled(true);
+  obs::FlightRecorder::Default()->SetEnabled(true);
+  server::MserverOptions options;
+  options.dop = static_cast<int>(state.range(0));
+  options.mitosis_pieces = 16;
+  auto server = bench::MakeServer(options, /*scale_factor=*/0.02);
+  const std::string sql = tpch::GetQuery("q1").value().sql;
+  int64_t spans = 0;
+  for (auto _ : state) {
+    obs::Tracer::Default()->Clear();
+    auto outcome = server->ExecuteSql(sql);
+    if (!outcome.ok()) {
+      state.SkipWithError(outcome.status().ToString().c_str());
+      break;
+    }
+    spans = static_cast<int64_t>(obs::Tracer::Default()->size());
+    benchmark::DoNotOptimize(outcome);
+  }
+  obs::FlightRecorder::Default()->SetEnabled(false);
+  obs::Tracer::Default()->SetEnabled(false);
+  obs::Tracer::Default()->Clear();
+  obs::SetEnabled(false);
+  state.counters["dop"] = static_cast<double>(options.dop);
+  state.counters["spans_per_query"] = static_cast<double>(spans);
+}
+BENCHMARK(BM_QueryObsFullTrace)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- Micro costs behind the ratios above ----------------------------------
+
+void BM_CounterIncrement(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Counter* counter = registry.GetOrCreateCounter("bench_total", "b");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  benchmark::DoNotOptimize(counter->value());
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Histogram* hist = registry.GetOrCreateHistogram(
+      "bench_usec", "b", obs::Histogram::DefaultLatencyBounds());
+  int64_t v = 0;
+  for (auto _ : state) {
+    hist->Observe(v++ & 1023);
+  }
+  benchmark::DoNotOptimize(hist->count());
+}
+BENCHMARK(BM_HistogramObserve);
+
+/// The cost every instrumented site pays when the platform ships with
+/// observability off: one null/enabled check, nothing else.
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::Tracer tracer;  // disabled
+  for (auto _ : state) {
+    obs::Span span(&tracer, "parse", "phase");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.SetEnabled(true);
+  for (auto _ : state) {
+    obs::Span span(&tracer, "parse", "phase");
+    benchmark::DoNotOptimize(&span);
+  }
+  benchmark::DoNotOptimize(tracer.total_recorded());
+}
+BENCHMARK(BM_SpanEnabled);
+
+/// Steady-state metric resolution (the map hit instrumented code takes once
+/// per query, not per instruction).
+void BM_RegistryGetOrCreateHit(benchmark::State& state) {
+  obs::Registry registry;
+  registry.GetOrCreateCounter("bench_hit_total", "b");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        registry.GetOrCreateCounter("bench_hit_total", "b"));
+  }
+}
+BENCHMARK(BM_RegistryGetOrCreateHit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -7,6 +7,7 @@
 #include "dot/graph.h"
 #include "engine/kernel.h"
 #include "mal/program.h"
+#include "obs/span.h"
 #include "profiler/event.h"
 
 namespace stetho::analysis {
@@ -21,6 +22,10 @@ struct CheckContext {
   const dot::Graph* graph = nullptr;
   const std::vector<profiler::TraceEvent>* trace = nullptr;
   const engine::ModuleRegistry* registry = nullptr;
+  /// Platform spans (obs tracer snapshot or a parsed Chrome trace export);
+  /// lets checks cross-validate the profiler's event stream against the
+  /// platform's own self-observation.
+  const std::vector<obs::SpanRecord>* spans = nullptr;
   /// True when the optimizer pipeline lints between passes. Checks may relax
   /// severities for states that are routine mid-rewrite (e.g. dead code a
   /// later pass removes) but hazards in a final plan.
@@ -33,6 +38,7 @@ enum CheckInputs : unsigned {
   kNeedsGraph = 1u << 1,
   kNeedsTrace = 1u << 2,
   kNeedsRegistry = 1u << 3,
+  kNeedsSpans = 1u << 4,
 };
 
 /// One pluggable static-analysis rule over plans, plan graphs, and traces.

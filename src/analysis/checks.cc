@@ -660,6 +660,97 @@ class TraceConformanceCheck final : public Check {
   }
 };
 
+// ---------------------------------------------------------------------------
+// trace-span-conformance
+// ---------------------------------------------------------------------------
+
+/// Cross-validates the profiler's event stream against the platform's own
+/// span tracer: an instruction that emitted a start/done pair must appear as
+/// exactly one "kernel" span (same pc, same logical thread id) in the
+/// exported platform trace. A mismatch means one of the two observability
+/// channels lost or duplicated work — precisely the silent divergence a
+/// debugging session must not build on.
+class TraceSpanConformanceCheck final : public Check {
+ public:
+  const char* id() const override { return "trace-span-conformance"; }
+  const char* description() const override {
+    return "every profiler start/done pc pair is covered by exactly one "
+           "kernel span with a matching thread id";
+  }
+  unsigned needs() const override { return kNeedsTrace | kNeedsSpans; }
+
+  void Run(const CheckContext& ctx, std::vector<Diagnostic>* out) const override {
+    Emitter emit(id(), out);
+
+    // Executed instructions according to the profiler: pcs with a done
+    // event, keyed to the thread that ran them. (Unpaired events are
+    // trace-conformance's findings, not duplicated here.)
+    struct PcTrace {
+      int dones = 0;
+      int thread = 0;
+    };
+    std::map<int, PcTrace> executed;
+    for (const TraceEvent& e : *ctx.trace) {
+      if (e.pc < 0 || e.state != EventState::kDone) continue;
+      PcTrace& t = executed[e.pc];
+      ++t.dones;
+      t.thread = e.thread;
+    }
+
+    struct PcSpans {
+      int count = 0;
+      int tid = 0;
+    };
+    std::map<int, PcSpans> kernel_spans;
+    for (const obs::SpanRecord& span : *ctx.spans) {
+      if (span.cat != "kernel") continue;  // phases/passes have no pc pairing
+      if (span.pc < 0) {
+        emit.Emit(Severity::kError, -1, -1,
+                  StrFormat("kernel span \"%s\" carries no pc — it cannot be "
+                            "matched to a profiler event pair",
+                            Ellipsize(span.name).c_str()));
+        continue;
+      }
+      PcSpans& s = kernel_spans[span.pc];
+      ++s.count;
+      s.tid = span.tid;
+    }
+
+    for (const auto& [pc, traced] : executed) {
+      auto it = kernel_spans.find(pc);
+      int spans = it == kernel_spans.end() ? 0 : it->second.count;
+      if (spans != traced.dones) {
+        emit.Emit(Severity::kError, pc, -1,
+                  StrFormat("profiler saw %d execution(s) but the platform "
+                            "trace has %d kernel span(s)",
+                            traced.dones, spans),
+                  spans < traced.dones
+                      ? "the span ring may have overflowed (Tracer::dropped())"
+                      : "trace and spans come from different runs");
+        continue;
+      }
+      if (it != kernel_spans.end() && it->second.tid != traced.thread) {
+        emit.Emit(Severity::kError, pc, -1,
+                  StrFormat("thread id diverges: profiler event says %d, "
+                            "kernel span says %d — the span tracer must "
+                            "preserve the trace thread contract",
+                            traced.thread, it->second.tid));
+      }
+    }
+    // Spans with no profiler pair: the profiler filter may legitimately have
+    // suppressed those events, so this direction is only a warning.
+    for (const auto& [pc, spans] : kernel_spans) {
+      if (executed.find(pc) == executed.end()) {
+        emit.Emit(Severity::kWarning, pc, -1,
+                  StrFormat("%d kernel span(s) have no profiler start/done "
+                            "pair",
+                            spans.count),
+                  "a profiler filter may have dropped the events");
+      }
+    }
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<Check> MakeDefBeforeUseCheck() {
@@ -686,6 +777,9 @@ std::unique_ptr<Check> MakeDotContractCheck() {
 std::unique_ptr<Check> MakeTraceConformanceCheck() {
   return std::make_unique<TraceConformanceCheck>();
 }
+std::unique_ptr<Check> MakeTraceSpanConformanceCheck() {
+  return std::make_unique<TraceSpanConformanceCheck>();
+}
 
 std::vector<std::unique_ptr<Check>> AllChecks() {
   std::vector<std::unique_ptr<Check>> checks;
@@ -697,6 +791,7 @@ std::vector<std::unique_ptr<Check>> AllChecks() {
   checks.push_back(MakeSinkOrderKeyCheck());
   checks.push_back(MakeDotContractCheck());
   checks.push_back(MakeTraceConformanceCheck());
+  checks.push_back(MakeTraceSpanConformanceCheck());
   // Abstract-interpretation checks (checks_absint.cc).
   checks.push_back(MakeTypeFlowCheck());
   checks.push_back(MakeCardinalityContradictionCheck());

@@ -26,6 +26,9 @@ namespace stetho::analysis {
 ///                           match dataflow dependencies (graph [+ program])
 ///   trace-conformance       one start/done pair per pc, monotonic clock,
 ///                           pc in range, stmt matches plan (trace [+ both])
+///   trace-span-conformance  every profiler start/done pc pair is covered by
+///                           exactly one kernel span in an exported platform
+///                           trace, with matching thread id (trace + spans)
 ///
 /// Abstract-interpretation checks (analysis/absint.h over the transfer
 /// functions in analysis/signatures.cc; all need a mal::Program):
@@ -49,6 +52,7 @@ std::unique_ptr<Check> MakeBatLifetimeCheck();
 std::unique_ptr<Check> MakeSinkOrderKeyCheck();
 std::unique_ptr<Check> MakeDotContractCheck();
 std::unique_ptr<Check> MakeTraceConformanceCheck();
+std::unique_ptr<Check> MakeTraceSpanConformanceCheck();
 std::unique_ptr<Check> MakeTypeFlowCheck();
 std::unique_ptr<Check> MakeCardinalityContradictionCheck();
 std::unique_ptr<Check> MakeGuaranteedEmptyCheck();

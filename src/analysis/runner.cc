@@ -15,6 +15,7 @@ bool NeedsSatisfied(unsigned needs, const CheckContext& ctx) {
   if ((needs & kNeedsGraph) != 0 && ctx.graph == nullptr) return false;
   if ((needs & kNeedsTrace) != 0 && ctx.trace == nullptr) return false;
   if ((needs & kNeedsRegistry) != 0 && ctx.registry == nullptr) return false;
+  if ((needs & kNeedsSpans) != 0 && ctx.spans == nullptr) return false;
   return true;
 }
 

@@ -3,12 +3,15 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "engine/worker_pool.h"
+#include "obs/metrics.h"
 
 namespace stetho::engine {
 namespace {
@@ -28,6 +31,14 @@ struct RunState {
 
   std::vector<RegisterValue> registers;
   std::vector<std::string> stmt_text;          // rendered once per pc
+
+  // Observability, resolved once per Execute so the per-instruction hot path
+  // touches only stable pointers. tracer is non-null only when span
+  // recording is on; the family vectors are empty unless obs::Active().
+  obs::Tracer* tracer = nullptr;
+  std::vector<std::string> span_names;          // per-pc "module.function"
+  std::vector<obs::Counter*> family_calls;      // per-pc kernel-family counter
+  std::vector<obs::Histogram*> family_usec;     // per-pc kernel-family latency
   std::vector<std::atomic<int>> var_consumers;  // pending readers per variable
   std::atomic<int64_t> live_bytes{0};
   std::atomic<int64_t> peak_bytes{0};
@@ -164,6 +175,21 @@ Status RunInstruction(RunState* state, int pc, int thread_id) {
   if (prof != nullptr) {
     prof->EmitDone(pc, thread_id, t1 - t0, stat.rss_after_bytes, stmt);
   }
+
+  // Kernel-family metrics and the kernel span both reuse t0/t1 — tracing an
+  // instruction adds no clock read beyond what the stats above already paid.
+  if (!state->family_calls.empty()) {
+    if (obs::Counter* calls = state->family_calls[static_cast<size_t>(pc)]) {
+      calls->Increment();
+    }
+    if (obs::Histogram* usec = state->family_usec[static_cast<size_t>(pc)]) {
+      usec->Observe(t1 - t0);
+    }
+  }
+  if (state->tracer != nullptr) {
+    state->tracer->RecordComplete(state->span_names[static_cast<size_t>(pc)],
+                                  "kernel", thread_id, pc, t0, t1 - t0);
+  }
   return Status::OK();
 }
 
@@ -226,10 +252,65 @@ void RunDataflowTask(RunState* state, int pc, int slot) {
   }
 }
 
+/// Makes an arbitrary module name safe for a metric name (the registry
+/// aborts on malformed names, and module names come from parsed MAL text).
+std::string MetricToken(const std::string& module) {
+  std::string out;
+  out.reserve(module.size());
+  for (char c : module) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "unknown";
+  return out;
+}
+
+/// Resolves per-kernel-family counters/histograms into per-pc vectors, one
+/// registry lookup per distinct module in the plan.
+void ResolveFamilyMetrics(RunState* state, const mal::Program& program) {
+  obs::Registry* registry = obs::Registry::Default();
+  std::map<std::string, std::pair<obs::Counter*, obs::Histogram*>> families;
+  state->family_calls.resize(program.size(), nullptr);
+  state->family_usec.resize(program.size(), nullptr);
+  for (size_t pc = 0; pc < program.size(); ++pc) {
+    const std::string& module = program.instruction(pc).module;
+    auto [it, inserted] = families.try_emplace(module);
+    if (inserted) {
+      std::string token = MetricToken(module);
+      it->second.first = registry->GetOrCreateCounter(
+          "stetho_kernel_" + token + "_calls_total",
+          "Kernel invocations in MAL module '" + module + "'");
+      it->second.second = registry->GetOrCreateHistogram(
+          "stetho_kernel_" + token + "_usec",
+          "Kernel latency in microseconds for MAL module '" + module + "'",
+          obs::Histogram::DefaultLatencyBounds());
+    }
+    state->family_calls[pc] = it->second.first;
+    state->family_usec[pc] = it->second.second;
+  }
+}
+
 }  // namespace
 
 Result<QueryResult> Interpreter::Execute(const mal::Program& program,
                                          const ExecOptions& options) const {
+  Result<QueryResult> result = ExecuteInternal(program, options);
+  if (!result.ok()) {
+    obs::FlightRecorder* recorder = options.recorder != nullptr
+                                        ? options.recorder
+                                        : obs::FlightRecorder::Default();
+    if (recorder->enabled()) {
+      std::string reason = "query aborted: " + result.status().ToString();
+      recorder->Note(reason);
+      recorder->Dump(reason);
+    }
+  }
+  return result;
+}
+
+Result<QueryResult> Interpreter::ExecuteInternal(
+    const mal::Program& program, const ExecOptions& options) const {
   STETHO_RETURN_IF_ERROR(program.Validate());
 
   Clock* clock = options.clock != nullptr
@@ -257,6 +338,17 @@ Result<QueryResult> Interpreter::Execute(const mal::Program& program,
       }
     }
   }
+
+  obs::Tracer* tracer =
+      options.tracer != nullptr ? options.tracer : obs::Tracer::Default();
+  if (tracer->enabled()) {
+    state.tracer = tracer;
+    state.span_names.reserve(program.size());
+    for (const mal::Instruction& ins : program.instructions()) {
+      state.span_names.push_back(ins.module + "." + ins.function);
+    }
+  }
+  if (obs::Active()) ResolveFamilyMetrics(&state, program);
 
   int64_t run_start = clock->NowMicros();
 

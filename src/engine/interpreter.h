@@ -7,6 +7,8 @@
 #include "common/status.h"
 #include "engine/kernel.h"
 #include "mal/program.h"
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
 #include "profiler/profiler.h"
 #include "storage/table.h"
 
@@ -32,6 +34,14 @@ struct ExecOptions {
   Clock* clock = nullptr;
   /// Synthetic per-instruction padding (µs), for deterministic trace tests.
   int64_t pad_instruction_usec = 0;
+  /// Span tracer receiving one "kernel" span per executed instruction
+  /// (thread-tagged with the query-local slot, so exported traces keep the
+  /// profiler's thread contract); nullptr = obs::Tracer::Default(). Spans
+  /// are recorded only while the tracer is enabled.
+  obs::Tracer* tracer = nullptr;
+  /// Flight recorder dumped when the query aborts with an error;
+  /// nullptr = obs::FlightRecorder::Default(). No-op while disabled.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 /// Post-mortem per-instruction record kept by the interpreter (independent
@@ -74,6 +84,9 @@ class Interpreter {
   storage::Catalog* catalog() const { return catalog_; }
 
  private:
+  Result<QueryResult> ExecuteInternal(const mal::Program& program,
+                                      const ExecOptions& options) const;
+
   storage::Catalog* catalog_;
   const ModuleRegistry* registry_;
 };

@@ -1,5 +1,6 @@
 #include "engine/worker_pool.h"
 
+#include "common/clock.h"
 #include "common/logging.h"
 
 namespace stetho::engine {
@@ -13,6 +14,22 @@ thread_local int tls_worker = -1;
 
 WorkerPool::WorkerPool(int max_workers)
     : max_workers_(max_workers < 1 ? 1 : max_workers) {
+  obs::Registry* registry = obs::Registry::Default();
+  steals_ = registry->GetOrCreateCounter(
+      "stetho_pool_steals_total",
+      "Tasks obtained by stealing from another worker's deque");
+  executed_ = registry->GetOrCreateCounter(
+      "stetho_pool_executed_total", "Tasks executed by pool workers");
+  wakeups_ = registry->GetOrCreateCounter(
+      "stetho_pool_wakeups_total", "Idle workers woken by Submit");
+  queue_depth_ = registry->GetOrCreateGauge(
+      "stetho_pool_queue_depth",
+      "Queued-but-unclaimed tasks, sampled when a worker acquires one");
+  task_usec_ = registry->GetOrCreateHistogram(
+      "stetho_pool_task_usec",
+      "Task execution latency in microseconds (recorded while observability "
+      "is enabled)",
+      obs::Histogram::DefaultLatencyBounds());
   // All Worker slots exist up front so Submit/steal never race a vector
   // reallocation; threads are attached lazily by EnsureWorkers.
   workers_.reserve(static_cast<size_t>(max_workers_));
@@ -74,6 +91,7 @@ void WorkerPool::Submit(Task task) {
   // before parking or we observe sleepers_ > 0 here — never neither.
   pending_.fetch_add(1, std::memory_order_seq_cst);
   if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    wakeups_->Increment();
     std::lock_guard<std::mutex> lock(idle_mu_);
     idle_cv_.notify_one();
   }
@@ -87,7 +105,7 @@ bool WorkerPool::TryAcquire(int index, Task* out) {
     if (!own.queue.empty()) {
       *out = std::move(own.queue.front());
       own.queue.pop_front();
-      pending_.fetch_sub(1, std::memory_order_relaxed);
+      queue_depth_->Set(pending_.fetch_sub(1, std::memory_order_relaxed) - 1);
       return true;
     }
   }
@@ -99,8 +117,8 @@ bool WorkerPool::TryAcquire(int index, Task* out) {
     if (!victim.queue.empty()) {
       *out = std::move(victim.queue.back());
       victim.queue.pop_back();
-      pending_.fetch_sub(1, std::memory_order_relaxed);
-      steals_.fetch_add(1, std::memory_order_relaxed);
+      queue_depth_->Set(pending_.fetch_sub(1, std::memory_order_relaxed) - 1);
+      steals_->Increment();
       return true;
     }
   }
@@ -113,8 +131,16 @@ void WorkerPool::WorkerMain(int index) {
   Task task;
   while (true) {
     if (TryAcquire(index, &task)) {
-      executed_.fetch_add(1, std::memory_order_relaxed);
-      task();
+      executed_->Increment();
+      if (obs::Active()) {
+        // The latency histogram is the only pool stat that reads the clock,
+        // so it alone hides behind the kill switch.
+        int64_t t0 = SteadyClock::Default()->NowMicros();
+        task();
+        task_usec_->Observe(SteadyClock::Default()->NowMicros() - t0);
+      } else {
+        task();
+      }
       task = nullptr;
       continue;
     }

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace stetho::engine {
 
 /// A persistent, process-wide pool of dataflow worker threads.
@@ -54,12 +56,14 @@ class WorkerPool {
   void Submit(Task task);
 
   int num_workers() const { return started_.load(std::memory_order_acquire); }
-  /// Tasks obtained by stealing from another worker's deque (stat; tests).
-  int64_t steal_count() const { return steals_.load(std::memory_order_relaxed); }
-  /// Total tasks executed (stat; tests).
-  int64_t executed_count() const {
-    return executed_.load(std::memory_order_relaxed);
-  }
+  /// Tasks obtained by stealing from another worker's deque. Backed by the
+  /// process-wide `stetho_pool_steals_total` registry counter (shared across
+  /// pool instances); kept as an accessor for tests and callers that predate
+  /// the registry.
+  int64_t steal_count() const { return steals_->value(); }
+  /// Total tasks executed; backed by `stetho_pool_executed_total` (same
+  /// process-wide sharing caveat as steal_count()).
+  int64_t executed_count() const { return executed_->value(); }
 
  private:
   struct Worker {
@@ -75,8 +79,14 @@ class WorkerPool {
   const int max_workers_;
   std::atomic<int> started_{0};     // workers visible to Submit/stealing
   std::atomic<int> next_victim_{0}; // round-robin submission cursor
-  std::atomic<int64_t> steals_{0};
-  std::atomic<int64_t> executed_{0};
+  // Pool statistics live in the process-wide metrics registry (one relaxed
+  // fetch_add, same cost as the ad-hoc atomics they replaced). The latency
+  // histogram alone reads the clock, so it is gated on obs::Active().
+  obs::Counter* steals_;
+  obs::Counter* executed_;
+  obs::Counter* wakeups_;
+  obs::Gauge* queue_depth_;
+  obs::Histogram* task_usec_;
   std::atomic<int64_t> pending_{0}; // queued-but-unclaimed tasks
   std::atomic<bool> stop_{false};
 

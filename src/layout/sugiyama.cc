@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/span.h"
+
 namespace stetho::layout {
 namespace {
 
@@ -34,6 +36,7 @@ double Barycenter(const std::vector<int>& neighbors,
 
 Result<GraphLayout> LayoutGraph(const dot::Graph& graph,
                                 const LayoutOptions& options) {
+  obs::Span span(obs::Tracer::Default(), "layout", "phase");
   GraphLayout layout;
   size_t n = graph.num_nodes();
   layout.nodes.resize(n);

@@ -4,11 +4,13 @@
 #include <map>
 
 #include "common/string_util.h"
+#include "obs/span.h"
 
 namespace stetho::layout {
 
 std::string LayoutToSvg(const dot::Graph& graph, const GraphLayout& layout,
                         const SvgOptions& options) {
+  obs::Span span(obs::Tracer::Default(), "svg", "phase");
   std::string out = StrFormat(
       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" "
       "height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n",

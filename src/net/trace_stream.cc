@@ -1,8 +1,28 @@
 #include "net/trace_stream.h"
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace stetho::net {
+namespace {
+
+obs::Counter* TraceDroppedCounter() {
+  static obs::Counter* counter = obs::Registry::Default()->GetOrCreateCounter(
+      "stetho_net_trace_dropped_total",
+      "Profiler trace events lost by datagram sinks (send failed or "
+      "truncated)");
+  return counter;
+}
+
+}  // namespace
+
+void DatagramTraceSink::Consume(const profiler::TraceEvent& event) {
+  Status st = sender_->Send(profiler::FormatTraceLine(event));
+  if (!st.ok()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    TraceDroppedCounter()->Increment();
+  }
+}
 
 Status SendDotFile(DatagramSender* sender, const std::string& query_name,
                    const std::string& dot_content) {

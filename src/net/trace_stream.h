@@ -1,6 +1,8 @@
 #ifndef STETHO_NET_TRACE_STREAM_H_
 #define STETHO_NET_TRACE_STREAM_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -34,16 +36,21 @@ class DatagramTraceSink : public profiler::EventSink {
   explicit DatagramTraceSink(std::shared_ptr<DatagramSender> sender)
       : sender_(std::move(sender)) {}
 
-  void Consume(const profiler::TraceEvent& event) override {
-    // Best-effort, like the UDP stream in the paper: send failures are
-    // dropped events, not engine errors.
-    (void)sender_->Send(profiler::FormatTraceLine(event));
+  /// Best-effort, like the UDP stream in the paper: a failed or truncated
+  /// send is a dropped event, not an engine error — but it is counted here
+  /// and in `stetho_net_trace_dropped_total`, never silently lost.
+  void Consume(const profiler::TraceEvent& event) override;
+
+  /// Events whose datagram was not (fully) delivered to the socket.
+  int64_t dropped() const override {
+    return dropped_.load(std::memory_order_relaxed);
   }
 
   DatagramSender* sender() const { return sender_.get(); }
 
  private:
   std::shared_ptr<DatagramSender> sender_;
+  std::atomic<int64_t> dropped_{0};
 };
 
 /// Sends a dot file over the stream using the framing above.

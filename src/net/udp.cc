@@ -9,12 +9,32 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace stetho::net {
 namespace {
 
 Status Errno(const char* what) {
   return Status::IoError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+obs::Counter* SentCounter() {
+  static obs::Counter* counter = obs::Registry::Default()->GetOrCreateCounter(
+      "stetho_net_datagrams_sent_total", "UDP datagrams fully sent");
+  return counter;
+}
+
+obs::Counter* RecvCounter() {
+  static obs::Counter* counter = obs::Registry::Default()->GetOrCreateCounter(
+      "stetho_net_datagrams_recv_total", "UDP datagrams received");
+  return counter;
+}
+
+obs::Counter* FailedCounter() {
+  static obs::Counter* counter = obs::Registry::Default()->GetOrCreateCounter(
+      "stetho_net_datagrams_failed_total",
+      "UDP sends that errored or were truncated by the kernel");
+  return counter;
 }
 
 sockaddr_in LoopbackAddr(uint16_t port) {
@@ -74,6 +94,7 @@ Result<bool> UdpReceiver::Receive(std::string* payload, int timeout_ms) {
   // wake-up datagram (or any payload) must not be delivered post-close.
   if (closed_.load()) return Status::Aborted("receiver closed");
   payload->assign(buf, static_cast<size_t>(n));
+  RecvCounter()->Increment();
   return true;
 }
 
@@ -107,7 +128,19 @@ Result<std::unique_ptr<UdpSender>> UdpSender::Connect(uint16_t port) {
 Status UdpSender::Send(const std::string& payload) {
   if (fd_ < 0) return Status::Aborted("sender closed");
   ssize_t n = ::send(fd_, payload.data(), payload.size(), 0);
-  if (n < 0) return Errno("send");
+  if (n < 0) {
+    FailedCounter()->Increment();
+    return Errno("send");
+  }
+  // A short write on a datagram socket truncates the payload: the receiver
+  // gets a corrupt trace line. The seed reported this as success — which is
+  // exactly the silent data loss the dropped() counters exist to surface.
+  if (static_cast<size_t>(n) != payload.size()) {
+    FailedCounter()->Increment();
+    return Status::IoError(
+        StrFormat("short send: %zd of %zu bytes", n, payload.size()));
+  }
+  SentCounter()->Increment();
   return Status::OK();
 }
 

@@ -1,0 +1,46 @@
+#include "obs/span.h"
+
+namespace stetho::obs {
+
+void Tracer::RecordComplete(std::string_view name, std::string_view cat,
+                            int tid, int pc, int64_t start_us,
+                            int64_t dur_us) {
+  if (!enabled()) return;
+  SpanRecord rec;
+  rec.name.assign(name.data(), name.size());
+  rec.cat.assign(cat.data(), cat.size());
+  rec.tid = tid;
+  rec.pc = pc;
+  rec.start_us = start_us;
+  rec.dur_us = dur_us;
+  std::lock_guard<std::mutex> lock(mu_);
+  rec.seq = next_seq_++;
+  ring_.push_back(std::move(rec));
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SpanRecord>(ring_.begin(), ring_.end());
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+Tracer* Tracer::Default() {
+  static Tracer tracer;
+  return &tracer;
+}
+
+}  // namespace stetho::obs

@@ -1,0 +1,29 @@
+#ifndef STETHO_OBS_TRACE_EXPORT_H_
+#define STETHO_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/span.h"
+
+namespace stetho::obs {
+
+/// Renders spans as Chrome trace-event JSON (the `traceEvents` array format
+/// chrome://tracing and Perfetto load). Every span becomes one complete
+/// ("ph":"X") event carrying its category, thread id, and — for kernel
+/// spans — the plan pc in `args`. Spans are emitted in record (seq) order,
+/// so output is deterministic for golden tests.
+std::string WriteChromeTrace(const std::vector<SpanRecord>& spans);
+
+/// Parses a Chrome trace-event JSON document back into spans. Accepts both
+/// the `{"traceEvents": [...]}` object form WriteChromeTrace emits and a
+/// bare event array; events other than "ph":"X" are skipped. ParseError on
+/// malformed JSON. This closes the loop for the trace-span-conformance lint
+/// check, which cross-validates an exported trace against a profiler trace.
+Result<std::vector<SpanRecord>> ParseChromeTrace(std::string_view json);
+
+}  // namespace stetho::obs
+
+#endif  // STETHO_OBS_TRACE_EXPORT_H_

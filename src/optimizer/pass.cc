@@ -6,8 +6,55 @@
 #include "analysis/runner.h"
 #include "common/string_util.h"
 #include "engine/kernel.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace stetho::optimizer {
+namespace {
+
+/// Pass names use '-' (e.g. "dead-code"); metric names may not.
+std::string PassToken(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+obs::Counter* PassesFiredCounter() {
+  static obs::Counter* counter = obs::Registry::Default()->GetOrCreateCounter(
+      "stetho_opt_passes_fired_total",
+      "Optimizer passes that changed a plan (any pass, any pipeline)");
+  return counter;
+}
+
+obs::Histogram* PassUsecHistogram() {
+  static obs::Histogram* histogram =
+      obs::Registry::Default()->GetOrCreateHistogram(
+          "stetho_opt_pass_usec",
+          "Optimizer pass duration in microseconds (recorded while "
+          "observability is enabled)",
+          obs::Histogram::DefaultLatencyBounds());
+  return histogram;
+}
+
+/// Ships the failure with its context: the flight recorder's dump carries
+/// the recent spans (which pass ran when) and the full metrics snapshot.
+Status DumpAndReturn(Status st) {
+  obs::FlightRecorder* recorder = obs::FlightRecorder::Default();
+  if (recorder->enabled()) {
+    std::string reason = "optimizer pipeline failed: " + st.ToString();
+    recorder->Note(reason);
+    recorder->Dump(reason);
+  }
+  return st;
+}
+
+}  // namespace
 
 bool IsPureOperation(const std::string& module, const std::string& function) {
   if (module == "io" || module == "debug" || module == "language") return false;
@@ -30,21 +77,43 @@ Result<std::vector<std::string>> Pipeline::Run(mal::Program* program) const {
   // summary (folding, mitosis re-packing) but never contradict it — that
   // would be a provable change of query results.
   analysis::PlanSummary summary = analysis::SummarizeObservable(*program);
+  obs::Tracer* tracer = obs::Tracer::Default();
+  // Counters are always on (one relaxed increment when a pass fires); the
+  // duration histogram and pass spans read the clock, so they gate on the
+  // kill switch / tracer enablement.
+  const bool timed = obs::Active() || tracer->enabled();
   for (const auto& pass : passes_) {
+    int64_t t0 = timed ? tracer->clock()->NowMicros() : 0;
     STETHO_ASSIGN_OR_RETURN(bool changed, pass->Run(program));
+    if (timed) {
+      int64_t dur = tracer->clock()->NowMicros() - t0;
+      if (obs::Active()) PassUsecHistogram()->Observe(dur);
+      if (tracer->enabled()) {
+        tracer->RecordComplete("pass:" + std::string(pass->name()), "pass", 0,
+                               -1, t0, dur);
+      }
+    }
     // Full lint after every pass (superset of the old Validate() call):
     // a failure names the pass, the check, and the offending pc/variable.
-    STETHO_RETURN_IF_ERROR(analysis::DiagnosticsToStatus(
+    Status lint = analysis::DiagnosticsToStatus(
         analysis::Runner::Default().Run(ctx),
         StrFormat("optimizer pass '%s' produced an invalid plan",
-                  pass->name())));
+                  pass->name()));
+    if (!lint.ok()) return DumpAndReturn(std::move(lint));
     if (changed) {
       analysis::PlanSummary rewritten = analysis::SummarizeObservable(*program);
-      STETHO_RETURN_IF_ERROR(analysis::CheckSummaryEquivalence(
-          summary, rewritten,
-          StrFormat("optimizer pass '%s'", pass->name())));
+      Status equiv = analysis::CheckSummaryEquivalence(
+          summary, rewritten, StrFormat("optimizer pass '%s'", pass->name()));
+      if (!equiv.ok()) return DumpAndReturn(std::move(equiv));
       summary = std::move(rewritten);  // later passes diff against the refinement
       fired.push_back(pass->name());
+      PassesFiredCounter()->Increment();
+      obs::Registry::Default()
+          ->GetOrCreateCounter(
+              "stetho_opt_pass_" + PassToken(pass->name()) + "_fired_total",
+              "Times optimizer pass '" + std::string(pass->name()) +
+                  "' changed a plan")
+          ->Increment();
     }
   }
   return fired;

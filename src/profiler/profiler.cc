@@ -1,6 +1,27 @@
 #include "profiler/profiler.h"
 
+#include "obs/metrics.h"
+
 namespace stetho::profiler {
+namespace {
+
+// Process-wide mirrors of the per-instance emitted/filtered stats, so the
+// metrics exposition shows profiler throughput without a Profiler* in hand.
+obs::Counter* EmittedCounter() {
+  static obs::Counter* counter = obs::Registry::Default()->GetOrCreateCounter(
+      "stetho_profiler_events_emitted_total",
+      "Profiler events delivered to sinks (post-filter)");
+  return counter;
+}
+
+obs::Counter* FilteredCounter() {
+  static obs::Counter* counter = obs::Registry::Default()->GetOrCreateCounter(
+      "stetho_profiler_events_filtered_total",
+      "Profiler events suppressed by the active filter");
+  return counter;
+}
+
+}  // namespace
 
 std::shared_ptr<const Profiler::Dispatch> Profiler::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -52,9 +73,11 @@ void Profiler::EmitImpl(TraceEvent& event, std::string_view stmt) {
   std::shared_ptr<const Dispatch> dispatch = Snapshot();
   if (!dispatch->filter.Matches(event, stmt)) {
     filtered_.fetch_add(1, std::memory_order_relaxed);
+    FilteredCounter()->Increment();
     return;
   }
   emitted_.fetch_add(1, std::memory_order_relaxed);
+  EmittedCounter()->Increment();
   event.stmt.assign(stmt.data(), stmt.size());
   for (const auto& sink : dispatch->sinks) sink->Consume(event);
 }

@@ -1,12 +1,28 @@
 #include "profiler/sink.h"
 
+#include "obs/metrics.h"
+
 namespace stetho::profiler {
+namespace {
+
+obs::Counter* RingDroppedCounter() {
+  static obs::Counter* counter = obs::Registry::Default()->GetOrCreateCounter(
+      "stetho_profiler_ring_dropped_total",
+      "Profiler events evicted from ring-buffer sinks by overwrite");
+  return counter;
+}
+
+}  // namespace
 
 void RingBufferSink::Consume(const TraceEvent& event) {
   std::lock_guard<std::mutex> lock(mu_);
   buffer_.push_back(event);
   ++total_;
-  while (buffer_.size() > capacity_) buffer_.pop_front();
+  while (buffer_.size() > capacity_) {
+    buffer_.pop_front();
+    ++dropped_;
+    RingDroppedCounter()->Increment();
+  }
 }
 
 std::vector<TraceEvent> RingBufferSink::Snapshot() const {
@@ -22,6 +38,11 @@ size_t RingBufferSink::size() const {
 int64_t RingBufferSink::total_consumed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_;
+}
+
+int64_t RingBufferSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 void RingBufferSink::Clear() {

@@ -22,6 +22,10 @@ class EventSink {
   virtual void Consume(const TraceEvent& event) = 0;
   /// Flushes buffered output (file/stream sinks).
   virtual Status Flush() { return Status::OK(); }
+  /// Events this sink consumed but could not retain or deliver (ring
+  /// overwrites, failed/short datagrams). 0 for sinks that never drop.
+  /// Anything nonzero means the trace a client sees is incomplete.
+  virtual int64_t dropped() const { return 0; }
 };
 
 /// Keeps the most recent `capacity` events in memory. This backs both unit
@@ -38,6 +42,10 @@ class RingBufferSink : public EventSink {
   size_t size() const;
   /// Total number of events ever consumed (including evicted ones).
   int64_t total_consumed() const;
+  /// Events evicted by ring overwrite — silently lost to any reader that
+  /// snapshots later. Also counted process-wide as
+  /// `stetho_profiler_ring_dropped_total`.
+  int64_t dropped() const override;
   void Clear();
 
  private:
@@ -45,6 +53,7 @@ class RingBufferSink : public EventSink {
   size_t capacity_;
   std::deque<TraceEvent> buffer_;
   int64_t total_ = 0;
+  int64_t dropped_ = 0;
 };
 
 /// Appends FormatTraceLine output to a file — the paper's offline "dumped in

@@ -61,13 +61,22 @@ Result<OnlineReport> OnlineMonitor::MonitorQuery(const std::string& sql) {
       }
     }
     // A failed compilation never emits a dot file — surface the error
-    // instead of waiting out the deadline.
+    // instead of waiting out the deadline. A *successful* query may finish
+    // before the listener thread has drained the channel, so only a
+    // processed %EOF with no completed dot proves the server never sent
+    // one (delivery is ordered: dot, trace events, EOF).
     if (query_done.load(std::memory_order_acquire) &&
         textual.CompletedDots().empty()) {
-      query_thread.join();
-      server_->DetachStreams();
-      if (!query_status.ok()) return query_status;
-      return Status::Internal("query finished without emitting a dot file");
+      if (!query_status.ok()) {
+        query_thread.join();
+        server_->DetachStreams();
+        return query_status;
+      }
+      if (!textual.FinishedQueries().empty()) {
+        query_thread.join();
+        server_->DetachStreams();
+        return Status::Internal("query finished without emitting a dot file");
+      }
     }
     if (std::chrono::steady_clock::now() > deadline) {
       query_thread.join();

@@ -6,6 +6,7 @@
 #include "dot/writer.h"
 #include "engine/worker_pool.h"
 #include "net/trace_stream.h"
+#include "obs/span.h"
 
 namespace stetho::server {
 
@@ -41,12 +42,23 @@ Result<QueryOutcome> Mserver::ExecuteSql(const std::string& sql) {
   outcome.sql = sql;
   outcome.name = StrFormat("s%d", next_query_.fetch_add(1));
 
-  STETHO_ASSIGN_OR_RETURN(mal::Program program,
-                          sql::Compiler::CompileSql(&catalog_, sql));
+  // Phase spans bracket the query lifecycle on the server's own timeline;
+  // kernel spans from the interpreter nest inside "execute". All no-ops
+  // while the default tracer is disabled.
+  obs::Tracer* tracer = obs::Tracer::Default();
+
+  mal::Program program;
+  {
+    obs::Span parse_span(tracer, "parse", "phase");
+    STETHO_ASSIGN_OR_RETURN(program, sql::Compiler::CompileSql(&catalog_, sql));
+  }
   program.set_function_name("user." + outcome.name);
-  optimizer::Pipeline pipeline =
-      optimizer::Pipeline::Default(options_.mitosis_pieces);
-  STETHO_ASSIGN_OR_RETURN(outcome.optimizer_passes, pipeline.Run(&program));
+  {
+    obs::Span optimize_span(tracer, "optimize", "phase");
+    optimizer::Pipeline pipeline =
+        optimizer::Pipeline::Default(options_.mitosis_pieces);
+    STETHO_ASSIGN_OR_RETURN(outcome.optimizer_passes, pipeline.Run(&program));
+  }
 
   // The server generates the dot file before execution begins and pushes it
   // over every attached stream.
@@ -66,7 +78,10 @@ Result<QueryOutcome> Mserver::ExecuteSql(const std::string& sql) {
   exec.use_dataflow = !options_.force_sequential;
   exec.clock = clock_;
   exec.profiler = &profiler_;
-  STETHO_ASSIGN_OR_RETURN(outcome.result, interp.Execute(program, exec));
+  {
+    obs::Span execute_span(tracer, "execute", "phase");
+    STETHO_ASSIGN_OR_RETURN(outcome.result, interp.Execute(program, exec));
+  }
   outcome.plan = std::move(program);
 
   {
@@ -88,6 +103,10 @@ void Mserver::DetachStreams() {
   profiler_.ClearSinks();
   std::lock_guard<std::mutex> lock(stream_mu_);
   streams_.clear();
+}
+
+std::string Mserver::MetricsText() const {
+  return obs::Registry::Default()->ExpositionText();
 }
 
 Status Mserver::SetProfilerFilter(const std::string& serialized) {

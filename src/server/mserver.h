@@ -11,6 +11,7 @@
 #include "engine/interpreter.h"
 #include "mal/program.h"
 #include "net/datagram.h"
+#include "obs/metrics.h"
 #include "optimizer/pass.h"
 #include "profiler/profiler.h"
 #include "sql/compiler.h"
@@ -76,6 +77,12 @@ class Mserver {
   /// Applies a serialized filter (EventFilter::Serialize format) —
   /// "The profiler accepts filter options set through Stethoscope".
   Status SetProfilerFilter(const std::string& serialized);
+
+  /// Server-side metrics dump command: the process-wide registry in
+  /// Prometheus text exposition format (pool, kernel, optimizer, profiler,
+  /// and net counters), for clients that poll server health the way
+  /// Stethoscope polls the event stream.
+  std::string MetricsText() const;
 
   storage::Catalog* catalog() { return &catalog_; }
   const MserverOptions& options() const { return options_; }

@@ -508,7 +508,7 @@ TEST(RunnerTest, SkipsChecksWithMissingInputs) {
 }
 
 TEST(RunnerTest, DefaultSuiteHasAllChecks) {
-  EXPECT_EQ(Runner::Default().size(), 13u);
+  EXPECT_EQ(Runner::Default().size(), 14u);
 }
 
 TEST(RunnerTest, SortsErrorsFirstThenByPc) {

@@ -3,13 +3,16 @@
 //   mal_lint [flags] <file>...
 //
 // Input kinds are inferred from the extension and can be forced with flags:
-//   *.dot            parsed with dot::ParseDot       (--dot <file>)
-//   *.trace          read with scope::ReadTraceFile  (--trace <file>)
-//   anything else    parsed with mal::ParseProgram   (--plan <file>)
+//   *.dot            parsed with dot::ParseDot        (--dot <file>)
+//   *.trace          read with scope::ReadTraceFile   (--trace <file>)
+//   *.json           obs::ParseChromeTrace span export (--spans <file>)
+//   anything else    parsed with mal::ParseProgram    (--plan <file>)
 //
 // All inputs are linted together in one analysis::CheckContext, so passing a
 // plan + dot + trace triple cross-validates the pc ↔ "nN" ↔ label contract
-// and the start/done pairing of the trace against the plan.
+// and the start/done pairing of the trace against the plan; adding a Chrome
+// trace export (stethoscope --trace-json) checks the profiler stream against
+// the platform's own kernel spans (trace-span-conformance).
 //
 // Flags:
 //   --json           emit diagnostics as a JSON array instead of text
@@ -32,6 +35,7 @@
 #include "dot/parser.h"
 #include "engine/kernel.h"
 #include "mal/parser.h"
+#include "obs/trace_export.h"
 #include "scope/trace.h"
 
 using namespace stetho;
@@ -41,9 +45,10 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: mal_lint [--json|--sarif] [--list-checks] "
-               "[--plan|--dot|--trace] <file>...\n"
-               "       kind is inferred from the extension (.dot, .trace; "
-               "anything else is a MAL plan)\n");
+               "[--plan|--dot|--trace|--spans] <file>...\n"
+               "       kind is inferred from the extension (.dot, .trace, "
+               ".json for Chrome-trace span exports; anything else is a MAL "
+               "plan)\n");
   return 2;
 }
 
@@ -62,11 +67,12 @@ Result<std::string> ReadWholeFile(const std::string& path) {
   return buffer.str();
 }
 
-enum class InputKind { kAuto, kPlan, kDot, kTrace };
+enum class InputKind { kAuto, kPlan, kDot, kTrace, kSpans };
 
 InputKind KindFromExtension(const std::string& path) {
   if (EndsWith(path, ".dot")) return InputKind::kDot;
   if (EndsWith(path, ".trace")) return InputKind::kTrace;
+  if (EndsWith(path, ".json")) return InputKind::kSpans;
   return InputKind::kPlan;
 }
 
@@ -92,6 +98,8 @@ int main(int argc, char** argv) {
       forced = InputKind::kDot;
     } else if (std::strcmp(arg, "--trace") == 0) {
       forced = InputKind::kTrace;
+    } else if (std::strcmp(arg, "--spans") == 0) {
+      forced = InputKind::kSpans;
     } else if (arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return Usage();
@@ -107,6 +115,7 @@ int main(int argc, char** argv) {
   std::optional<mal::Program> program;
   std::optional<dot::Graph> graph;
   std::optional<std::vector<profiler::TraceEvent>> trace;
+  std::optional<std::vector<obs::SpanRecord>> spans;
 
   for (const auto& [kind, path] : inputs) {
     switch (kind) {
@@ -152,6 +161,22 @@ int main(int argc, char** argv) {
         trace = std::move(events).value();
         break;
       }
+      case InputKind::kSpans: {
+        auto text = ReadWholeFile(path);
+        if (!text.ok()) {
+          std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                       text.status().ToString().c_str());
+          return 2;
+        }
+        auto parsed = obs::ParseChromeTrace(text.value());
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                       parsed.status().ToString().c_str());
+          return 2;
+        }
+        spans = std::move(parsed).value();
+        break;
+      }
       case InputKind::kAuto:
         break;  // unreachable
     }
@@ -164,6 +189,7 @@ int main(int argc, char** argv) {
   }
   if (graph.has_value()) ctx.graph = &graph.value();
   if (trace.has_value()) ctx.trace = &trace.value();
+  if (spans.has_value()) ctx.spans = &spans.value();
 
   std::vector<analysis::Diagnostic> diagnostics =
       analysis::Runner::Default().Run(ctx);

@@ -15,6 +15,9 @@
 //   --mitosis <int>    mitosis partitions           (default 8)
 //   --seed <int>       data generator seed          (default 19920712)
 //   --sequential       force sequential execution (the anomaly)
+//   --metrics          print the metrics registry (Prometheus text) on exit
+//   --trace-json <f>   record platform spans; write Chrome trace JSON to <f>
+//                      (load in Perfetto / chrome://tracing)
 //
 // A SQL argument that names a built-in query ("q1", "paper"...) is expanded
 // to its text.
@@ -25,6 +28,12 @@
 
 #include "common/string_util.h"
 #include "dot/parser.h"
+#include "layout/sugiyama.h"
+#include "layout/svg.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
 #include "profiler/sink.h"
 #include "scope/analysis.h"
 #include "scope/online.h"
@@ -47,6 +56,8 @@ struct CliOptions {
   int mitosis = 8;
   uint64_t seed = 19920712;
   bool sequential = false;
+  bool metrics = false;
+  std::string trace_json;  // empty = span recording off
 };
 
 int Fail(const Status& st) {
@@ -58,7 +69,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: stethoscope [flags] <explain|run|record|replay|"
                "monitor|queries> [args]\n"
-               "flags: --sf N  --dop N  --mitosis N  --seed N  --sequential\n");
+               "flags: --sf N  --dop N  --mitosis N  --seed N  --sequential\n"
+               "       --metrics  --trace-json FILE\n");
   return 2;
 }
 
@@ -129,6 +141,19 @@ int CmdRun(const CliOptions& cli, const std::string& sql) {
   server->profiler()->AddSink(ring);
   auto outcome = server->ExecuteSql(ResolveSql(sql));
   if (!outcome.ok()) return Fail(outcome.status());
+  if (obs::Tracer::Default()->enabled()) {
+    // With span recording on, also run the visualization pipeline over the
+    // plan's dot file so one invocation traces the full platform lifecycle:
+    // parse → optimize → execute → layout → svg.
+    auto graph = dot::ParseDot(outcome.value().dot);
+    if (graph.ok()) {
+      auto layout = layout::LayoutGraph(graph.value(), layout::LayoutOptions());
+      if (layout.ok()) {
+        (void)layout::LayoutToSvg(graph.value(), layout.value(),
+                                  layout::SvgOptions());
+      }
+    }
+  }
   std::printf("%s", server::FormatResultTable(outcome.value().result).c_str());
   std::printf("%lld us, plan of %zu instructions, peak memory %lld bytes\n",
               static_cast<long long>(outcome.value().result.total_usec),
@@ -269,24 +294,54 @@ int main(int argc, char** argv) {
       cli.seed = static_cast<uint64_t>(std::atoll(v));
     } else if (flag == "--sequential") {
       cli.sequential = true;
+    } else if (flag == "--metrics") {
+      cli.metrics = true;
+    } else if (flag == "--trace-json") {
+      const char* v = next();
+      if (!v) return Usage();
+      cli.trace_json = v;
     } else {
       break;  // subcommand
     }
   }
   if (i >= argc) return Usage();
+  if (cli.metrics || !cli.trace_json.empty()) {
+    // Opt in to the paid observability paths (latency histograms, pass
+    // timing) and to flight-recorder dumps on query aborts.
+    obs::SetEnabled(true);
+    obs::FlightRecorder::Default()->SetEnabled(true);
+  }
+  if (!cli.trace_json.empty()) obs::Tracer::Default()->SetEnabled(true);
   std::string cmd = argv[i++];
   auto arg = [&](int k) -> const char* {
     return i + k < argc ? argv[i + k] : nullptr;
   };
 
-  if (cmd == "queries") return CmdQueries();
-  if (cmd == "explain" && arg(0)) return CmdExplain(cli, arg(0));
-  if (cmd == "run" && arg(0)) return CmdRun(cli, arg(0));
-  if (cmd == "record" && arg(0) && arg(1)) {
-    return CmdRecord(cli, arg(0), arg(1));
+  int rc = [&]() -> int {
+    if (cmd == "queries") return CmdQueries();
+    if (cmd == "explain" && arg(0)) return CmdExplain(cli, arg(0));
+    if (cmd == "run" && arg(0)) return CmdRun(cli, arg(0));
+    if (cmd == "record" && arg(0) && arg(1)) {
+      return CmdRecord(cli, arg(0), arg(1));
+    }
+    if (cmd == "replay" && arg(0) && arg(1)) return CmdReplay(arg(0), arg(1));
+    if (cmd == "session" && arg(0) && arg(1)) return CmdSession(arg(0), arg(1));
+    if (cmd == "monitor" && arg(0)) return CmdMonitor(cli, arg(0));
+    return Usage();
+  }();
+
+  if (!cli.trace_json.empty()) {
+    std::ofstream out(cli.trace_json);
+    if (!out) {
+      return Fail(Status::IoError("cannot write " + cli.trace_json));
+    }
+    out << obs::WriteChromeTrace(obs::Tracer::Default()->Snapshot());
+    std::fprintf(stderr,
+                 "wrote %s (%zu spans; open in Perfetto or chrome://tracing)\n",
+                 cli.trace_json.c_str(), obs::Tracer::Default()->size());
   }
-  if (cmd == "replay" && arg(0) && arg(1)) return CmdReplay(arg(0), arg(1));
-  if (cmd == "session" && arg(0) && arg(1)) return CmdSession(arg(0), arg(1));
-  if (cmd == "monitor" && arg(0)) return CmdMonitor(cli, arg(0));
-  return Usage();
+  if (cli.metrics) {
+    std::printf("%s", obs::Registry::Default()->ExpositionText().c_str());
+  }
+  return rc;
 }
