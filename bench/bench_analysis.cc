@@ -9,13 +9,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "analysis/absint.h"
+#include "analysis/hb.h"
 #include "analysis/runner.h"
 #include "bench_util.h"
+#include "common/clock.h"
+#include "engine/interpreter.h"
 #include "engine/kernel.h"
 #include "optimizer/pass.h"
+#include "profiler/profiler.h"
+#include "profiler/sink.h"
 #include "sql/compiler.h"
 
 namespace {
@@ -77,6 +84,40 @@ void BM_SummaryDiff(benchmark::State& state, const char* query_id) {
   state.counters["plan_instructions"] = static_cast<double>(plan.size());
 }
 
+/// Happens-before schedule replay cost on a real trace: execute the
+/// expanded plan once under the dataflow scheduler (dop 4) with profiling
+/// on, then measure AnalyzeSchedule over the captured events. Shape
+/// expectation: O(events * avg-indegree) — one pass over the sorted trace,
+/// each start joining its producers' vector clocks (the events and
+/// avg_indegree counters make the bound checkable across Args).
+void BM_HbReplay(benchmark::State& state, const char* query_id) {
+  mal::Program plan = ExpandedPlan(query_id, static_cast<int>(state.range(0)));
+  storage::Catalog& catalog = bench::SharedCatalog(0.01);
+  profiler::Profiler prof(SteadyClock::Default());
+  auto ring = std::make_shared<profiler::RingBufferSink>(1 << 16);
+  prof.AddSink(ring);
+  engine::Interpreter interp(&catalog);
+  engine::ExecOptions opts;
+  opts.num_threads = 4;
+  opts.profiler = &prof;
+  auto r = interp.Execute(plan, opts);
+  if (!r.ok()) {
+    state.SkipWithError(r.status().ToString().c_str());
+    return;
+  }
+  std::vector<profiler::TraceEvent> trace = ring->Snapshot();
+  analysis::ScheduleReport report;
+  for (auto _ : state) {
+    report = analysis::AnalyzeSchedule(plan, trace);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["events"] = static_cast<double>(trace.size());
+  state.counters["avg_indegree"] = report.avg_indegree;
+  state.counters["plan_instructions"] = static_cast<double>(plan.size());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(trace.size()));
+}
+
 /// End-to-end: compile + full default pipeline, which now re-lints and
 /// re-diffs the plan after every pass that fired.
 void BM_PipelineWithDiffer(benchmark::State& state, const char* query_id) {
@@ -105,6 +146,8 @@ void BM_AbsintQ3(benchmark::State& state) { BM_AbstractInterpret(state, "q3"); }
 void BM_LintQ1(benchmark::State& state) { BM_LintSuite(state, "q1"); }
 void BM_LintQ3(benchmark::State& state) { BM_LintSuite(state, "q3"); }
 void BM_DiffQ1(benchmark::State& state) { BM_SummaryDiff(state, "q1"); }
+void BM_HbReplayQ1(benchmark::State& state) { BM_HbReplay(state, "q1"); }
+void BM_HbReplayQ3(benchmark::State& state) { BM_HbReplay(state, "q3"); }
 void BM_PipelineQ1(benchmark::State& state) {
   BM_PipelineWithDiffer(state, "q1");
 }
@@ -117,6 +160,8 @@ BENCHMARK(BM_AbsintQ3)->Arg(0)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_LintQ1)->Arg(0)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_LintQ3)->Arg(0)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_DiffQ1)->Arg(0)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HbReplayQ1)->Arg(0)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HbReplayQ3)->Arg(0)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_PipelineQ1)->Arg(0)->Arg(8)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PipelineQ6)->Arg(0)->Arg(8)->Unit(benchmark::kMillisecond);
 

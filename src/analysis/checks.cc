@@ -690,8 +690,16 @@ class TraceSpanConformanceCheck final : public Check {
       int thread = 0;
     };
     std::map<int, PcTrace> executed;
+    // First start event per pc: the thread contract stamps start and done
+    // with the same query-local admission slot, even when work stealing
+    // moves the instruction between pool workers.
+    std::map<int, int> start_thread;
     for (const TraceEvent& e : *ctx.trace) {
-      if (e.pc < 0 || e.state != EventState::kDone) continue;
+      if (e.pc < 0) continue;
+      if (e.state != EventState::kDone) {
+        start_thread.emplace(e.pc, e.thread);
+        continue;
+      }
       PcTrace& t = executed[e.pc];
       ++t.dones;
       t.thread = e.thread;
@@ -717,6 +725,16 @@ class TraceSpanConformanceCheck final : public Check {
     }
 
     for (const auto& [pc, traced] : executed) {
+      auto started = start_thread.find(pc);
+      if (started != start_thread.end() && started->second != traced.thread) {
+        emit.Emit(Severity::kError, pc, -1,
+                  StrFormat("start and done events disagree on the thread id "
+                            "(%d vs %d) — both must carry the query-local "
+                            "admission slot",
+                            started->second, traced.thread),
+                  "the emitter must stamp the pair with one slot even when "
+                  "a stolen task runs on another pool worker");
+      }
       auto it = kernel_spans.find(pc);
       int spans = it == kernel_spans.end() ? 0 : it->second.count;
       if (spans != traced.dones) {
@@ -792,6 +810,12 @@ std::vector<std::unique_ptr<Check>> AllChecks() {
   checks.push_back(MakeDotContractCheck());
   checks.push_back(MakeTraceConformanceCheck());
   checks.push_back(MakeTraceSpanConformanceCheck());
+  // Happens-before schedule checks (checks_hb.cc).
+  checks.push_back(MakeTraceDependencyViolationCheck());
+  checks.push_back(MakeTraceWriteRaceCheck());
+  checks.push_back(MakeSpanInterleavingCheck());
+  checks.push_back(MakeTraceClockMonotonicityCheck());
+  checks.push_back(MakeScheduleSerializationCheck());
   // Abstract-interpretation checks (checks_absint.cc).
   checks.push_back(MakeTypeFlowCheck());
   checks.push_back(MakeCardinalityContradictionCheck());

@@ -30,6 +30,23 @@ namespace stetho::analysis {
 ///                           exactly one kernel span in an exported platform
 ///                           trace, with matching thread id (trace + spans)
 ///
+/// Happens-before schedule checks (analysis/hb.h replay of the trace
+/// against the SSA def/use DAG; see checks_hb.cc):
+///   trace-dependency-violation  no start event precedes any producer's done
+///                               event; also flags inverted intervals and
+///                               surplus start/done pairs (program + trace)
+///   trace-write-race            no two HB-unordered instructions touch one
+///                               BAT variable with a writer among them
+///                               (program + trace)
+///   span-interleaving           kernel spans sharing one query-local tid
+///                               nest; partial overlap means broken slot
+///                               accounting (spans)
+///   trace-clock-monotonicity    per-thread timestamps never regress in
+///                               emission order (trace)
+///   schedule-serialization      note: plan admits width >= 2 and dop >= 2
+///                               was configured, yet the observed schedule
+///                               is fully serial (program + trace)
+///
 /// Abstract-interpretation checks (analysis/absint.h over the transfer
 /// functions in analysis/signatures.cc; all need a mal::Program):
 ///   type-flow                   computed element types match declarations
@@ -53,6 +70,11 @@ std::unique_ptr<Check> MakeSinkOrderKeyCheck();
 std::unique_ptr<Check> MakeDotContractCheck();
 std::unique_ptr<Check> MakeTraceConformanceCheck();
 std::unique_ptr<Check> MakeTraceSpanConformanceCheck();
+std::unique_ptr<Check> MakeTraceDependencyViolationCheck();
+std::unique_ptr<Check> MakeTraceWriteRaceCheck();
+std::unique_ptr<Check> MakeSpanInterleavingCheck();
+std::unique_ptr<Check> MakeTraceClockMonotonicityCheck();
+std::unique_ptr<Check> MakeScheduleSerializationCheck();
 std::unique_ptr<Check> MakeTypeFlowCheck();
 std::unique_ptr<Check> MakeCardinalityContradictionCheck();
 std::unique_ptr<Check> MakeGuaranteedEmptyCheck();

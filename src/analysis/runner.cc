@@ -42,7 +42,7 @@ void AppendJsonString(const std::string& s, std::string* out) {
         break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
-          out->append(StrFormat("\\u%04x", c));
+          out->append(StrFormat("\\u%04x", static_cast<unsigned char>(c)));
         } else {
           out->push_back(c);
         }
@@ -188,8 +188,10 @@ std::string DiagnosticsToSarif(const std::vector<Diagnostic>& diagnostics,
       }
       if (d.pc >= 0) {
         if (need_comma) out += ", ";
-        // pc N renders on line N + 1 of the plan listing.
-        out += StrFormat("\"region\": {\"startLine\": %d}", d.pc + 1);
+        // SARIF regions are 1-based (§3.30.5): pc N renders on line N + 1
+        // of the plan listing, and statements start in column 1.
+        out += StrFormat(
+            "\"region\": {\"startLine\": %d, \"startColumn\": 1}", d.pc + 1);
       }
       out += "}}]";
     }
@@ -202,6 +204,82 @@ std::string DiagnosticsToSarif(const std::vector<Diagnostic>& diagnostics,
       "  ]\n"
       "}\n";
   return out;
+}
+
+std::string DiagnosticFingerprint(const Diagnostic& diagnostic) {
+  std::string normalized;
+  normalized.reserve(diagnostic.message.size());
+  bool in_digits = false;
+  for (char c : diagnostic.message) {
+    if (c >= '0' && c <= '9') {
+      if (!in_digits) normalized.push_back('#');
+      in_digits = true;
+    } else {
+      normalized.push_back(c);
+      in_digits = false;
+    }
+  }
+  return StrFormat("%s:%d:%s", diagnostic.check_id.c_str(), diagnostic.pc,
+                   normalized.c_str());
+}
+
+std::string FormatBaseline(const std::vector<Diagnostic>& diagnostics) {
+  std::vector<std::string> fingerprints;
+  fingerprints.reserve(diagnostics.size());
+  for (const Diagnostic& d : diagnostics) {
+    fingerprints.push_back(DiagnosticFingerprint(d));
+  }
+  std::sort(fingerprints.begin(), fingerprints.end());
+  fingerprints.erase(std::unique(fingerprints.begin(), fingerprints.end()),
+                     fingerprints.end());
+  std::string out =
+      "# mal_lint baseline: one fingerprint (check:pc:normalized-message) "
+      "per line.\n";
+  for (const std::string& fp : fingerprints) {
+    out += fp;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::string> ParseBaseline(const std::string& text) {
+  std::vector<std::string> fingerprints;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    fingerprints.push_back(std::move(line));
+    if (eol == text.size()) break;
+  }
+  return fingerprints;
+}
+
+std::vector<Diagnostic> ApplyBaseline(
+    std::vector<Diagnostic> diagnostics,
+    const std::vector<std::string>& baseline) {
+  if (baseline.empty()) return diagnostics;
+  auto suppressed = [&baseline](const Diagnostic& d) {
+    return std::find(baseline.begin(), baseline.end(),
+                     DiagnosticFingerprint(d)) != baseline.end();
+  };
+  diagnostics.erase(
+      std::remove_if(diagnostics.begin(), diagnostics.end(), suppressed),
+      diagnostics.end());
+  return diagnostics;
+}
+
+bool AnyAtOrAbove(const std::vector<Diagnostic>& diagnostics,
+                  Severity threshold) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity >= threshold) return true;
+  }
+  return false;
 }
 
 Status DiagnosticsToStatus(const std::vector<Diagnostic>& diagnostics,

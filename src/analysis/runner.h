@@ -50,12 +50,37 @@ std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics);
 /// Renders diagnostics as a SARIF 2.1.0 log (mal_lint --sarif) so editors
 /// and CI annotators can ingest lint findings. One run with driver
 /// "mal_lint"; each unique check id becomes a rule (described from the
-/// default suite when known); each diagnostic becomes a result whose region
-/// startLine is pc + 1 (plans are rendered one statement per line).
-/// `artifact_uri` names the analyzed file ("" for in-memory plans). Output
-/// is deterministic for golden-file comparison.
+/// default suite when known) and every result's `ruleIndex` points at its
+/// rule's position in that array. Regions are 1-based per §3.30: pc N
+/// renders as startLine N + 1 (plans are one statement per line) with
+/// startColumn 1. `artifact_uri` names the analyzed file ("" for in-memory
+/// plans). Output is deterministic for golden-file comparison.
 std::string DiagnosticsToSarif(const std::vector<Diagnostic>& diagnostics,
                                const std::string& artifact_uri);
+
+/// Stable fingerprint for baseline suppression (mal_lint --baseline):
+/// check id + pc + the message with every digit run collapsed to "#", so a
+/// finding keeps its identity when counts, timestamps, or variable numbers
+/// in the message drift between runs.
+std::string DiagnosticFingerprint(const Diagnostic& diagnostic);
+
+/// Renders diagnostics as a baseline file: one fingerprint per line,
+/// deduplicated, sorted (mal_lint --write-baseline).
+std::string FormatBaseline(const std::vector<Diagnostic>& diagnostics);
+
+/// Parses a baseline file: one fingerprint per line; blank lines and
+/// '#'-prefixed comment lines are ignored.
+std::vector<std::string> ParseBaseline(const std::string& text);
+
+/// Removes diagnostics whose fingerprint appears in `baseline`, so CI gates
+/// on new findings only.
+std::vector<Diagnostic> ApplyBaseline(std::vector<Diagnostic> diagnostics,
+                                      const std::vector<std::string>& baseline);
+
+/// True when any diagnostic is at or above `threshold` — the
+/// mal_lint --fail-on exit-code test.
+bool AnyAtOrAbove(const std::vector<Diagnostic>& diagnostics,
+                  Severity threshold);
 
 /// OkStatus when no diagnostic is an error; otherwise an Internal status
 /// naming `context`, the first error, and how many findings follow. This is

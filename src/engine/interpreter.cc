@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "engine/worker_pool.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace stetho::engine {
@@ -51,6 +52,12 @@ struct RunState {
   std::vector<std::atomic<int>> indegree;
   std::atomic<bool> abort{false};
 
+  // Scheduler self-check state (SchedSelfCheckEnabled() at Execute time):
+  // producers holds the inverse dependency lists, completed flips after an
+  // instruction ran. Both empty/unused when the check is off.
+  std::vector<std::vector<int>> producers;
+  std::vector<std::atomic<bool>> completed;
+
   // Admission state (guarded by job_mu): at most `dop` instructions of this
   // query are in flight on the shared pool, each carrying a "slot" — the
   // virtual thread id in [0, dop) recorded in stats and trace events, so
@@ -67,7 +74,7 @@ struct RunState {
   Status error;
 
   RunState(size_t num_vars, size_t num_ins)
-      : var_consumers(num_vars), indegree(num_ins) {}
+      : var_consumers(num_vars), indegree(num_ins), completed(num_ins) {}
 
   void AddLiveBytes(int64_t delta) {
     int64_t now = live_bytes.fetch_add(delta, std::memory_order_relaxed) + delta;
@@ -214,8 +221,38 @@ void PumpLocked(RunState* state) {
 /// mid-flight with queued dependents can never leave Execute hanging.
 void RunDataflowTask(RunState* state, int pc, int slot) {
   Status st;
-  if (!state->abort.load(std::memory_order_acquire)) {
+  // Debug-gated scheduler self-check: a dispatched task's producers must
+  // all have completed. A violation is a scheduler bug (dispatch past an
+  // unfinished dependency), so record it, dump the flight recorder for
+  // context, and abort the query instead of reading a half-built register.
+  if (!state->producers.empty()) {
+    for (int q : state->producers[static_cast<size_t>(pc)]) {
+      if (state->completed[static_cast<size_t>(q)].load(
+              std::memory_order_acquire)) {
+        continue;
+      }
+      static obs::Counter* violations =
+          obs::Registry::Default()->GetOrCreateCounter(
+              "stetho_sched_selfcheck_violations_total",
+              "Dataflow tasks dispatched before a producer completed "
+              "(STETHO_SCHED_SELFCHECK)");
+      violations->Increment();
+      std::string what = StrFormat(
+          "sched-selfcheck: pc=%d dispatched before producer pc=%d "
+          "completed", pc, q);
+      obs::FlightRecorder* recorder = obs::FlightRecorder::Default();
+      recorder->Note(what);
+      recorder->Dump("sched-selfcheck violation");
+      st = Status::Internal(what);
+      break;
+    }
+  }
+  if (st.ok() && !state->abort.load(std::memory_order_acquire)) {
     st = RunInstruction(state, pc, slot);
+    if (st.ok() && !state->completed.empty()) {
+      state->completed[static_cast<size_t>(pc)].store(
+          true, std::memory_order_release);
+    }
   }
 
   // Unlock dependents outside the job lock. The acq_rel decrement chains
@@ -377,6 +414,7 @@ Result<QueryResult> Interpreter::ExecuteInternal(
     }
 
     std::vector<std::vector<int>> deps = program.BuildDependencies();
+    if (SchedSelfCheckEnabled()) state.producers = deps;
     state.dependents.resize(program.size());
     for (size_t pc = 0; pc < program.size(); ++pc) {
       state.indegree[pc].store(static_cast<int>(deps[pc].size()),

@@ -1,5 +1,7 @@
 #include "engine/worker_pool.h"
 
+#include <cstdlib>
+
 #include "common/clock.h"
 #include "common/logging.h"
 
@@ -10,7 +12,23 @@ namespace {
 thread_local const WorkerPool* tls_pool = nullptr;
 thread_local int tls_worker = -1;
 
+std::atomic<bool>& SchedSelfCheckFlag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("STETHO_SCHED_SELFCHECK");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  return flag;
+}
+
 }  // namespace
+
+bool SchedSelfCheckEnabled() {
+  return SchedSelfCheckFlag().load(std::memory_order_relaxed);
+}
+
+void SetSchedSelfCheck(bool enabled) {
+  SchedSelfCheckFlag().store(enabled, std::memory_order_relaxed);
+}
 
 WorkerPool::WorkerPool(int max_workers)
     : max_workers_(max_workers < 1 ? 1 : max_workers) {

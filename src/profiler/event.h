@@ -28,7 +28,14 @@ struct TraceEvent {
   int64_t event = 0;       ///< global sequence number ("event" attribute)
   int64_t time_us = 0;     ///< server clock at emission, microseconds
   int pc = 0;              ///< program counter: index into the MAL plan
-  int thread = 0;          ///< executing worker thread id
+  int thread = 0;          ///< query-local admission slot in [0, dop). The
+                           ///< contract: the start and the done event of one
+                           ///< pc carry the SAME slot, even when work
+                           ///< stealing runs them on different pool workers
+                           ///< (the interpreter stamps both from the slot it
+                           ///< acquired at dispatch), so per-thread analysis
+                           ///< keeps its per-query meaning. Checked by
+                           ///< trace-span-conformance.
   EventState state = EventState::kStart;
   int64_t usec = 0;        ///< instruction elapsed time (0 for start events)
   int64_t rss_bytes = 0;   ///< engine-wide live column memory at emission

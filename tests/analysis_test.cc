@@ -508,7 +508,7 @@ TEST(RunnerTest, SkipsChecksWithMissingInputs) {
 }
 
 TEST(RunnerTest, DefaultSuiteHasAllChecks) {
-  EXPECT_EQ(Runner::Default().size(), 14u);
+  EXPECT_EQ(Runner::Default().size(), 19u);
 }
 
 TEST(RunnerTest, SortsErrorsFirstThenByPc) {
@@ -798,6 +798,113 @@ TEST(SignatureTableTest, CoversEveryRegisteredKernel) {
               nullptr)
         << "registered kernel " << name << " missing from the signature table";
   }
+}
+
+// ---------------------------------------------------------------------------
+// SARIF schema shape, fingerprints, and baselines
+// ---------------------------------------------------------------------------
+
+// Minimal structural audit against SARIF 2.1.0: regions are 1-based with an
+// explicit startColumn, every result's ruleIndex points at the entry in the
+// rules array whose id matches its ruleId, and rules appear in
+// first-appearance order. (Full-output fidelity is the golden-file test in
+// absint_test.cc.)
+TEST(SarifSchemaShapeTest, RuleIndexAndRegionsAreConsistent) {
+  std::vector<Diagnostic> diags(3);
+  diags[0].severity = Severity::kError;
+  diags[0].check_id = "trace-dependency-violation";
+  diags[0].pc = 0;
+  diags[0].message = "first";
+  diags[1].severity = Severity::kWarning;
+  diags[1].check_id = "type-flow";
+  diags[1].pc = 4;
+  diags[1].message = "second";
+  diags[2].severity = Severity::kNote;
+  diags[2].check_id = "trace-dependency-violation";
+  diags[2].pc = 9;
+  diags[2].message = "third";
+  std::string sarif = analysis::DiagnosticsToSarif(diags, "p.mal");
+
+  // Rules: first-appearance order, each id exactly once.
+  size_t rule0 = sarif.find("{\"id\": \"trace-dependency-violation\"");
+  size_t rule1 = sarif.find("{\"id\": \"type-flow\"");
+  ASSERT_NE(rule0, std::string::npos);
+  ASSERT_NE(rule1, std::string::npos);
+  EXPECT_LT(rule0, rule1);
+  EXPECT_EQ(sarif.find("{\"id\": \"trace-dependency-violation\"", rule0 + 1),
+            std::string::npos);
+
+  // Results reference the matching rule index.
+  EXPECT_NE(sarif.find("\"ruleId\": \"trace-dependency-violation\", "
+                       "\"ruleIndex\": 0"),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"type-flow\", \"ruleIndex\": 1"),
+            std::string::npos);
+
+  // Regions are 1-based: pc 0 is line 1 column 1; pc 9 is line 10.
+  EXPECT_NE(sarif.find("\"region\": {\"startLine\": 1, \"startColumn\": 1}"),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"region\": {\"startLine\": 10, \"startColumn\": 1}"),
+            std::string::npos);
+  EXPECT_EQ(sarif.find("\"startLine\": 0"), std::string::npos);
+  EXPECT_EQ(sarif.find("\"startColumn\": 0"), std::string::npos);
+}
+
+TEST(FingerprintTest, NormalizesDigitsButKeepsIdentity) {
+  Diagnostic d;
+  d.check_id = "trace-dependency-violation";
+  d.pc = 3;
+  d.message = "started before producer pc=2 finished";
+  std::string fp = analysis::DiagnosticFingerprint(d);
+  EXPECT_EQ(fp,
+            "trace-dependency-violation:3:started before producer pc=# "
+            "finished");
+
+  // Drifting counts inside the message do not change the fingerprint...
+  Diagnostic drifted = d;
+  drifted.message = "started before producer pc=7 finished";
+  EXPECT_EQ(analysis::DiagnosticFingerprint(drifted), fp);
+  // ...but a different pc or check does.
+  Diagnostic moved = d;
+  moved.pc = 4;
+  EXPECT_NE(analysis::DiagnosticFingerprint(moved), fp);
+}
+
+TEST(BaselineTest, RoundTripSuppressesOnlyListedFindings) {
+  std::vector<Diagnostic> diags(2);
+  diags[0].severity = Severity::kError;
+  diags[0].check_id = "trace-write-race";
+  diags[0].pc = 5;
+  diags[0].message = "write-write race on X_9";
+  diags[1].severity = Severity::kNote;
+  diags[1].check_id = "schedule-serialization";
+  diags[1].pc = -1;
+  diags[1].message = "plan admits 4-wide parallelism";
+
+  // Baseline only the first finding; parse tolerates comments and blanks.
+  std::string file = "# comment\n\n" +
+                     analysis::DiagnosticFingerprint(diags[0]) + "\n";
+  std::vector<std::string> baseline = analysis::ParseBaseline(file);
+  ASSERT_EQ(baseline.size(), 1u);
+  std::vector<Diagnostic> left = analysis::ApplyBaseline(diags, baseline);
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left[0].check_id, "schedule-serialization");
+
+  // FormatBaseline over the findings suppresses everything on re-apply.
+  std::vector<std::string> full =
+      analysis::ParseBaseline(analysis::FormatBaseline(diags));
+  EXPECT_TRUE(analysis::ApplyBaseline(diags, full).empty());
+}
+
+TEST(FailOnTest, ThresholdMatchesSeverityOrdering) {
+  std::vector<Diagnostic> diags(1);
+  diags[0].severity = Severity::kWarning;
+  diags[0].check_id = "dead-instruction";
+  diags[0].message = "m";
+  EXPECT_TRUE(analysis::AnyAtOrAbove(diags, Severity::kNote));
+  EXPECT_TRUE(analysis::AnyAtOrAbove(diags, Severity::kWarning));
+  EXPECT_FALSE(analysis::AnyAtOrAbove(diags, Severity::kError));
+  EXPECT_FALSE(analysis::AnyAtOrAbove({}, Severity::kNote));
 }
 
 }  // namespace

@@ -15,12 +15,20 @@
 // the platform's own kernel spans (trace-span-conformance).
 //
 // Flags:
-//   --json           emit diagnostics as a JSON array instead of text
-//   --sarif          emit diagnostics as a SARIF 2.1.0 log (CI annotators)
-//   --list-checks    print the check catalog and exit
+//   --json             emit diagnostics as a JSON array instead of text
+//   --sarif            emit diagnostics as a SARIF 2.1.0 log (CI annotators)
+//   --list-checks      print the check catalog and exit
+//   --schedule         also print the happens-before schedule report
+//                      (makespan, critical path, slack; needs plan + trace)
+//   --fail-on=SEV      exit 1 when any finding is at or above SEV
+//                      (note|warning|error; default error)
+//   --baseline FILE    suppress findings whose fingerprint is listed in FILE
+//                      so CI gates on new findings only
+//   --write-baseline   print the baseline for the current findings instead
+//                      of diagnostics (redirect to create/refresh FILE)
 //
-// Exit status: 0 clean (notes/warnings only), 1 error diagnostics, 2 usage
-// or input failure.
+// Exit status: 0 clean (below the --fail-on threshold), 1 findings at or
+// above the threshold, 2 usage or input failure.
 
 #include <cstdio>
 #include <cstring>
@@ -30,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/hb.h"
 #include "analysis/runner.h"
 #include "common/string_util.h"
 #include "dot/parser.h"
@@ -44,8 +53,9 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: mal_lint [--json|--sarif] [--list-checks] "
-               "[--plan|--dot|--trace|--spans] <file>...\n"
+               "usage: mal_lint [--json|--sarif] [--list-checks] [--schedule] "
+               "[--fail-on=<note|warning|error>] [--baseline <file>] "
+               "[--write-baseline] [--plan|--dot|--trace|--spans] <file>...\n"
                "       kind is inferred from the extension (.dot, .trace, "
                ".json for Chrome-trace span exports; anything else is a MAL "
                "plan)\n");
@@ -81,6 +91,10 @@ InputKind KindFromExtension(const std::string& path) {
 int main(int argc, char** argv) {
   bool json = false;
   bool sarif = false;
+  bool schedule = false;
+  bool write_baseline = false;
+  analysis::Severity fail_on = analysis::Severity::kError;
+  std::vector<std::string> baseline;
   InputKind forced = InputKind::kAuto;
   std::vector<std::pair<InputKind, std::string>> inputs;
 
@@ -90,6 +104,36 @@ int main(int argc, char** argv) {
       json = true;
     } else if (std::strcmp(arg, "--sarif") == 0) {
       sarif = true;
+    } else if (std::strcmp(arg, "--schedule") == 0) {
+      schedule = true;
+    } else if (std::strcmp(arg, "--write-baseline") == 0) {
+      write_baseline = true;
+    } else if (std::strncmp(arg, "--fail-on=", 10) == 0) {
+      const char* level = arg + 10;
+      if (std::strcmp(level, "note") == 0) {
+        fail_on = analysis::Severity::kNote;
+      } else if (std::strcmp(level, "warning") == 0) {
+        fail_on = analysis::Severity::kWarning;
+      } else if (std::strcmp(level, "error") == 0) {
+        fail_on = analysis::Severity::kError;
+      } else {
+        std::fprintf(stderr, "--fail-on: unknown severity \"%s\"\n", level);
+        return Usage();
+      }
+    } else if (std::strcmp(arg, "--baseline") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--baseline needs a file argument\n");
+        return Usage();
+      }
+      auto text = ReadWholeFile(argv[++i]);
+      if (!text.ok()) {
+        std::fprintf(stderr, "%s: %s\n", argv[i],
+                     text.status().ToString().c_str());
+        return 2;
+      }
+      std::vector<std::string> parsed =
+          analysis::ParseBaseline(text.value());
+      baseline.insert(baseline.end(), parsed.begin(), parsed.end());
     } else if (std::strcmp(arg, "--list-checks") == 0) {
       return ListChecks();
     } else if (std::strcmp(arg, "--plan") == 0) {
@@ -191,9 +235,13 @@ int main(int argc, char** argv) {
   if (trace.has_value()) ctx.trace = &trace.value();
   if (spans.has_value()) ctx.spans = &spans.value();
 
-  std::vector<analysis::Diagnostic> diagnostics =
-      analysis::Runner::Default().Run(ctx);
+  std::vector<analysis::Diagnostic> diagnostics = analysis::ApplyBaseline(
+      analysis::Runner::Default().Run(ctx), baseline);
 
+  if (write_baseline) {
+    std::fputs(analysis::FormatBaseline(diagnostics).c_str(), stdout);
+    return 0;
+  }
   if (sarif) {
     // The first input file names the analyzed artifact in the log.
     std::fputs(analysis::DiagnosticsToSarif(diagnostics, inputs.front().second)
@@ -210,5 +258,17 @@ int main(int argc, char** argv) {
                                         analysis::Severity::kWarning),
                 analysis::CountSeverity(diagnostics, analysis::Severity::kNote));
   }
-  return analysis::HasErrors(diagnostics) ? 1 : 0;
+  if (schedule) {
+    if (!program.has_value() || !trace.has_value()) {
+      std::fprintf(stderr,
+                   "--schedule needs both a plan and a trace input\n");
+      return 2;
+    }
+    analysis::ScheduleReport report =
+        analysis::AnalyzeSchedule(program.value(), trace.value());
+    std::fputs(
+        analysis::FormatScheduleReport(report, program.value()).c_str(),
+        stdout);
+  }
+  return analysis::AnyAtOrAbove(diagnostics, fail_on) ? 1 : 0;
 }
