@@ -55,6 +55,28 @@ void BM_Gradient(benchmark::State& state) {
 }
 BENCHMARK(BM_Gradient)->Arg(1000)->Arg(100000);
 
+/// Incremental §4.2.1 analysis: the tracker consumes each event once and
+/// hands back only the new verdicts — what the online monitor now runs per
+/// sampling tick instead of a full-buffer rescan. items/s here is the
+/// per-event cost; compare against BM_PairSequence's whole-buffer rescan.
+void BM_PairSequenceTracker(benchmark::State& state) {
+  auto buffer = bench::SyntheticTrace(static_cast<size_t>(state.range(0)));
+  scope::PairSequenceTracker tracker;
+  size_t i = 0;
+  size_t decisions = 0;
+  for (auto _ : state) {
+    if (i == buffer.size()) {
+      tracker.Reset();
+      i = 0;
+    }
+    tracker.Observe(buffer[i++]);
+    decisions += tracker.TakeNew().size();
+  }
+  benchmark::DoNotOptimize(decisions);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PairSequenceTracker)->Arg(100000)->Arg(1000000);
+
 /// Buffer composition sweep: mostly-paired (healthy plan) vs mostly
 /// long-running (pathological). Decision counts should track the unpaired
 /// fraction; runtime should not degrade.

@@ -12,6 +12,7 @@
 #include "bench_util.h"
 #include "common/clock.h"
 #include "dot/parser.h"
+#include "layout/layout_cache.h"
 #include "profiler/sink.h"
 #include "scope/analysis.h"
 #include "scope/replayer.h"
@@ -100,9 +101,54 @@ void BM_SeekToMiddle(benchmark::State& state) {
     (void)replayer->SeekTo(middle);
     benchmark::DoNotOptimize(replayer->cursor());
   }
-  state.SetLabel("recomputes colors from scratch");
+  state.SetLabel("repeated same-target seek (no-op fast path)");
 }
 BENCHMARK(BM_SeekToMiddle);
+
+/// Alternating far seeks on a live replayer: every seek moves the cursor
+/// half the trace, touching only the pcs whose color changes (per-pc
+/// history binary search), not the whole event range.
+void BM_SeekPingPong(benchmark::State& state) {
+  VirtualClock clock;
+  auto replayer = MakeReplayer(&clock);
+  size_t n = Recording().events.size();
+  bool at_middle = false;
+  for (auto _ : state) {
+    (void)replayer->SeekTo(at_middle ? n - 1 : n / 2);
+    at_middle = !at_middle;
+    benchmark::DoNotOptimize(replayer->cursor());
+  }
+}
+BENCHMARK(BM_SeekPingPong);
+
+/// Cold seek: layout cache cleared and the replayer rebuilt every
+/// iteration — what every seek cost before the front-end work (scene
+/// construction + full color recompute).
+void BM_SeekCold(benchmark::State& state) {
+  VirtualClock clock;
+  size_t middle = Recording().events.size() / 2;
+  for (auto _ : state) {
+    layout::LayoutCache::Default()->Clear();
+    auto replayer = MakeReplayer(&clock);
+    (void)replayer->SeekTo(middle);
+    benchmark::DoNotOptimize(replayer->cursor());
+  }
+}
+BENCHMARK(BM_SeekCold)->Unit(benchmark::kMicrosecond);
+
+/// Warm seek: replayer rebuilt per iteration but the layout comes from the
+/// content-hash cache — the steady state of re-entering a recorded query.
+void BM_SeekWarm(benchmark::State& state) {
+  VirtualClock clock;
+  size_t middle = Recording().events.size() / 2;
+  (void)MakeReplayer(&clock);  // primes the layout cache
+  for (auto _ : state) {
+    auto replayer = MakeReplayer(&clock);
+    (void)replayer->SeekTo(middle);
+    benchmark::DoNotOptimize(replayer->cursor());
+  }
+}
+BENCHMARK(BM_SeekWarm)->Unit(benchmark::kMicrosecond);
 
 void BM_RewindAfterFullPlay(benchmark::State& state) {
   VirtualClock clock;

@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "dot/parser.h"
 #include "dot/writer.h"
+#include "layout/layout_cache.h"
 #include "layout/svg.h"
 #include "layout/sugiyama.h"
 
@@ -66,6 +67,19 @@ void BM_Stage3_Layout(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Stage3_Layout)->Arg(10)->Arg(100)->Arg(500)->Arg(2000);
+
+/// Stage 3 served from the content-hash layout cache — what re-entering
+/// the pipeline with an unchanged plan costs after the front-end work.
+void BM_Stage3_LayoutCached(benchmark::State& state) {
+  dot::Graph graph = RandomDag(static_cast<int>(state.range(0)));
+  layout::LayoutCache cache(4);
+  (void)cache.GetOrCompute(graph);
+  for (auto _ : state) {
+    auto layout = cache.GetOrCompute(graph);
+    benchmark::DoNotOptimize(layout);
+  }
+}
+BENCHMARK(BM_Stage3_LayoutCached)->Arg(10)->Arg(100)->Arg(500)->Arg(2000);
 
 void BM_Stage4_SvgWrite(benchmark::State& state) {
   dot::Graph graph = RandomDag(static_cast<int>(state.range(0)));

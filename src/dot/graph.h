@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -73,7 +74,9 @@ class Graph {
   bool directed_ = true;
   std::vector<GraphNode> nodes_;
   std::vector<GraphEdge> edges_;
-  std::map<std::string, int> index_;
+  // id -> node index. Hashed rather than ordered: FindNode sits on the hot
+  // path of adjacency construction, edge routing, and crossing counting.
+  std::unordered_map<std::string, int> index_;
 };
 
 }  // namespace stetho::dot

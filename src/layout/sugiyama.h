@@ -1,10 +1,15 @@
 #ifndef STETHO_LAYOUT_SUGIYAMA_H_
 #define STETHO_LAYOUT_SUGIYAMA_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
 #include "dot/graph.h"
+
+namespace stetho::engine {
+class WorkerPool;
+}  // namespace stetho::engine
 
 namespace stetho::layout {
 
@@ -22,7 +27,24 @@ struct LayoutOptions {
   double layer_gap = 56.0;      ///< vertical distance between layers
   double node_gap = 24.0;       ///< horizontal gap between nodes in a layer
   double margin = 24.0;
-  int barycenter_sweeps = 4;    ///< crossing-reduction iterations
+  /// Maximum crossing-reduction sweeps; 0 disables ordering entirely
+  /// (insertion order is kept). Sweeps stop early once a sweep no longer
+  /// improves the crossing count, so this is a ceiling, not a fixed cost.
+  int barycenter_sweeps = 4;
+  /// Order by the median of neighbor positions (the GKNV median heuristic)
+  /// instead of their mean.
+  bool median = true;
+  /// Adjacent-transpose refinement passes after each ordering sweep; each
+  /// pass swaps neighboring nodes whenever the swap strictly reduces
+  /// crossings. 0 disables.
+  int transpose_passes = 2;
+  /// Pool for per-layer parallel phases (transpose runs even/odd layers
+  /// concurrently; crossing counts run per layer pair). nullptr uses
+  /// engine::WorkerPool::Default(). Results are identical with or without a
+  /// pool — parallelism only changes scheduling, never the ordering.
+  engine::WorkerPool* pool = nullptr;
+  /// Graphs below this node count run single-threaded regardless of pool.
+  int parallel_min_nodes = 768;
 };
 
 /// Placement of one node; (x, y) is the node center.
@@ -55,15 +77,22 @@ struct GraphLayout {
 };
 
 /// Computes a layered layout of a DAG: longest-path layer assignment,
-/// barycenter crossing reduction, and sequential coordinate assignment with
+/// median/barycenter crossing reduction with adjacent-transpose refinement
+/// and early-exit convergence, and sequential coordinate assignment with
 /// per-layer centering. This is the GraphViz-dot substitute the Stethoscope
 /// pipeline uses to place MAL plan graphs. Fails on cyclic graphs.
 Result<GraphLayout> LayoutGraph(const dot::Graph& graph,
                                 const LayoutOptions& options = {});
 
-/// Counts pairwise edge crossings between consecutive layers for a given
-/// ordering (exposed for property tests).
+/// Counts edge crossings between consecutive layers for a given ordering
+/// with an accumulation tree (binary indexed tree): O(E log E) instead of
+/// the pairwise O(E^2) scan. Exact same count as CountCrossingsNaive.
 int64_t CountCrossings(const dot::Graph& graph, const GraphLayout& layout);
+
+/// The original pairwise crossing counter, kept as the oracle for property
+/// tests against the BIT-based CountCrossings.
+int64_t CountCrossingsNaive(const dot::Graph& graph,
+                            const GraphLayout& layout);
 
 }  // namespace stetho::layout
 

@@ -25,6 +25,25 @@ void RingBufferSink::Consume(const TraceEvent& event) {
   }
 }
 
+void RingBufferSink::ConsumeBatch(const TraceEvent* events, size_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // A batch larger than the ring would push events only to evict them
+  // again; keep the last `capacity_` and count the rest straight as drops.
+  size_t skip = n > capacity_ ? n - capacity_ : 0;
+  for (size_t i = skip; i < n; ++i) buffer_.push_back(events[i]);
+  total_ += static_cast<int64_t>(n);
+  int64_t evicted = static_cast<int64_t>(skip);
+  while (buffer_.size() > capacity_) {
+    buffer_.pop_front();
+    ++evicted;
+  }
+  if (evicted > 0) {
+    dropped_ += evicted;
+    RingDroppedCounter()->Increment(evicted);
+  }
+}
+
 std::vector<TraceEvent> RingBufferSink::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return std::vector<TraceEvent>(buffer_.begin(), buffer_.end());
@@ -67,6 +86,17 @@ void FileSink::Consume(const TraceEvent& event) {
   std::lock_guard<std::mutex> lock(mu_);
   std::fputs(line.c_str(), file_);
   std::fputc('\n', file_);
+}
+
+void FileSink::ConsumeBatch(const TraceEvent* events, size_t n) {
+  if (n == 0) return;
+  std::string lines;
+  for (size_t i = 0; i < n; ++i) {
+    lines += FormatTraceLine(events[i]);
+    lines += '\n';
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(lines.data(), 1, lines.size(), file_);
 }
 
 Status FileSink::Flush() {

@@ -20,6 +20,12 @@ class EventSink {
  public:
   virtual ~EventSink() = default;
   virtual void Consume(const TraceEvent& event) = 0;
+  /// Consumes `n` events in order — semantically identical to calling
+  /// Consume per event. Overrides amortize per-event costs (one lock
+  /// acquisition per batch); the base implementation just loops.
+  virtual void ConsumeBatch(const TraceEvent* events, size_t n) {
+    for (size_t i = 0; i < n; ++i) Consume(events[i]);
+  }
   /// Flushes buffered output (file/stream sinks).
   virtual Status Flush() { return Status::OK(); }
   /// Events this sink consumed but could not retain or deliver (ring
@@ -36,6 +42,8 @@ class RingBufferSink : public EventSink {
   explicit RingBufferSink(size_t capacity) : capacity_(capacity) {}
 
   void Consume(const TraceEvent& event) override;
+  /// One lock acquisition for the whole batch.
+  void ConsumeBatch(const TraceEvent* events, size_t n) override;
 
   /// Snapshot of buffered events, oldest first.
   std::vector<TraceEvent> Snapshot() const;
@@ -66,6 +74,9 @@ class FileSink : public EventSink {
   static Result<std::unique_ptr<FileSink>> Open(const std::string& path);
 
   void Consume(const TraceEvent& event) override;
+  /// Formats all lines outside the lock, then writes them in one locked
+  /// operation.
+  void ConsumeBatch(const TraceEvent* events, size_t n) override;
   Status Flush() override;
   const std::string& path() const { return path_; }
 

@@ -42,6 +42,40 @@ std::vector<ColorDecision> PairSequenceColoring(
   return decisions;
 }
 
+void PairSequenceTracker::Observe(const TraceEvent& event) {
+  // Mirror of the rescan's cursor rules. Only a start can be pending: it
+  // is judged by its immediate successor — a matching done consumes the
+  // pair silently, anything else proves it long-running (RED). A done
+  // never waits: unconsumed dones are GREEN immediately, and a trailing
+  // done is judged identically by the rescan.
+  if (has_pending_) {
+    has_pending_ = false;
+    if (event.state == EventState::kDone && event.pc == pending_.pc) {
+      return;  // adjacent pair: cheapest instructions, not colored
+    }
+    decisions_.push_back({pending_.pc, viz::Color::Red()});
+  }
+  if (event.state == EventState::kStart) {
+    pending_ = event;
+    has_pending_ = true;
+    return;
+  }
+  decisions_.push_back({event.pc, viz::Color::Green()});
+}
+
+std::vector<ColorDecision> PairSequenceTracker::TakeNew() {
+  std::vector<ColorDecision> fresh(decisions_.begin() + taken_,
+                                   decisions_.end());
+  taken_ = decisions_.size();
+  return fresh;
+}
+
+void PairSequenceTracker::Reset() {
+  has_pending_ = false;
+  decisions_.clear();
+  taken_ = 0;
+}
+
 std::vector<ColorDecision> ThresholdColoring(
     const std::vector<TraceEvent>& buffer, int64_t threshold_us) {
   std::vector<ColorDecision> decisions;

@@ -29,6 +29,38 @@ struct ColorDecision {
 std::vector<ColorDecision> PairSequenceColoring(
     const std::vector<profiler::TraceEvent>& buffer);
 
+/// Incremental form of algorithm 1: feed events one at a time as they
+/// arrive; decisions() is at all times exactly what
+/// PairSequenceColoring(<events observed so far>) would return, without
+/// rescanning. The last observed event stays withheld (the rescan's "not
+/// yet judged" rule for a trailing start), so a start's RED verdict is
+/// emitted only once a successor shows it unpaired.
+///
+/// Not thread-safe; callers feeding from a listener callback serialize
+/// externally.
+class PairSequenceTracker {
+ public:
+  /// Observes the next event in stream order, appending any decisions it
+  /// settles.
+  void Observe(const profiler::TraceEvent& event);
+
+  /// All decisions so far, in rescan order.
+  const std::vector<ColorDecision>& decisions() const { return decisions_; }
+
+  /// Decisions appended since the previous TakeNew() call — the per-batch
+  /// delta an online monitor applies instead of re-deriving the full set.
+  std::vector<ColorDecision> TakeNew();
+
+  /// Forgets all state (new buffer / new query).
+  void Reset();
+
+ private:
+  bool has_pending_ = false;
+  profiler::TraceEvent pending_{};  ///< trailing start, not yet judged
+  std::vector<ColorDecision> decisions_;
+  size_t taken_ = 0;
+};
+
 /// Algorithm 2 (paper §4.2.1, closing remark): the user supplies an
 /// execution-time threshold. Done events at or above the threshold color
 /// RED (costly); below-threshold done events are uncolored; instructions

@@ -1,7 +1,7 @@
 #include "scope/online.h"
 
-#include <chrono>
 #include <map>
+#include <mutex>
 #include <thread>
 
 #include "common/string_util.h"
@@ -15,6 +15,8 @@ using profiler::TraceEvent;
 
 Result<OnlineReport> OnlineMonitor::MonitorQuery(const std::string& sql) {
   OnlineReport report;
+  Clock* clock =
+      options_.clock != nullptr ? options_.clock : SteadyClock::Default();
 
   // Wire the server's profiler stream into a textual Stethoscope. The demo
   // runs single-process, so an in-process channel stands in for the UDP
@@ -25,7 +27,21 @@ Result<OnlineReport> OnlineMonitor::MonitorQuery(const std::string& sql) {
   topt.trace_path = options_.trace_path;
   topt.filter = options_.filter;
   topt.buffer_capacity = options_.buffer_capacity;
+  // Incremental §4.2.1 analysis: the listener feeds every accepted event
+  // into the tracker as it arrives, so each analysis round applies only the
+  // newly settled verdicts instead of re-deriving the full set from a
+  // buffer rescan. Declared before `textual` so the callback's referents
+  // outlive the listener threads its destructor joins on error paths.
+  std::mutex tracker_mu;
+  PairSequenceTracker tracker;
+
   TextualStethoscope textual(topt);
+  textual.SetEventCallback(
+      [&](const std::string& /*server*/, const TraceEvent& event) {
+        std::lock_guard<std::mutex> lock(tracker_mu);
+        tracker.Observe(event);
+      });
+
   STETHO_RETURN_IF_ERROR(textual.AddServer("server0", std::move(receiver)));
   server_->AttachStream(std::shared_ptr<net::DatagramSender>(std::move(sender)));
 
@@ -49,7 +65,7 @@ Result<OnlineReport> OnlineMonitor::MonitorQuery(const std::string& sql) {
   // server pushes it over the stream before execution begins.
   std::string query_name;
   std::string dot_text;
-  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  const int64_t deadline = clock->NowMicros() + options_.dot_timeout_us;
   while (true) {
     auto dots = textual.CompletedDots();
     if (!dots.empty()) {
@@ -64,27 +80,30 @@ Result<OnlineReport> OnlineMonitor::MonitorQuery(const std::string& sql) {
     // instead of waiting out the deadline. A *successful* query may finish
     // before the listener thread has drained the channel, so only a
     // processed %EOF with no completed dot proves the server never sent
-    // one (delivery is ordered: dot, trace events, EOF).
-    if (query_done.load(std::memory_order_acquire) &&
-        textual.CompletedDots().empty()) {
+    // one (delivery is ordered: dot, trace events, EOF). The dot check
+    // must come *after* the %EOF check: the listener may process both
+    // between our reads, and re-reading the dots second means an observed
+    // EOF with no dot cannot be a stale view.
+    if (query_done.load(std::memory_order_acquire)) {
       if (!query_status.ok()) {
         query_thread.join();
         server_->DetachStreams();
         return query_status;
       }
-      if (!textual.FinishedQueries().empty()) {
+      if (!textual.FinishedQueries().empty() &&
+          textual.CompletedDots().empty()) {
         query_thread.join();
         server_->DetachStreams();
         return Status::Internal("query finished without emitting a dot file");
       }
     }
-    if (std::chrono::steady_clock::now() > deadline) {
+    if (clock->NowMicros() > deadline) {
       query_thread.join();
       server_->DetachStreams();
       if (!query_status.ok()) return query_status;
       return Status::Internal("no dot file received from the server stream");
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    clock->SleepMicros(1000);
   }
 
   STETHO_ASSIGN_OR_RETURN(dot::Graph graph, dot::ParseDot(dot_text));
@@ -92,6 +111,7 @@ Result<OnlineReport> OnlineMonitor::MonitorQuery(const std::string& sql) {
   report.graph_nodes = graph.num_nodes();
 
   ReplayOptions scene_options;
+  scene_options.clock = options_.clock;
   scene_options.render_interval_us = options_.render_interval_us;
   scene_options.viewport_width = options_.viewport_width;
   scene_options.viewport_height = options_.viewport_height;
@@ -105,7 +125,11 @@ Result<OnlineReport> OnlineMonitor::MonitorQuery(const std::string& sql) {
     std::vector<TraceEvent> buffer = textual.BufferSnapshot();
     report.progress_series.push_back(
         EstimateProgress(buffer, report.graph_nodes));
-    std::vector<ColorDecision> decisions = PairSequenceColoring(buffer);
+    std::vector<ColorDecision> decisions;
+    {
+      std::lock_guard<std::mutex> lock(tracker_mu);
+      decisions = tracker.TakeNew();
+    }
     for (const ColorDecision& d : decisions) {
       auto it = applied.find(d.pc);
       if (it != applied.end() && it->second == d.color) continue;
@@ -125,8 +149,7 @@ Result<OnlineReport> OnlineMonitor::MonitorQuery(const std::string& sql) {
 
   while (!textual.QueryFinished(query_name)) {
     analyze_once();
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(options_.analysis_period_us));
+    clock->SleepMicros(options_.analysis_period_us);
   }
   query_thread.join();
   analyze_once();  // final sweep over the complete buffer

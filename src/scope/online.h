@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "scope/analysis.h"
 #include "scope/coloring.h"
@@ -16,6 +17,13 @@ namespace stetho::scope {
 
 /// Options for an online monitoring session.
 struct OnlineOptions {
+  /// Time source for the dot-arrival deadline and monitoring sleeps;
+  /// nullptr = steady clock. Tests pass a VirtualClock to drive the
+  /// timeout deterministically.
+  Clock* clock = nullptr;
+  /// How long to wait for the server to push the plan's dot file over the
+  /// stream before giving up.
+  int64_t dot_timeout_us = 30'000'000;
   /// EDT render pacing (the paper's 150 ms Java limitation).
   int64_t render_interval_us = 150000;
   /// Sampling-buffer analysis period: the monitoring thread re-runs the

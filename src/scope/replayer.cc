@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "layout/layout_cache.h"
+#include "obs/metrics.h"
 #include "scope/mapping.h"
 
 namespace stetho::scope {
@@ -10,19 +12,29 @@ namespace stetho::scope {
 using profiler::EventState;
 using profiler::TraceEvent;
 
+namespace {
+
+obs::Histogram* SeekHistogram() {
+  static obs::Histogram* h = obs::Registry::Default()->GetOrCreateHistogram(
+      "stetho_replay_seek_usec", "Latency of OfflineReplayer seeks",
+      obs::Histogram::DefaultLatencyBounds());
+  return h;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<OfflineReplayer>> OfflineReplayer::Create(
     const dot::Graph& graph, std::vector<TraceEvent> events,
     const ReplayOptions& options) {
-  STETHO_ASSIGN_OR_RETURN(layout::GraphLayout layout,
-                          layout::LayoutGraph(graph));
+  STETHO_ASSIGN_OR_RETURN(std::shared_ptr<const layout::GraphLayout> layout,
+                          layout::LayoutCache::Default()->GetOrCompute(graph));
   return std::unique_ptr<OfflineReplayer>(new OfflineReplayer(
       graph, std::move(layout), std::move(events), options));
 }
 
-OfflineReplayer::OfflineReplayer(const dot::Graph& graph,
-                                 layout::GraphLayout layout,
-                                 std::vector<TraceEvent> events,
-                                 const ReplayOptions& options)
+OfflineReplayer::OfflineReplayer(
+    const dot::Graph& graph, std::shared_ptr<const layout::GraphLayout> layout,
+    std::vector<TraceEvent> events, const ReplayOptions& options)
     : graph_(graph),
       layout_(std::move(layout)),
       all_events_(std::move(events)),
@@ -32,34 +44,98 @@ OfflineReplayer::OfflineReplayer(const dot::Graph& graph,
                                       : static_cast<Clock*>(SteadyClock::Default())),
       camera_(options.viewport_width, options.viewport_height),
       animator_(clock_) {
-  viz::BuildScene(graph_, layout_, &space_);
+  viz::BuildScene(graph_, *layout_, &space_);
   edt_ = std::make_unique<viz::EventDispatchThread>(
       clock_, options_.render_interval_us);
-  camera_.FitRect(0, 0, layout_.width, layout_.height);
+  camera_.FitRect(0, 0, layout_->width, layout_->height);
   int max_pc = 0;
-  for (const TraceEvent& e : events_) max_pc = std::max(max_pc, e.pc);
-  usec_by_pc_.assign(static_cast<size_t>(max_pc) + 1, 0);
+  for (const TraceEvent& e : all_events_) max_pc = std::max(max_pc, e.pc);
+  size_t num_pcs = static_cast<size_t>(max_pc) + 1;
+  usec_by_pc_.assign(num_pcs, 0);
+  shape_by_pc_.assign(num_pcs, -1);
+  for (size_t pc = 0; pc < num_pcs; ++pc) {
+    shape_by_pc_[pc] = space_.ShapeFor(NodeForPc(static_cast<int>(pc)));
+  }
+  cur_color_.assign(num_pcs, viz::Color::Gray());
+  pc_mark_.assign(num_pcs, 0);
+  RebuildHistory();
 }
 
 OfflineReplayer::~OfflineReplayer() {
   if (edt_ != nullptr) edt_->Shutdown();
 }
 
+void OfflineReplayer::RebuildHistory() {
+  size_t num_pcs = usec_by_pc_.size();
+  history_.assign(num_pcs, {});
+  colored_pcs_.clear();
+  std::vector<viz::Color> running(num_pcs, viz::Color::Gray());
+  std::vector<int64_t> cum(num_pcs, 0);
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    if (e.pc < 0 || static_cast<size_t>(e.pc) >= num_pcs) continue;
+    size_t pc = static_cast<size_t>(e.pc);
+    bool done = (e.state == EventState::kDone);
+    PcEventHistory& h = history_[pc];
+    switch (options_.mode) {
+      case ColoringMode::kState:
+        if (done) cum[pc] += e.usec;
+        h.index.push_back(i);
+        h.color.push_back(done ? viz::Color::Green() : viz::Color::Red());
+        h.cum_usec.push_back(cum[pc]);
+        break;
+      case ColoringMode::kThreshold:
+        if (!done) break;  // starts change neither color nor cumulative time
+        cum[pc] += e.usec;
+        if (e.usec >= options_.threshold_us) running[pc] = viz::Color::Red();
+        h.index.push_back(i);
+        h.color.push_back(running[pc]);
+        h.cum_usec.push_back(cum[pc]);
+        break;
+      case ColoringMode::kGradient:
+        if (!done) break;
+        cum[pc] += e.usec;
+        h.index.push_back(i);
+        h.color.push_back(viz::Color::Gray());  // derived at seek time
+        h.cum_usec.push_back(cum[pc]);
+        break;
+    }
+  }
+  for (size_t pc = 0; pc < num_pcs; ++pc) {
+    if (!history_[pc].index.empty()) {
+      colored_pcs_.push_back(static_cast<int>(pc));
+    }
+  }
+}
+
 void OfflineReplayer::PostColor(int pc, viz::Color color) {
-  int glyph = space_.ShapeFor(NodeForPc(pc));
+  int glyph = (pc >= 0 && static_cast<size_t>(pc) < shape_by_pc_.size())
+                  ? shape_by_pc_[static_cast<size_t>(pc)]
+                  : -1;
   if (glyph < 0) return;  // trace event without a plan node: ignore
   if (options_.color_fade_us > 0) {
     // Animated transition: the render task *starts* the fade; the fade
     // itself progresses on Animator ticks.
     int64_t fade = options_.color_fade_us;
-    edt_->PostRender([this, glyph, color, fade] {
+    edt_->PostRender([this, glyph, pc, color, fade] {
       animator_.AnimateGlyphFill(&space_, glyph, color, fade);
+      cur_color_[static_cast<size_t>(pc)] = color;
     });
     return;
   }
-  edt_->PostRender([this, glyph, color] {
-    (void)space_.MutateGlyph(glyph, [&](viz::Glyph* g) { g->fill = color; });
+  edt_->PostRender([this, glyph, pc, color] {
+    (void)space_.SetFill(glyph, color);
+    cur_color_[static_cast<size_t>(pc)] = color;
   });
+}
+
+void OfflineReplayer::SetFillIfChanged(int pc, viz::Color color) {
+  size_t idx = static_cast<size_t>(pc);
+  int glyph = shape_by_pc_[idx];
+  if (glyph < 0) return;
+  if (cur_color_[idx] == color) return;
+  (void)space_.SetFill(glyph, color);
+  cur_color_[idx] = color;
 }
 
 void OfflineReplayer::FinishPendingColorWork() {
@@ -70,12 +146,8 @@ void OfflineReplayer::FinishPendingColorWork() {
 }
 
 void OfflineReplayer::ResetColors() {
-  std::vector<viz::Glyph> glyphs = space_.Snapshot();
-  for (const viz::Glyph& g : glyphs) {
-    if (g.kind != viz::GlyphKind::kShape) continue;
-    (void)space_.MutateGlyph(g.id, [](viz::Glyph* gg) {
-      gg->fill = viz::Color::Gray();
-    });
+  for (size_t pc = 0; pc < cur_color_.size(); ++pc) {
+    SetFillIfChanged(static_cast<int>(pc), viz::Color::Gray());
   }
   std::fill(usec_by_pc_.begin(), usec_by_pc_.end(), 0);
 }
@@ -144,15 +216,22 @@ Result<size_t> OfflineReplayer::Play(double speed, size_t count) {
 
 Status OfflineReplayer::SeekTo(size_t index) {
   if (index > events_.size()) return Status::OutOfRange("seek beyond trace");
-  RecomputeColors(index);
+  int64_t t0 = obs::Active() ? SteadyClock::Default()->NowMicros() : 0;
+  // Flush in-flight color work so the mirror matches the applied state,
+  // then move only the pcs whose color can differ between the cursors.
+  FinishPendingColorWork();
+  ApplyColorsAt(index);
   cursor_ = index;
+  if (obs::Active()) {
+    SeekHistogram()->Observe(SteadyClock::Default()->NowMicros() - t0);
+  }
   return Status::OK();
 }
 
 void OfflineReplayer::Rewind() {
+  FinishPendingColorWork();
   ResetColors();
   cursor_ = 0;
-  edt_->Drain();
 }
 
 void OfflineReplayer::SetFilter(profiler::EventFilter filter) {
@@ -161,62 +240,62 @@ void OfflineReplayer::SetFilter(profiler::EventFilter filter) {
     if (filter.Matches(e)) events_.push_back(e);
   }
   filtered_ = true;
+  RebuildHistory();
   Rewind();
 }
 
 void OfflineReplayer::ClearFilter() {
   events_ = all_events_;
   filtered_ = false;
+  RebuildHistory();
   Rewind();
 }
 
-void OfflineReplayer::RecomputeColors(size_t count) {
-  // Rebuild color state from scratch without render pacing (a seek is a
-  // single visual update, not an animation).
-  ResetColors();
-  // Final color per pc after `count` events, replayed with the same rules.
-  std::vector<viz::Color> final_color(usec_by_pc_.size(), viz::Color::Gray());
-  std::vector<bool> touched(usec_by_pc_.size(), false);
-  for (size_t i = 0; i < count; ++i) {
-    const TraceEvent& e = events_[i];
-    size_t pc = static_cast<size_t>(e.pc);
-    if (pc >= usec_by_pc_.size()) continue;
-    if (e.state == EventState::kDone) usec_by_pc_[pc] += e.usec;
-    switch (options_.mode) {
-      case ColoringMode::kState:
-        final_color[pc] = e.state == EventState::kStart ? viz::Color::Red()
-                                                        : viz::Color::Green();
-        touched[pc] = true;
-        break;
-      case ColoringMode::kThreshold:
-        if (e.state == EventState::kDone && e.usec >= options_.threshold_us) {
-          final_color[pc] = viz::Color::Red();
-          touched[pc] = true;
-        }
-        break;
-      case ColoringMode::kGradient:
-        break;  // handled after the loop (needs the final max)
-    }
-  }
+void OfflineReplayer::ApplyColorsAt(size_t target) {
+  // Number of history entries of `h` that precede event index `target`.
+  auto entries_before = [target](const PcEventHistory& h) {
+    return static_cast<size_t>(
+        std::lower_bound(h.index.begin(), h.index.end(), target) -
+        h.index.begin());
+  };
   if (options_.mode == ColoringMode::kGradient) {
+    // The ramp divides by the global maximum, which shifts with the
+    // cursor, so every colored pc is re-derived (and diffed) on a seek.
     int64_t max_usec = 1;
-    for (int64_t u : usec_by_pc_) max_usec = std::max(max_usec, u);
-    for (size_t pc = 0; pc < usec_by_pc_.size(); ++pc) {
-      if (usec_by_pc_[pc] <= 0) continue;
-      double t = static_cast<double>(usec_by_pc_[pc]) /
-                 static_cast<double>(max_usec);
-      final_color[pc] =
-          viz::Color::Lerp(viz::Color::White(), viz::Color::Red(), t);
-      touched[pc] = true;
+    for (int pc : colored_pcs_) {
+      size_t k = entries_before(history_[static_cast<size_t>(pc)]);
+      int64_t cum =
+          k > 0 ? history_[static_cast<size_t>(pc)].cum_usec[k - 1] : 0;
+      usec_by_pc_[static_cast<size_t>(pc)] = cum;
+      max_usec = std::max(max_usec, cum);
     }
+    for (int pc : colored_pcs_) {
+      int64_t cum = usec_by_pc_[static_cast<size_t>(pc)];
+      viz::Color color =
+          cum > 0 ? viz::Color::Lerp(viz::Color::White(), viz::Color::Red(),
+                                     static_cast<double>(cum) /
+                                         static_cast<double>(max_usec))
+                  : viz::Color::Gray();
+      SetFillIfChanged(pc, color);
+    }
+    return;
   }
-  for (size_t pc = 0; pc < final_color.size(); ++pc) {
-    if (!touched[pc]) continue;
-    int glyph = space_.ShapeFor(NodeForPc(static_cast<int>(pc)));
-    if (glyph < 0) continue;
-    viz::Color color = final_color[pc];
-    (void)space_.MutateGlyph(glyph,
-                             [color](viz::Glyph* g) { g->fill = color; });
+  // State/threshold colors are per-pc: only pcs touched by events between
+  // the two cursors can change, and each is settled with one binary search.
+  size_t lo = std::min(target, cursor_);
+  size_t hi = std::max(target, cursor_);
+  ++mark_gen_;
+  for (size_t i = lo; i < hi; ++i) {
+    const TraceEvent& e = events_[i];
+    if (e.pc < 0 || static_cast<size_t>(e.pc) >= usec_by_pc_.size()) continue;
+    size_t pc = static_cast<size_t>(e.pc);
+    if (pc_mark_[pc] == mark_gen_) continue;
+    pc_mark_[pc] = mark_gen_;
+    const PcEventHistory& h = history_[pc];
+    size_t k = entries_before(h);
+    usec_by_pc_[pc] = k > 0 ? h.cum_usec[k - 1] : 0;
+    SetFillIfChanged(static_cast<int>(pc),
+                     k > 0 ? h.color[k - 1] : viz::Color::Gray());
   }
 }
 
@@ -267,7 +346,7 @@ std::string OfflineReplayer::DebugWindowText() const {
 
 viz::Frame OfflineReplayer::BirdsEyeView() const {
   viz::Camera overview(camera_.viewport_width(), camera_.viewport_height());
-  overview.FitRect(0, 0, layout_.width, layout_.height);
+  overview.FitRect(0, 0, layout_->width, layout_->height);
   return viz::Renderer::RenderFrame(space_, overview);
 }
 
@@ -278,7 +357,7 @@ viz::Frame OfflineReplayer::CurrentView() const {
 Status OfflineReplayer::FocusNode(const std::string& node_id) {
   int idx = graph_.FindNode(node_id);
   if (idx < 0) return Status::NotFound("no node '" + node_id + "'");
-  const layout::NodeLayout& nl = layout_.nodes[static_cast<size_t>(idx)];
+  const layout::NodeLayout& nl = layout_->nodes[static_cast<size_t>(idx)];
   camera_.CenterOn(nl.x, nl.y);
   return Status::OK();
 }

@@ -1,6 +1,7 @@
 #ifndef STETHO_SCOPE_REPLAYER_H_
 #define STETHO_SCOPE_REPLAYER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -122,22 +123,39 @@ class OfflineReplayer {
   const std::vector<profiler::TraceEvent>& events() const { return events_; }
 
  private:
-  OfflineReplayer(const dot::Graph& graph, layout::GraphLayout layout,
+  /// Per-pc event history over the active (filtered) trace: for each event
+  /// touching the pc, its index, the node color after it, and the
+  /// cumulative done-usec after it. Seeks binary-search these instead of
+  /// replaying the trace, making SeekTo O(changed nodes · log events).
+  struct PcEventHistory {
+    std::vector<size_t> index;      ///< event indices, ascending
+    std::vector<viz::Color> color;  ///< color after that event (state/threshold)
+    std::vector<int64_t> cum_usec;  ///< cumulative done-usec after that event
+  };
+
+  OfflineReplayer(const dot::Graph& graph,
+                  std::shared_ptr<const layout::GraphLayout> layout,
                   std::vector<profiler::TraceEvent> events,
                   const ReplayOptions& options);
 
   /// Applies event `index`'s coloring through the EDT.
   void ApplyEvent(size_t index);
-  /// Recomputes all node colors for the first `count` events (rewind path).
-  void RecomputeColors(size_t count);
+  /// Rebuilds the per-pc histories from events_ (ctor / filter changes).
+  void RebuildHistory();
+  /// Moves the applied color state from cursor_ to `target`, touching only
+  /// pcs whose color can differ (gradient mode re-derives every colored pc
+  /// because the global maximum shifts). Callers flush the EDT first.
+  void ApplyColorsAt(size_t target);
   /// Sets a node's fill (render-paced; faded when color_fade_us > 0).
   void PostColor(int pc, viz::Color color);
+  /// Applies `color` directly (no pacing) when it differs from the mirror.
+  void SetFillIfChanged(int pc, viz::Color color);
   /// Drains the render queue and finishes outstanding color fades.
   void FinishPendingColorWork();
   void ResetColors();
 
   dot::Graph graph_;
-  layout::GraphLayout layout_;
+  std::shared_ptr<const layout::GraphLayout> layout_;  ///< cache-shared
   std::vector<profiler::TraceEvent> all_events_;  ///< unfiltered trace
   std::vector<profiler::TraceEvent> events_;      ///< active (filtered) view
   bool filtered_ = false;
@@ -150,6 +168,17 @@ class OfflineReplayer {
   size_t cursor_ = 0;
   /// Cumulative usec per pc (gradient mode input).
   std::vector<int64_t> usec_by_pc_;
+  /// Shape glyph id per pc (-1 when the trace pc has no plan node).
+  std::vector<int> shape_by_pc_;
+  /// Mirror of the currently applied fill per pc; seeks diff against it so
+  /// unchanged nodes cost nothing. Written on the EDT inside posted tasks,
+  /// read on the caller thread only after an EDT drain (happens-before).
+  std::vector<viz::Color> cur_color_;
+  std::vector<PcEventHistory> history_;
+  std::vector<int> colored_pcs_;  ///< pcs with at least one history entry
+  /// Seek scratch: last mark generation per pc (dedups touched pcs).
+  std::vector<uint32_t> pc_mark_;
+  uint32_t mark_gen_ = 0;
 };
 
 }  // namespace stetho::scope

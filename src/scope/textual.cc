@@ -97,31 +97,120 @@ Status TextualStethoscope::Flush() {
   return Status::OK();
 }
 
+namespace {
+
+/// A stream-framing (control) line — never a trace event.
+bool IsControlLine(const std::string& line) {
+  return StartsWith(line, StreamFraming::kDotBegin) ||
+         StartsWith(line, StreamFraming::kDotLine) ||
+         StartsWith(line, StreamFraming::kDotEnd) ||
+         StartsWith(line, StreamFraming::kEof);
+}
+
+}  // namespace
+
 void TextualStethoscope::ListenLoop(std::string server,
                                     net::DatagramReceiver* receiver) {
+  std::vector<std::string> batch;
   std::string payload;
+  const size_t max_batch =
+      options_.max_batch > 0 ? static_cast<size_t>(options_.max_batch) : 1;
   while (running_.load(std::memory_order_relaxed)) {
     auto got = receiver->Receive(&payload, options_.poll_ms);
     if (!got.ok()) return;  // closed
     if (!got.value()) continue;
-    HandleLine(server, payload);
+    // Drain whatever else is already queued (zero timeout) so one wakeup
+    // processes a burst as a single batch. A Close mid-drain still gets
+    // the collected batch processed before the loop exits.
+    batch.clear();
+    batch.push_back(std::move(payload));
+    bool closed = false;
+    while (batch.size() < max_batch) {
+      auto more = receiver->Receive(&payload, 0);
+      if (!more.ok()) {
+        closed = true;
+        break;
+      }
+      if (!more.value()) break;
+      batch.push_back(std::move(payload));
+    }
+    HandleBatch(server, batch);
+    if (closed) return;
   }
 }
 
-void TextualStethoscope::HandleLine(const std::string& server,
-                                    const std::string& line) {
+void TextualStethoscope::HandleBatch(const std::string& server,
+                                     const std::vector<std::string>& lines) {
+  std::function<void(const std::string&, const TraceEvent&)> cb;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cb = callback_;
+  }
+
+  std::vector<TraceEvent> events;  // current contiguous run of accepted events
+  events.reserve(lines.size());
+  int64_t received = 0;
+  int64_t filtered = 0;
+  int64_t malformed = 0;
+  auto flush_events = [&] {
+    if (received > 0) received_.fetch_add(received, std::memory_order_relaxed);
+    if (filtered > 0) filtered_.fetch_add(filtered, std::memory_order_relaxed);
+    if (malformed > 0) {
+      malformed_.fetch_add(malformed, std::memory_order_relaxed);
+    }
+    received = filtered = malformed = 0;
+    if (events.empty()) return;
+    buffer_->ConsumeBatch(events.data(), events.size());
+    if (trace_file_ != nullptr) {
+      trace_file_->ConsumeBatch(events.data(), events.size());
+    }
+    if (cb) {
+      for (const TraceEvent& e : events) cb(server, e);
+    }
+    events.clear();
+  };
+
+  size_t i = 0;
+  while (i < lines.size()) {
+    if (IsControlLine(lines[i])) {
+      // Flush pending events first so state observable through the framing
+      // markers (e.g. %EOF → QueryFinished) never runs ahead of the buffer.
+      flush_events();
+      std::lock_guard<std::mutex> lock(mu_);
+      while (i < lines.size() && IsControlLine(lines[i])) {
+        HandleControlLocked(server, lines[i]);
+        ++i;
+      }
+      continue;
+    }
+    auto event = profiler::ParseTraceLine(lines[i]);
+    ++i;
+    if (!event.ok()) {
+      ++malformed;
+      continue;
+    }
+    ++received;
+    if (!options_.filter.Matches(event.value())) {
+      ++filtered;
+      continue;
+    }
+    events.push_back(std::move(event).value());
+  }
+  flush_events();
+}
+
+void TextualStethoscope::HandleControlLocked(const std::string& server,
+                                             const std::string& line) {
   // Demultiplex dot-file content from trace events (paper §4.2). Queries
   // from different servers may share a name ("s0"), so all dot/EOF keys are
   // namespaced "server/query".
   if (StartsWith(line, StreamFraming::kDotBegin)) {
     std::string key =
         server + "/" + line.substr(std::strlen(StreamFraming::kDotBegin));
-    std::lock_guard<std::mutex> lock(mu_);
     dot_partial_[key].clear();
     return;
   }
   if (StartsWith(line, StreamFraming::kDotLine)) {
-    std::lock_guard<std::mutex> lock(mu_);
     // Dot lines carry no query tag; append to this server's open
     // accumulations (exactly one at a time per server in practice).
     std::string prefix = server + "/";
@@ -135,7 +224,6 @@ void TextualStethoscope::HandleLine(const std::string& server,
   if (StartsWith(line, StreamFraming::kDotEnd)) {
     std::string key =
         server + "/" + line.substr(std::strlen(StreamFraming::kDotEnd));
-    std::lock_guard<std::mutex> lock(mu_);
     auto it = dot_partial_.find(key);
     if (it != dot_partial_.end()) {
       dot_complete_[key] = std::move(it->second);
@@ -143,32 +231,9 @@ void TextualStethoscope::HandleLine(const std::string& server,
     }
     return;
   }
-  if (StartsWith(line, StreamFraming::kEof)) {
-    std::string key =
-        server + "/" + line.substr(std::strlen(StreamFraming::kEof));
-    std::lock_guard<std::mutex> lock(mu_);
-    finished_.push_back(key);
-    return;
-  }
-
-  auto event = profiler::ParseTraceLine(line);
-  if (!event.ok()) {
-    malformed_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  received_.fetch_add(1, std::memory_order_relaxed);
-  if (!options_.filter.Matches(event.value())) {
-    filtered_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  buffer_->Consume(event.value());
-  if (trace_file_ != nullptr) trace_file_->Consume(event.value());
-  std::function<void(const std::string&, const TraceEvent&)> cb;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    cb = callback_;
-  }
-  if (cb) cb(server, event.value());
+  std::string key =
+      server + "/" + line.substr(std::strlen(StreamFraming::kEof));
+  finished_.push_back(key);
 }
 
 }  // namespace stetho::scope

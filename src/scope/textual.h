@@ -30,6 +30,10 @@ struct TextualOptions {
   size_t buffer_capacity = 8192;
   /// Receive poll timeout.
   int poll_ms = 20;
+  /// After a blocking receive, up to this many additional queued datagrams
+  /// are drained (zero timeout) and processed as one batch — one sink lock
+  /// acquisition per batch instead of per event.
+  int max_batch = 256;
 };
 
 /// The textual Stethoscope (paper §3.2): connects to one or more MonetDB
@@ -86,7 +90,13 @@ class TextualStethoscope {
 
  private:
   void ListenLoop(std::string server, net::DatagramReceiver* receiver);
-  void HandleLine(const std::string& server, const std::string& line);
+  /// Processes a batch of received lines in order: trace-event runs are
+  /// parsed outside any lock and pushed through the sinks batch-wise;
+  /// each contiguous run of framing lines takes one mu_ acquisition.
+  void HandleBatch(const std::string& server,
+                   const std::vector<std::string>& lines);
+  /// Applies one framing (control) line; caller holds mu_.
+  void HandleControlLocked(const std::string& server, const std::string& line);
 
   TextualOptions options_;
   std::shared_ptr<profiler::RingBufferSink> buffer_;

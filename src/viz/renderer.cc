@@ -7,60 +7,85 @@
 
 namespace stetho::viz {
 
+namespace {
+
+/// Projects one glyph into frame coordinates and appends the draw command,
+/// or bumps the cull counter. Shared by the full and delta render paths so
+/// a delta command is byte-identical to its full-frame counterpart.
+void ProjectGlyph(const Glyph& g, const Camera& camera,
+                  const FisheyeLens* lens, double scale, Frame* frame) {
+  DrawCommand cmd;
+  cmd.kind = g.kind;
+  cmd.glyph = g.id;
+  cmd.owner = g.owner;
+  cmd.text = g.text;
+  cmd.fill = g.fill;
+  cmd.stroke = g.stroke;
+
+  layout::Point p1 = camera.Project({g.x, g.y});
+  layout::Point p2 = camera.Project({g.x2, g.y2});
+  if (lens != nullptr) {
+    p1 = lens->Apply(p1);
+    p2 = lens->Apply(p2);
+  }
+  double gain = 1.0;
+  if (lens != nullptr) {
+    double dx = p1.x - lens->cx();
+    double dy = p1.y - lens->cy();
+    gain = lens->GainAt(std::sqrt(dx * dx + dy * dy));
+  }
+  cmd.x = p1.x;
+  cmd.y = p1.y;
+  cmd.x2 = p2.x;
+  cmd.y2 = p2.y;
+  cmd.width = g.width * scale * gain;
+  cmd.height = g.height * scale * gain;
+
+  // Viewport culling with the glyph's extent.
+  double half_w = cmd.width / 2.0 + 1.0;
+  double half_h = cmd.height / 2.0 + 1.0;
+  double min_x = cmd.x - half_w;
+  double max_x = cmd.x + half_w;
+  double min_y = cmd.y - half_h;
+  double max_y = cmd.y + half_h;
+  if (g.kind == GlyphKind::kEdge) {
+    min_x = std::min(cmd.x, cmd.x2) - 1.0;
+    max_x = std::max(cmd.x, cmd.x2) + 1.0;
+    min_y = std::min(cmd.y, cmd.y2) - 1.0;
+    max_y = std::max(cmd.y, cmd.y2) + 1.0;
+  }
+  if (max_x < 0 || min_x > frame->viewport_width || max_y < 0 ||
+      min_y > frame->viewport_height) {
+    ++frame->culled;
+    return;
+  }
+  frame->commands.push_back(std::move(cmd));
+}
+
+}  // namespace
+
 Frame Renderer::RenderFrame(const VirtualSpace& space, const Camera& camera,
                             const FisheyeLens* lens) {
   Frame frame;
   frame.viewport_width = camera.viewport_width();
   frame.viewport_height = camera.viewport_height();
   double scale = camera.Scale();
-
-  for (const Glyph& g : space.Snapshot()) {
+  for (const Glyph& g : space.Snapshot(&frame.epoch)) {
     if (!g.visible) continue;
-    DrawCommand cmd;
-    cmd.kind = g.kind;
-    cmd.owner = g.owner;
-    cmd.text = g.text;
-    cmd.fill = g.fill;
-    cmd.stroke = g.stroke;
+    ProjectGlyph(g, camera, lens, scale, &frame);
+  }
+  return frame;
+}
 
-    layout::Point p1 = camera.Project({g.x, g.y});
-    layout::Point p2 = camera.Project({g.x2, g.y2});
-    if (lens != nullptr) {
-      p1 = lens->Apply(p1);
-      p2 = lens->Apply(p2);
-    }
-    double gain = 1.0;
-    if (lens != nullptr) {
-      double dx = p1.x - lens->cx();
-      double dy = p1.y - lens->cy();
-      gain = lens->GainAt(std::sqrt(dx * dx + dy * dy));
-    }
-    cmd.x = p1.x;
-    cmd.y = p1.y;
-    cmd.x2 = p2.x;
-    cmd.y2 = p2.y;
-    cmd.width = g.width * scale * gain;
-    cmd.height = g.height * scale * gain;
-
-    // Viewport culling with the glyph's extent.
-    double half_w = cmd.width / 2.0 + 1.0;
-    double half_h = cmd.height / 2.0 + 1.0;
-    double min_x = cmd.x - half_w;
-    double max_x = cmd.x + half_w;
-    double min_y = cmd.y - half_h;
-    double max_y = cmd.y + half_h;
-    if (g.kind == GlyphKind::kEdge) {
-      min_x = std::min(cmd.x, cmd.x2) - 1.0;
-      max_x = std::max(cmd.x, cmd.x2) + 1.0;
-      min_y = std::min(cmd.y, cmd.y2) - 1.0;
-      max_y = std::max(cmd.y, cmd.y2) + 1.0;
-    }
-    if (max_x < 0 || min_x > frame.viewport_width || max_y < 0 ||
-        min_y > frame.viewport_height) {
-      ++frame.culled;
-      continue;
-    }
-    frame.commands.push_back(std::move(cmd));
+Frame Renderer::RenderDelta(const VirtualSpace& space, const Camera& camera,
+                            int64_t since, const FisheyeLens* lens) {
+  Frame frame;
+  frame.viewport_width = camera.viewport_width();
+  frame.viewport_height = camera.viewport_height();
+  double scale = camera.Scale();
+  for (const Glyph& g : space.SnapshotSince(since, &frame.epoch)) {
+    if (!g.visible) continue;
+    ProjectGlyph(g, camera, lens, scale, &frame);
   }
   return frame;
 }

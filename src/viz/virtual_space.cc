@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -10,9 +11,24 @@ namespace stetho::viz {
 int VirtualSpace::AddGlyph(Glyph glyph) {
   std::lock_guard<std::mutex> lock(mu_);
   glyph.id = static_cast<int>(glyphs_.size());
-  by_owner_.emplace(glyph.owner, glyph.id);
+  glyph.epoch = ++epoch_;
+  by_owner_[glyph.owner].push_back(glyph.id);
   glyphs_.push_back(std::move(glyph));
   return glyphs_.back().id;
+}
+
+int VirtualSpace::AddGlyphs(std::vector<Glyph> glyphs) {
+  if (glyphs.empty()) return -1;
+  std::lock_guard<std::mutex> lock(mu_);
+  int first = static_cast<int>(glyphs_.size());
+  glyphs_.reserve(glyphs_.size() + glyphs.size());
+  for (Glyph& glyph : glyphs) {
+    glyph.id = static_cast<int>(glyphs_.size());
+    glyph.epoch = ++epoch_;
+    by_owner_[glyph.owner].push_back(glyph.id);
+    glyphs_.push_back(std::move(glyph));
+  }
+  return first;
 }
 
 Status VirtualSpace::MutateGlyph(int id, const std::function<void(Glyph*)>& fn) {
@@ -20,7 +36,21 @@ Status VirtualSpace::MutateGlyph(int id, const std::function<void(Glyph*)>& fn) 
   if (id < 0 || static_cast<size_t>(id) >= glyphs_.size()) {
     return Status::NotFound(StrFormat("no glyph %d", id));
   }
-  fn(&glyphs_[static_cast<size_t>(id)]);
+  Glyph* g = &glyphs_[static_cast<size_t>(id)];
+  fn(g);
+  g->epoch = ++epoch_;
+  return Status::OK();
+}
+
+Status VirtualSpace::SetFill(int id, Color fill) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= glyphs_.size()) {
+    return Status::NotFound(StrFormat("no glyph %d", id));
+  }
+  Glyph* g = &glyphs_[static_cast<size_t>(id)];
+  if (g->fill == fill) return Status::OK();  // no-op: stays clean
+  g->fill = fill;
+  g->epoch = ++epoch_;
   return Status::OK();
 }
 
@@ -32,12 +62,31 @@ Result<Glyph> VirtualSpace::GetGlyph(int id) const {
   return glyphs_[static_cast<size_t>(id)];
 }
 
-std::vector<Glyph> VirtualSpace::Snapshot() const {
+std::vector<Glyph> VirtualSpace::Snapshot(int64_t* epoch_out) const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (epoch_out != nullptr) *epoch_out = epoch_;
   std::vector<Glyph> out = glyphs_;
   std::stable_sort(out.begin(), out.end(),
                    [](const Glyph& a, const Glyph& b) { return a.z < b.z; });
   return out;
+}
+
+std::vector<Glyph> VirtualSpace::SnapshotSince(int64_t since,
+                                               int64_t* epoch_out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch_out != nullptr) *epoch_out = epoch_;
+  std::vector<Glyph> out;
+  for (const Glyph& g : glyphs_) {
+    if (g.epoch > since) out.push_back(g);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Glyph& a, const Glyph& b) { return a.z < b.z; });
+  return out;
+}
+
+int64_t VirtualSpace::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
 }
 
 size_t VirtualSpace::size() const {
@@ -47,18 +96,18 @@ size_t VirtualSpace::size() const {
 
 std::vector<int> VirtualSpace::GlyphsForOwner(const std::string& owner) const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<int> out;
-  auto [lo, hi] = by_owner_.equal_range(owner);
-  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
-  return out;
+  auto it = by_owner_.find(owner);
+  if (it == by_owner_.end()) return {};
+  return it->second;
 }
 
 int VirtualSpace::ShapeFor(const std::string& owner) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto [lo, hi] = by_owner_.equal_range(owner);
-  for (auto it = lo; it != hi; ++it) {
-    if (glyphs_[static_cast<size_t>(it->second)].kind == GlyphKind::kShape) {
-      return it->second;
+  auto it = by_owner_.find(owner);
+  if (it == by_owner_.end()) return -1;
+  for (int id : it->second) {
+    if (glyphs_[static_cast<size_t>(id)].kind == GlyphKind::kShape) {
+      return id;
     }
   }
   return -1;
@@ -93,6 +142,8 @@ layout::Point VirtualSpace::BoundsSize() const {
 
 void BuildScene(const dot::Graph& graph, const layout::GraphLayout& layout,
                 VirtualSpace* space) {
+  std::vector<Glyph> glyphs;
+  glyphs.reserve(layout.edges.size() + 2 * layout.nodes.size());
   // Edges first (z=0) so shapes (z=1) and labels (z=2) draw above them.
   for (const layout::EdgeLayout& el : layout.edges) {
     if (el.points.size() < 2 || el.edge < 0) continue;
@@ -106,7 +157,7 @@ void BuildScene(const dot::Graph& graph, const layout::GraphLayout& layout,
     g.y2 = el.points.back().y;
     g.stroke = Color{0x33, 0x33, 0x33};
     g.z = 0;
-    space->AddGlyph(std::move(g));
+    glyphs.push_back(std::move(g));
   }
   for (const layout::NodeLayout& nl : layout.nodes) {
     if (nl.node < 0) continue;
@@ -120,7 +171,7 @@ void BuildScene(const dot::Graph& graph, const layout::GraphLayout& layout,
     shape.height = nl.height;
     shape.fill = Color::Gray();
     shape.z = 1;
-    space->AddGlyph(std::move(shape));
+    glyphs.push_back(std::move(shape));
 
     Glyph text;
     text.kind = GlyphKind::kText;
@@ -131,8 +182,9 @@ void BuildScene(const dot::Graph& graph, const layout::GraphLayout& layout,
     text.height = nl.height;
     text.text = node.label();
     text.z = 2;
-    space->AddGlyph(std::move(text));
+    glyphs.push_back(std::move(text));
   }
+  space->AddGlyphs(std::move(glyphs));
 }
 
 }  // namespace stetho::viz

@@ -1,10 +1,11 @@
 #ifndef STETHO_VIZ_VIRTUAL_SPACE_H_
 #define STETHO_VIZ_VIRTUAL_SPACE_H_
 
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -35,11 +36,19 @@ struct Glyph {
   Color stroke = Color::Black();
   bool visible = true;
   int z = 0;  ///< draw order (higher on top)
+  /// Space-wide modification epoch stamped at the last add/mutation; the
+  /// delta render path uses it to pick up only dirty glyphs.
+  int64_t epoch = 0;
 };
 
 /// The canvas all glyphs live on — ZVTM's virtual space. Thread-safe: the
 /// event-dispatch thread mutates glyph state while analysis threads read
 /// snapshots.
+///
+/// Every mutation stamps the touched glyph with a monotonically increasing
+/// space epoch; SnapshotSince(e) returns just the glyphs stamped after `e`,
+/// which is what makes incremental (dirty-glyph) rendering O(changed)
+/// instead of O(scene).
 class VirtualSpace {
  public:
   VirtualSpace() = default;
@@ -47,14 +56,35 @@ class VirtualSpace {
   /// Adds a glyph, returns its id.
   int AddGlyph(Glyph glyph);
 
-  /// Runs `fn` on the glyph under the lock; NotFound for bad ids.
+  /// Adds a batch of glyphs under one lock acquisition; returns the id of
+  /// the first (ids are consecutive). Scene construction for a
+  /// thousand-node plan is one lock round-trip instead of thousands.
+  int AddGlyphs(std::vector<Glyph> glyphs);
+
+  /// Runs `fn` on the glyph under the lock; NotFound for bad ids. Always
+  /// marks the glyph dirty (the mutation is opaque).
   Status MutateGlyph(int id, const std::function<void(Glyph*)>& fn);
+
+  /// Sets the fill color; marks the glyph dirty only when the color
+  /// actually changes. The coloring hot path (replay, online monitor) goes
+  /// through this so repeated identical updates stay invisible to the
+  /// delta renderer.
+  Status SetFill(int id, Color fill);
 
   /// Copy of one glyph.
   Result<Glyph> GetGlyph(int id) const;
 
-  /// Copy of all glyphs in z-then-insertion order.
-  std::vector<Glyph> Snapshot() const;
+  /// Copy of all glyphs in z-then-insertion order. When `epoch_out` is
+  /// non-null it receives the space epoch the snapshot corresponds to.
+  std::vector<Glyph> Snapshot(int64_t* epoch_out = nullptr) const;
+
+  /// Copy of the glyphs modified after `since` (z-then-insertion order);
+  /// `epoch_out` receives the epoch this delta brings the caller up to.
+  std::vector<Glyph> SnapshotSince(int64_t since,
+                                   int64_t* epoch_out = nullptr) const;
+
+  /// Current modification epoch (bumped by every add/mutation).
+  int64_t epoch() const;
 
   size_t size() const;
 
@@ -70,13 +100,14 @@ class VirtualSpace {
 
  private:
   mutable std::mutex mu_;
+  int64_t epoch_ = 0;  // guarded by mu_
   std::vector<Glyph> glyphs_;
-  std::multimap<std::string, int> by_owner_;
+  std::unordered_map<std::string, std::vector<int>> by_owner_;
 };
 
 /// Builds the scene for a laid-out graph: per node one shape glyph + one
 /// text glyph, per edge one edge glyph — the ZGrviewer object model.
-/// Returns the populated space.
+/// Glyphs are assembled outside the lock and added as one batch.
 void BuildScene(const dot::Graph& graph, const layout::GraphLayout& layout,
                 VirtualSpace* space);
 

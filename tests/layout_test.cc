@@ -3,8 +3,11 @@
 #include "common/rng.h"
 #include "dot/parser.h"
 #include "dot/writer.h"
+#include "engine/worker_pool.h"
+#include "layout/layout_cache.h"
 #include "layout/sugiyama.h"
 #include "layout/svg.h"
+#include "obs/metrics.h"
 #include "sql/compiler.h"
 #include "tpch/dbgen.h"
 
@@ -148,6 +151,174 @@ TEST(SugiyamaTest, ScalesToThousandNodes) {
   ASSERT_TRUE(layout.ok());
   EXPECT_EQ(layout.value().nodes.size(), static_cast<size_t>(kNodes));
   EXPECT_GT(layout.value().width, 0);
+}
+
+dot::Graph RandomLayeredDag(uint64_t seed, int layers, int per_layer,
+                            double edge_prob) {
+  SplitMix64 rng(seed);
+  dot::Graph g;
+  for (int l = 0; l < layers; ++l) {
+    for (int i = 0; i < per_layer; ++i) {
+      g.AddNode("n" + std::to_string(l * per_layer + i));
+    }
+  }
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int i = 0; i < per_layer; ++i) {
+      for (int j = 0; j < per_layer; ++j) {
+        if (rng.NextBool(edge_prob)) {
+          g.AddEdge("n" + std::to_string(l * per_layer + i),
+                    "n" + std::to_string((l + 1) * per_layer + j));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+TEST(CrossingCountTest, TreeMatchesNaiveOracle) {
+  // The Fenwick-tree counter must agree with the O(E^2) oracle on every
+  // layout, sweep-optimized or not.
+  SplitMix64 rng(99);
+  for (int trial = 0; trial < 12; ++trial) {
+    dot::Graph g = RandomLayeredDag(1000 + trial, 3 + trial % 4,
+                                    4 + trial % 5, 0.25 + 0.05 * (trial % 3));
+    for (int sweeps : {0, 4}) {
+      LayoutOptions options;
+      options.barycenter_sweeps = sweeps;
+      auto layout = LayoutGraph(g, options);
+      ASSERT_TRUE(layout.ok()) << layout.status().ToString();
+      EXPECT_EQ(CountCrossings(g, layout.value()),
+                CountCrossingsNaive(g, layout.value()))
+          << "trial " << trial << " sweeps " << sweeps;
+    }
+  }
+}
+
+TEST(CrossingCountTest, ReportedCrossingsMatchOracle) {
+  dot::Graph g = RandomLayeredDag(42, 5, 6, 0.3);
+  auto layout = LayoutGraph(g);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout.value().crossings,
+            CountCrossingsNaive(g, layout.value()));
+}
+
+TEST(SugiyamaTest, ParallelOrderingMatchesSequential) {
+  // The worker-pool sweep path must be bit-identical to the sequential
+  // one — parallelism only changes wall-clock, never geometry.
+  dot::Graph g = RandomLayeredDag(7, 6, 8, 0.25);
+  engine::WorkerPool pool;
+  pool.EnsureWorkers(3);
+  LayoutOptions sequential;
+  sequential.parallel_min_nodes = 1 << 30;
+  LayoutOptions parallel;
+  parallel.parallel_min_nodes = 1;
+  parallel.pool = &pool;
+  auto a = LayoutGraph(g, sequential);
+  auto b = LayoutGraph(g, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().nodes.size(), b.value().nodes.size());
+  EXPECT_EQ(a.value().crossings, b.value().crossings);
+  for (size_t i = 0; i < a.value().nodes.size(); ++i) {
+    EXPECT_EQ(a.value().nodes[i].layer, b.value().nodes[i].layer) << i;
+    EXPECT_DOUBLE_EQ(a.value().nodes[i].x, b.value().nodes[i].x) << i;
+    EXPECT_DOUBLE_EQ(a.value().nodes[i].y, b.value().nodes[i].y) << i;
+  }
+}
+
+TEST(SugiyamaTest, EarlyExitNeverWorseThanFullSweeps) {
+  // barycenter_sweeps is a ceiling: a huge budget must never end worse
+  // than the default (convergence detection keeps the best ordering).
+  dot::Graph g = RandomLayeredDag(21, 5, 7, 0.3);
+  LayoutOptions defaults;
+  LayoutOptions generous;
+  generous.barycenter_sweeps = 32;
+  auto a = LayoutGraph(g, defaults);
+  auto b = LayoutGraph(g, generous);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LE(b.value().crossings, a.value().crossings);
+}
+
+// --- layout cache ---
+
+TEST(LayoutCacheTest, HitReturnsIdenticalGeometry) {
+  LayoutCache cache(4);
+  dot::Graph g = RandomLayeredDag(5, 4, 5, 0.3);
+  obs::Counter* hits = obs::Registry::Default()->GetOrCreateCounter(
+      "stetho_layout_cache_hits_total", "");
+  obs::Counter* misses = obs::Registry::Default()->GetOrCreateCounter(
+      "stetho_layout_cache_misses_total", "");
+  int64_t hits0 = hits->value();
+  int64_t misses0 = misses->value();
+
+  auto first = cache.GetOrCompute(g);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(misses->value() - misses0, 1);
+  auto second = cache.GetOrCompute(g);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(hits->value() - hits0, 1);
+  // Same shared layout object — bit-identical geometry by construction.
+  EXPECT_EQ(first.value().get(), second.value().get());
+
+  auto oracle = LayoutGraph(g);
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_EQ(first.value()->nodes.size(), oracle.value().nodes.size());
+  for (size_t i = 0; i < oracle.value().nodes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first.value()->nodes[i].x, oracle.value().nodes[i].x);
+    EXPECT_DOUBLE_EQ(first.value()->nodes[i].y, oracle.value().nodes[i].y);
+  }
+}
+
+TEST(LayoutCacheTest, DistinctOptionsMissDistinctEntries) {
+  LayoutCache cache(4);
+  dot::Graph g = RandomLayeredDag(6, 4, 5, 0.3);
+  LayoutOptions wide;
+  wide.node_gap = 40;
+  ASSERT_TRUE(cache.GetOrCompute(g).ok());
+  ASSERT_TRUE(cache.GetOrCompute(g, wide).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(LayoutCache::HashKey(g, {}), LayoutCache::HashKey(g, wide));
+}
+
+TEST(LayoutCacheTest, LruEvictsOldest) {
+  LayoutCache cache(2);
+  dot::Graph a = RandomLayeredDag(1, 3, 4, 0.3);
+  dot::Graph b = RandomLayeredDag(2, 3, 4, 0.3);
+  dot::Graph c = RandomLayeredDag(3, 3, 4, 0.3);
+  auto pa = cache.GetOrCompute(a);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(cache.GetOrCompute(b).ok());
+  // Touch `a` so `b` is the LRU entry, then insert `c`.
+  auto pa2 = cache.GetOrCompute(a);
+  ASSERT_TRUE(pa2.ok());
+  EXPECT_EQ(pa.value().get(), pa2.value().get());
+  ASSERT_TRUE(cache.GetOrCompute(c).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  // `a` survives (recently used); a recompute of `a` is still a hit.
+  auto pa3 = cache.GetOrCompute(a);
+  ASSERT_TRUE(pa3.ok());
+  EXPECT_EQ(pa.value().get(), pa3.value().get());
+}
+
+TEST(LayoutCacheTest, ZeroCapacityAlwaysComputes) {
+  LayoutCache cache(0);
+  dot::Graph g = RandomLayeredDag(8, 3, 4, 0.3);
+  auto a = cache.GetOrCompute(g);
+  auto b = cache.GetOrCompute(g);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value().get(), b.value().get());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LayoutCacheTest, PropagatesLayoutErrors) {
+  LayoutCache cache(4);
+  dot::Graph cyclic;
+  cyclic.AddEdge("a", "b");
+  cyclic.AddEdge("b", "a");
+  EXPECT_FALSE(cache.GetOrCompute(cyclic).ok());
+  EXPECT_EQ(cache.size(), 0u);
 }
 
 // --- SVG ---

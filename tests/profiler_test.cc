@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <thread>
+#include <vector>
 
 #include "common/clock.h"
 #include "profiler/event.h"
@@ -136,6 +138,47 @@ TEST(RingBufferSinkTest, KeepsMostRecent) {
   EXPECT_EQ(snap[2].pc, 4);
 }
 
+TEST(RingBufferSinkTest, ConsumeBatchMatchesPerEvent) {
+  RingBufferSink batched(4);
+  RingBufferSink one_by_one(4);
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 7; ++i) events.push_back(MakeEvent(i, EventState::kDone, i));
+  batched.ConsumeBatch(events.data(), events.size());
+  for (const TraceEvent& e : events) one_by_one.Consume(e);
+  EXPECT_EQ(batched.size(), one_by_one.size());
+  EXPECT_EQ(batched.total_consumed(), one_by_one.total_consumed());
+  EXPECT_EQ(batched.dropped(), one_by_one.dropped());
+  auto a = batched.Snapshot();
+  auto b = one_by_one.Snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].pc, b[i].pc);
+}
+
+TEST(RingBufferSinkTest, ConsumeBatchLargerThanCapacity) {
+  // A batch bigger than the whole ring keeps only the tail; everything
+  // else counts as dropped exactly as per-event eviction would.
+  RingBufferSink sink(3);
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 10; ++i) {
+    events.push_back(MakeEvent(i, EventState::kStart));
+  }
+  sink.ConsumeBatch(events.data(), events.size());
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.total_consumed(), 10);
+  EXPECT_EQ(sink.dropped(), 7);
+  auto snap = sink.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].pc, 7);
+  EXPECT_EQ(snap[2].pc, 9);
+}
+
+TEST(RingBufferSinkTest, EmptyBatchIsNoOp) {
+  RingBufferSink sink(3);
+  sink.ConsumeBatch(nullptr, 0);
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.total_consumed(), 0);
+}
+
 TEST(RingBufferSinkTest, Clear) {
   RingBufferSink sink(10);
   sink.Consume(MakeEvent(0, EventState::kStart));
@@ -161,6 +204,36 @@ TEST(FileSinkTest, WritesParseableLines) {
   }
   EXPECT_EQ(lines, 2);
   std::remove(path.c_str());
+}
+
+TEST(FileSinkTest, ConsumeBatchWritesIdenticalBytes) {
+  std::string batch_path = testing::TempDir() + "/stetho_trace_batch.trace";
+  std::string single_path = testing::TempDir() + "/stetho_trace_single.trace";
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 5; ++i) {
+    events.push_back(MakeEvent(i, EventState::kDone, 10 * i));
+  }
+  {
+    auto sink = FileSink::Open(batch_path);
+    ASSERT_TRUE(sink.ok());
+    sink.value()->ConsumeBatch(events.data(), events.size());
+    ASSERT_TRUE(sink.value()->Flush().ok());
+  }
+  {
+    auto sink = FileSink::Open(single_path);
+    ASSERT_TRUE(sink.ok());
+    for (const TraceEvent& e : events) sink.value()->Consume(e);
+    ASSERT_TRUE(sink.value()->Flush().ok());
+  }
+  std::ifstream a(batch_path), b(single_path);
+  std::string sa((std::istreambuf_iterator<char>(a)),
+                 std::istreambuf_iterator<char>());
+  std::string sb((std::istreambuf_iterator<char>(b)),
+                 std::istreambuf_iterator<char>());
+  EXPECT_FALSE(sa.empty());
+  EXPECT_EQ(sa, sb);
+  std::remove(batch_path.c_str());
+  std::remove(single_path.c_str());
 }
 
 TEST(FileSinkTest, OpenFailsOnBadPath) {

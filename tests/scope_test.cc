@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <thread>
 
 #include "common/clock.h"
+#include "common/rng.h"
 #include "dot/parser.h"
 #include "dot/writer.h"
 #include "net/channel.h"
@@ -125,6 +129,75 @@ TEST(ColoringTest, GradientScalesWithDuration) {
   // pc 2 is the max -> full red; pc 1 is lighter (closer to white).
   EXPECT_EQ(decisions[1].color, viz::Color::Red());
   EXPECT_GT(decisions[0].color.g, decisions[1].color.g);
+}
+
+// --- incremental pair-sequence tracker ---
+
+TEST(ColoringTest, TrackerMatchesPaperExample) {
+  std::vector<TraceEvent> buffer = {
+      Ev(EventState::kStart, 1), Ev(EventState::kDone, 1),
+      Ev(EventState::kStart, 2), Ev(EventState::kDone, 2),
+      Ev(EventState::kStart, 3), Ev(EventState::kStart, 4),
+  };
+  PairSequenceTracker tracker;
+  for (const TraceEvent& e : buffer) tracker.Observe(e);
+  ASSERT_EQ(tracker.decisions().size(), 1u);
+  EXPECT_EQ(tracker.decisions()[0].pc, 3);
+  EXPECT_EQ(tracker.decisions()[0].color, viz::Color::Red());
+}
+
+TEST(ColoringTest, TrackerEquivalentToRescanOnRandomStreams) {
+  // Property: after every prefix of a random event stream, the tracker's
+  // accumulated decisions are exactly what a full rescan would produce.
+  SplitMix64 rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<TraceEvent> stream;
+    PairSequenceTracker tracker;
+    std::vector<ColorDecision> via_take_new;
+    const int kEvents = 60;
+    for (int i = 0; i < kEvents; ++i) {
+      int pc = static_cast<int>(rng.NextBounded(6));
+      EventState state =
+          rng.NextBool(0.5) ? EventState::kStart : EventState::kDone;
+      stream.push_back(Ev(state, pc));
+      tracker.Observe(stream.back());
+      auto rescan = PairSequenceColoring(stream);
+      ASSERT_EQ(tracker.decisions().size(), rescan.size())
+          << "trial " << trial << " prefix " << i;
+      for (size_t k = 0; k < rescan.size(); ++k) {
+        EXPECT_EQ(tracker.decisions()[k].pc, rescan[k].pc);
+        EXPECT_EQ(tracker.decisions()[k].color, rescan[k].color);
+      }
+      // Random batch boundaries for the delta interface.
+      if (rng.NextBool(0.3)) {
+        auto fresh = tracker.TakeNew();
+        via_take_new.insert(via_take_new.end(), fresh.begin(), fresh.end());
+      }
+    }
+    auto fresh = tracker.TakeNew();
+    via_take_new.insert(via_take_new.end(), fresh.begin(), fresh.end());
+    // Concatenated deltas reproduce the full decision list.
+    auto rescan = PairSequenceColoring(stream);
+    ASSERT_EQ(via_take_new.size(), rescan.size());
+    for (size_t k = 0; k < rescan.size(); ++k) {
+      EXPECT_EQ(via_take_new[k].pc, rescan[k].pc);
+      EXPECT_EQ(via_take_new[k].color, rescan[k].color);
+    }
+  }
+}
+
+TEST(ColoringTest, TrackerResetForgetsState) {
+  PairSequenceTracker tracker;
+  tracker.Observe(Ev(EventState::kStart, 1));
+  tracker.Observe(Ev(EventState::kStart, 2));
+  EXPECT_EQ(tracker.decisions().size(), 1u);
+  tracker.Reset();
+  EXPECT_TRUE(tracker.decisions().empty());
+  // The pre-reset pending start must not leak a verdict.
+  tracker.Observe(Ev(EventState::kDone, 3));
+  ASSERT_EQ(tracker.decisions().size(), 1u);
+  EXPECT_EQ(tracker.decisions()[0].pc, 3);
+  EXPECT_EQ(tracker.decisions()[0].color, viz::Color::Green());
 }
 
 // --- analysis ---
@@ -465,6 +538,86 @@ TEST(TextualTest, OverRealUdp) {
   textual.Stop();
 }
 
+TEST(TextualTest, BatchedBurstPreservesOrderAndDemux) {
+  // A burst far larger than max_batch arrives interleaved with framing
+  // lines; batching must not reorder events or mix them into dot content.
+  auto [sender, receiver] = net::Channel::CreatePair();
+  TextualOptions options;
+  options.max_batch = 8;
+  TextualStethoscope textual(options);
+  ASSERT_TRUE(textual.AddServer("srv", std::move(receiver)).ok());
+
+  const int kEvents = 100;
+  ASSERT_TRUE(
+      net::SendDotFile(sender.get(), "s0", "digraph \"q\" {\n}\n").ok());
+  for (int i = 0; i < kEvents; ++i) {
+    ASSERT_TRUE(
+        sender->Send(profiler::FormatTraceLine(Ev(EventState::kDone, i))).ok());
+  }
+  ASSERT_TRUE(sender->Send("this is not a trace line").ok());
+  ASSERT_TRUE(net::SendEof(sender.get(), "s0").ok());
+
+  for (int i = 0; i < 500 && !textual.QueryFinished("srv/s0"); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(textual.QueryFinished("srv/s0"));
+  EXPECT_EQ(textual.events_received(), kEvents);
+  EXPECT_EQ(textual.malformed_lines(), 1);
+  EXPECT_TRUE(textual.DotFor("srv/s0").ok());
+  auto snapshot = textual.BufferSnapshot();
+  ASSERT_EQ(snapshot.size(), static_cast<size_t>(kEvents));
+  for (int i = 0; i < kEvents; ++i) {
+    EXPECT_EQ(snapshot[static_cast<size_t>(i)].pc, i);
+  }
+  textual.Stop();
+}
+
+TEST(TextualTest, ConcurrentIngestAndSnapshotStress) {
+  // Readers hammer every query surface while the listener ingests a
+  // stream — the TSan preset turns any ingest/snapshot race into a
+  // failure.
+  auto [sender, receiver] = net::Channel::CreatePair();
+  TextualOptions options;
+  options.buffer_capacity = 64;  // force ring evictions mid-stream
+  TextualStethoscope textual(options);
+  std::atomic<int64_t> callbacks{0};
+  textual.SetEventCallback([&](const std::string&, const TraceEvent&) {
+    callbacks.fetch_add(1, std::memory_order_relaxed);
+  });
+  ASSERT_TRUE(textual.AddServer("srv", std::move(receiver)).ok());
+
+  const int kEvents = 1500;
+  std::thread producer([&, sender = std::move(sender)] {
+    for (int i = 0; i < kEvents; ++i) {
+      ASSERT_TRUE(
+          sender->Send(profiler::FormatTraceLine(Ev(EventState::kDone, i)))
+              .ok());
+      if (i % 500 == 0) {
+        ASSERT_TRUE(net::SendDotFile(sender.get(),
+                                     "q" + std::to_string(i),
+                                     "digraph \"q\" {\n}\n")
+                        .ok());
+      }
+    }
+    ASSERT_TRUE(net::SendEof(sender.get(), "final").ok());
+  });
+
+  size_t max_seen = 0;
+  for (int i = 0; i < 2000 && !textual.QueryFinished("srv/final"); ++i) {
+    max_seen = std::max(max_seen, textual.BufferSnapshot().size());
+    (void)textual.CompletedDots();
+    (void)textual.events_received();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  producer.join();
+  ASSERT_TRUE(textual.QueryFinished("srv/final"));
+  EXPECT_EQ(textual.events_received(), kEvents);
+  EXPECT_EQ(callbacks.load(), kEvents);
+  EXPECT_LE(max_seen, 64u);
+  EXPECT_EQ(textual.CompletedDots().size(), 3u);
+  textual.Stop();
+}
+
 // --- offline replayer ---
 
 class ReplayFixture : public ::testing::Test {
@@ -667,6 +820,143 @@ TEST_F(ReplayFixture, GradientModeColorsByDuration) {
   EXPECT_TRUE(saw_red);
 }
 
+TEST_F(ReplayFixture, SeekMatchesSteppedOracleAllModes) {
+  // SeekTo only touches pcs whose color can change; a step-by-step replay
+  // is the oracle it must agree with. Gradient mode is the exception by
+  // design (unchanged from the pre-incremental seek): live stepping tints
+  // a node against the running maximum at its done event, while a seek
+  // re-derives every colored node against the maximum at the seek target —
+  // there the oracle is that recomputation, done here by hand.
+  for (ColoringMode mode : {ColoringMode::kState, ColoringMode::kThreshold,
+                            ColoringMode::kGradient}) {
+    const size_t targets[] = {0, 1, events_.size() / 2, events_.size() - 1,
+                              events_.size()};
+    for (size_t target : targets) {
+      auto seeker = MakeReplayer(mode);
+      ASSERT_TRUE(seeker->SeekTo(target).ok());
+      if (mode == ColoringMode::kGradient) {
+        std::vector<int64_t> cum(outcome_.plan.size(), 0);
+        for (size_t i = 0; i < target; ++i) {
+          if (events_[i].state == EventState::kDone) {
+            cum[static_cast<size_t>(events_[i].pc)] += events_[i].usec;
+          }
+        }
+        int64_t max_usec = 1;
+        for (int64_t u : cum) max_usec = std::max(max_usec, u);
+        for (size_t pc = 0; pc < cum.size(); ++pc) {
+          viz::Color expected =
+              cum[pc] > 0
+                  ? viz::Color::Lerp(viz::Color::White(), viz::Color::Red(),
+                                     static_cast<double>(cum[pc]) /
+                                         static_cast<double>(max_usec))
+                  : viz::Color::Gray();
+          EXPECT_EQ(seeker->NodeColor(NodeForPc(static_cast<int>(pc))).value(),
+                    expected)
+              << "gradient target " << target << " pc " << pc;
+        }
+        continue;
+      }
+      auto stepper = MakeReplayer(mode);
+      for (size_t i = 0; i < target; ++i) ASSERT_TRUE(stepper->Step().ok());
+      for (size_t pc = 0; pc < outcome_.plan.size(); ++pc) {
+        std::string node = NodeForPc(static_cast<int>(pc));
+        EXPECT_EQ(seeker->NodeColor(node).value(),
+                  stepper->NodeColor(node).value())
+            << "mode " << static_cast<int>(mode) << " target " << target
+            << " pc " << pc;
+      }
+    }
+  }
+}
+
+TEST_F(ReplayFixture, SeekSequenceMatchesFreshReplay) {
+  // Chained forward/backward seeks must land on the same state as a fresh
+  // replay stepped to the final position (incremental diffs can't drift).
+  auto replayer = MakeReplayer();
+  const size_t n = events_.size();
+  const size_t hops[] = {n, 3, n / 2, 0, n - 1};
+  for (size_t hop : hops) {
+    ASSERT_TRUE(replayer->SeekTo(hop).ok());
+  }
+  auto oracle = MakeReplayer();
+  for (size_t i = 0; i + 1 < n; ++i) ASSERT_TRUE(oracle->Step().ok());
+  for (size_t pc = 0; pc < outcome_.plan.size(); ++pc) {
+    std::string node = NodeForPc(static_cast<int>(pc));
+    EXPECT_EQ(replayer->NodeColor(node).value(),
+              oracle->NodeColor(node).value())
+        << pc;
+  }
+}
+
+TEST_F(ReplayFixture, FilterChangeKeepsSeekOracleAgreement) {
+  profiler::EventFilter filter;
+  filter.OnlyState(EventState::kDone);
+  auto seeker = MakeReplayer();
+  seeker->SetFilter(filter);
+  auto stepper = MakeReplayer();
+  stepper->SetFilter(filter);
+  const size_t target = seeker->size() / 2;
+  ASSERT_TRUE(seeker->SeekTo(target).ok());
+  for (size_t i = 0; i < target; ++i) ASSERT_TRUE(stepper->Step().ok());
+  for (size_t pc = 0; pc < outcome_.plan.size(); ++pc) {
+    std::string node = NodeForPc(static_cast<int>(pc));
+    EXPECT_EQ(seeker->NodeColor(node).value(),
+              stepper->NodeColor(node).value())
+        << pc;
+  }
+}
+
+// --- recorded example artifacts (examples/c4_q1.*) ---
+
+TEST(ExamplesTest, C4Q1TrackerByteIdenticalToRescan) {
+  // Acceptance gate: on the recorded demo artifacts the incremental
+  // tracker's decision stream is exactly the rescan's.
+  auto events =
+      ReadTraceFile(std::string(STETHO_EXAMPLES_DIR) + "/c4_q1.trace");
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  ASSERT_FALSE(events.value().empty());
+  auto rescan = PairSequenceColoring(events.value());
+  PairSequenceTracker tracker;
+  for (const TraceEvent& e : events.value()) tracker.Observe(e);
+  ASSERT_EQ(tracker.decisions().size(), rescan.size());
+  for (size_t i = 0; i < rescan.size(); ++i) {
+    EXPECT_EQ(tracker.decisions()[i].pc, rescan[i].pc) << i;
+    EXPECT_EQ(tracker.decisions()[i].color, rescan[i].color) << i;
+  }
+}
+
+TEST(ExamplesTest, C4Q1SeekMatchesSteppedReplay) {
+  auto events =
+      ReadTraceFile(std::string(STETHO_EXAMPLES_DIR) + "/c4_q1.trace");
+  ASSERT_TRUE(events.ok());
+  std::ifstream dot_in(std::string(STETHO_EXAMPLES_DIR) + "/c4_q1.dot");
+  std::string dot_text((std::istreambuf_iterator<char>(dot_in)),
+                       std::istreambuf_iterator<char>());
+  auto graph = dot::ParseDot(dot_text);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+
+  VirtualClock clock;
+  ReplayOptions options;
+  options.clock = &clock;
+  options.render_interval_us = 0;
+  auto seeker = OfflineReplayer::Create(graph.value(), events.value(), options);
+  auto stepper =
+      OfflineReplayer::Create(graph.value(), events.value(), options);
+  ASSERT_TRUE(seeker.ok());
+  ASSERT_TRUE(stepper.ok());
+  const size_t target = events.value().size() / 2;
+  ASSERT_TRUE(seeker.value()->SeekTo(target).ok());
+  for (size_t i = 0; i < target; ++i) {
+    ASSERT_TRUE(stepper.value()->Step().ok());
+  }
+  for (size_t i = 0; i < graph.value().num_nodes(); ++i) {
+    std::string node = NodeForPc(static_cast<int>(i));
+    EXPECT_EQ(seeker.value()->NodeColor(node).value(),
+              stepper.value()->NodeColor(node).value())
+        << node;
+  }
+}
+
 // --- online monitor ---
 
 TEST(OnlineMonitorTest, EndToEndColorsAndReports) {
@@ -724,6 +1014,52 @@ TEST(OnlineMonitorTest, DetectsSequentialAnomaly) {
   EXPECT_TRUE(report.value().parallelism.sequential_anomaly);
   EXPECT_NE(report.value().parallelism.summary.find("ANOMALY"),
             std::string::npos);
+}
+
+TEST(OnlineMonitorTest, RunsUnderVirtualClock) {
+  // The monitor's waits go through the injected clock, so a VirtualClock
+  // session completes without depending on real 30s/20ms constants.
+  tpch::TpchConfig config;
+  config.scale_factor = 0.001;
+  auto cat = tpch::GenerateTpch(config);
+  ASSERT_TRUE(cat.ok());
+  server::Mserver server(std::move(cat.value()), server::MserverOptions{});
+  VirtualClock clock;
+  OnlineOptions options;
+  options.clock = &clock;
+  options.render_interval_us = 0;
+  options.dot_timeout_us = 1LL << 60;  // virtual sleeps burn virtual time fast
+  OnlineMonitor monitor(&server, options);
+  auto report =
+      monitor.MonitorQuery("select l_tax from lineitem where l_partkey = 1");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_DOUBLE_EQ(report.value().final_progress, 1.0);
+  EXPECT_GT(report.value().events_received, 0);
+}
+
+TEST(OnlineMonitorTest, DotTimeoutDrivenByInjectedClock) {
+  // An already-expired deadline times out on the first poll — previously
+  // this branch needed 30 real seconds to reach.
+  tpch::TpchConfig config;
+  config.scale_factor = 0.001;
+  auto cat = tpch::GenerateTpch(config);
+  ASSERT_TRUE(cat.ok());
+  server::MserverOptions soptions;
+  soptions.dop = 4;
+  soptions.mitosis_pieces = 4;
+  server::Mserver server(std::move(cat.value()), soptions);
+  VirtualClock clock;
+  clock.Advance(1000);
+  OnlineOptions options;
+  options.clock = &clock;
+  options.render_interval_us = 0;
+  options.dot_timeout_us = -1000000;
+  OnlineMonitor monitor(&server, options);
+  auto report = monitor.MonitorQuery(
+      "select sum(l_extendedprice * l_discount) as revenue from lineitem "
+      "where l_shipdate >= 19940101 and l_shipdate < 19950101");
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().ToString().find("no dot file"), std::string::npos);
 }
 
 TEST(OnlineMonitorTest, QueryErrorPropagates) {

@@ -5,6 +5,7 @@
 #include "common/clock.h"
 #include "dot/parser.h"
 #include "layout/sugiyama.h"
+#include "obs/metrics.h"
 #include "viz/animation.h"
 #include "viz/camera.h"
 #include "viz/color.h"
@@ -513,6 +514,156 @@ TEST(RasterTest, ReplayChangesPixels) {
   }).ok());
   Raster after = RasterizeFrame(Renderer::RenderFrame(space, cam));
   EXPECT_GT(after.DiffRatio(before), 0.001);
+}
+
+// --- dirty-glyph epochs + delta rendering ---
+
+TEST(VirtualSpaceTest, EpochTracksMutations) {
+  VirtualSpace space;
+  Glyph g;
+  g.kind = GlyphKind::kShape;
+  int id = space.AddGlyph(g);
+  int64_t e0 = space.epoch();
+  ASSERT_TRUE(space.SetFill(id, Color::Red()).ok());
+  EXPECT_GT(space.epoch(), e0);
+  // A no-op fill (same color) must not dirty the glyph.
+  int64_t e1 = space.epoch();
+  ASSERT_TRUE(space.SetFill(id, Color::Red()).ok());
+  EXPECT_EQ(space.epoch(), e1);
+  EXPECT_TRUE(space.SnapshotSince(e1).empty());
+}
+
+TEST(VirtualSpaceTest, SnapshotSinceReturnsOnlyDirtyGlyphs) {
+  VirtualSpace space;
+  Glyph g;
+  g.kind = GlyphKind::kShape;
+  int a = space.AddGlyph(g);
+  int b = space.AddGlyph(g);
+  int64_t epoch = 0;
+  auto all = space.Snapshot(&epoch);
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_TRUE(space.SnapshotSince(epoch).empty());
+  ASSERT_TRUE(space.SetFill(b, Color::Green()).ok());
+  auto dirty = space.SnapshotSince(epoch);
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0].id, b);
+  EXPECT_EQ(dirty[0].fill, Color::Green());
+  // The other glyph is untouched.
+  EXPECT_NE(a, b);
+}
+
+TEST(VirtualSpaceTest, AddGlyphsMatchesRepeatedAddGlyph) {
+  Glyph g;
+  g.kind = GlyphKind::kShape;
+  g.owner = "n0";
+  VirtualSpace one_by_one;
+  VirtualSpace batched;
+  std::vector<Glyph> batch;
+  for (int i = 0; i < 5; ++i) {
+    Glyph gi = g;
+    gi.z = i % 2;
+    one_by_one.AddGlyph(gi);
+    batch.push_back(gi);
+  }
+  int first = batched.AddGlyphs(std::move(batch));
+  EXPECT_EQ(first, 0);
+  ASSERT_EQ(batched.size(), one_by_one.size());
+  auto a = one_by_one.Snapshot();
+  auto b = batched.Snapshot();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].z, b[i].z);
+  }
+  EXPECT_EQ(batched.GlyphsForOwner("n0").size(), 5u);
+}
+
+TEST(RendererTest, RenderDeltaContainsOnlyChangedGlyphs) {
+  dot::Graph g = TwoNodeGraph();
+  auto layout = layout::LayoutGraph(g);
+  ASSERT_TRUE(layout.ok());
+  VirtualSpace space;
+  BuildScene(g, layout.value(), &space);
+  Camera cam(400, 300);
+  cam.FitRect(0, 0, layout.value().width, layout.value().height);
+  Frame full = Renderer::RenderFrame(space, cam);
+  EXPECT_TRUE(Renderer::RenderDelta(space, cam, full.epoch).commands.empty());
+  int shape = space.ShapeFor("n1");
+  ASSERT_GE(shape, 0);
+  ASSERT_TRUE(space.SetFill(shape, Color::Red()).ok());
+  Frame delta = Renderer::RenderDelta(space, cam, full.epoch);
+  ASSERT_EQ(delta.commands.size(), 1u);
+  EXPECT_EQ(delta.commands[0].glyph, shape);
+  EXPECT_EQ(delta.commands[0].fill, Color::Red());
+}
+
+TEST(RasterTest, IncrementalDeltaMatchesFullRedraw) {
+  // Pixel-identity: dirty-rect redraw == full re-rasterization after a
+  // sequence of color changes.
+  dot::Graph g = TwoNodeGraph();
+  auto layout = layout::LayoutGraph(g);
+  ASSERT_TRUE(layout.ok());
+  VirtualSpace space;
+  BuildScene(g, layout.value(), &space);
+  Camera cam(400, 300);
+  cam.FitRect(0, 0, layout.value().width, layout.value().height);
+  Frame full = Renderer::RenderFrame(space, cam);
+  IncrementalRasterizer inc(400, 300);
+  inc.Draw(full);
+  int64_t epoch = full.epoch;
+  const Color colors[] = {Color::Red(), Color::Green(), Color::Orange()};
+  const char* nodes[] = {"n0", "n1", "n0"};
+  for (int step = 0; step < 3; ++step) {
+    int shape = space.ShapeFor(nodes[step]);
+    ASSERT_GE(shape, 0);
+    ASSERT_TRUE(space.SetFill(shape, colors[step]).ok());
+    Frame delta = Renderer::RenderDelta(space, cam, epoch);
+    epoch = delta.epoch;
+    ASSERT_TRUE(inc.ApplyDelta(delta).ok());
+    Raster oracle = RasterizeFrame(Renderer::RenderFrame(space, cam));
+    EXPECT_DOUBLE_EQ(inc.raster().DiffRatio(oracle), 0.0) << "step " << step;
+  }
+}
+
+TEST(RasterTest, IncrementalRedrawIsLocalAndCounted) {
+  dot::Graph g = TwoNodeGraph();
+  auto layout = layout::LayoutGraph(g);
+  ASSERT_TRUE(layout.ok());
+  VirtualSpace space;
+  BuildScene(g, layout.value(), &space);
+  Camera cam(400, 300);
+  cam.FitRect(0, 0, layout.value().width, layout.value().height);
+  Frame full = Renderer::RenderFrame(space, cam);
+  IncrementalRasterizer inc(400, 300);
+  inc.Draw(full);
+  obs::Counter* redrawn = obs::Registry::Default()->GetOrCreateCounter(
+      "stetho_viz_glyphs_redrawn_total", "");
+  int64_t before = redrawn->value();
+  int shape = space.ShapeFor("n0");
+  ASSERT_TRUE(space.SetFill(shape, Color::Red()).ok());
+  ASSERT_TRUE(
+      inc.ApplyDelta(Renderer::RenderDelta(space, cam, full.epoch)).ok());
+  // Only commands intersecting the node's dirty rectangle were redrawn —
+  // strictly fewer than the full scene.
+  EXPECT_GT(inc.last_redrawn(), 0);
+  EXPECT_LT(inc.last_redrawn(), static_cast<int64_t>(full.commands.size()));
+  EXPECT_EQ(redrawn->value() - before, inc.last_redrawn());
+}
+
+TEST(RasterTest, ApplyDeltaRequiresMatchingScene) {
+  IncrementalRasterizer inc(100, 100);
+  Frame delta;
+  delta.viewport_width = 100;
+  delta.viewport_height = 100;
+  EXPECT_FALSE(inc.ApplyDelta(delta).ok());  // no Draw yet
+  Frame full;
+  full.viewport_width = 100;
+  full.viewport_height = 100;
+  inc.Draw(full);
+  EXPECT_TRUE(inc.ApplyDelta(delta).ok());
+  Frame wrong;
+  wrong.viewport_width = 50;
+  wrong.viewport_height = 100;
+  EXPECT_FALSE(inc.ApplyDelta(wrong).ok());
 }
 
 }  // namespace

@@ -28,6 +28,7 @@
 
 #include "common/string_util.h"
 #include "dot/parser.h"
+#include "layout/layout_cache.h"
 #include "layout/sugiyama.h"
 #include "layout/svg.h"
 #include "obs/flight_recorder.h"
@@ -147,9 +148,10 @@ int CmdRun(const CliOptions& cli, const std::string& sql) {
     // parse → optimize → execute → layout → svg.
     auto graph = dot::ParseDot(outcome.value().dot);
     if (graph.ok()) {
-      auto layout = layout::LayoutGraph(graph.value(), layout::LayoutOptions());
+      auto layout =
+          layout::LayoutCache::Default()->GetOrCompute(graph.value());
       if (layout.ok()) {
-        (void)layout::LayoutToSvg(graph.value(), layout.value(),
+        (void)layout::LayoutToSvg(graph.value(), *layout.value(),
                                   layout::SvgOptions());
       }
     }
