@@ -15,6 +15,7 @@
 
 #include "analysis/absint.h"
 #include "analysis/hb.h"
+#include "analysis/liveness.h"
 #include "analysis/runner.h"
 #include "bench_util.h"
 #include "common/clock.h"
@@ -141,6 +142,37 @@ void BM_PipelineWithDiffer(benchmark::State& state, const char* query_id) {
   }
 }
 
+/// One full memory-lifetime analysis (forward absint + backward liveness +
+/// accountant simulation) plus the dop-4 parallel bound — the cost `mal_lint
+/// --memory`, the memory checks, and budgeted admission each pay per plan.
+void BM_LivenessFootprintImpl(benchmark::State& state, const char* query_id) {
+  mal::Program plan = ExpandedPlan(query_id, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    analysis::MemoryReport report = analysis::AnalyzeMemory(plan);
+    int64_t bound = analysis::ParallelPeakBound(plan, report, 4);
+    benchmark::DoNotOptimize(report);
+    benchmark::DoNotOptimize(bound);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plan.size()));
+}
+
+/// The memory_reorder pass on an unoptimized plan (two AnalyzeMemory runs +
+/// greedy list scheduling + validation) — its marginal pipeline cost.
+void BM_MemoryReorderImpl(benchmark::State& state, const char* query_id) {
+  storage::Catalog& catalog = bench::SharedCatalog(0.01);
+  auto base =
+      sql::Compiler::CompileSql(&catalog, tpch::GetQuery(query_id).value().sql);
+  if (!base.ok()) std::abort();
+  auto pass = optimizer::MakeMemoryReorderPass();
+  for (auto _ : state) {
+    mal::Program plan = base.value();
+    auto changed = pass->Run(&plan);
+    if (!changed.ok()) std::abort();
+    benchmark::DoNotOptimize(plan);
+  }
+}
+
 void BM_AbsintQ1(benchmark::State& state) { BM_AbstractInterpret(state, "q1"); }
 void BM_AbsintQ3(benchmark::State& state) { BM_AbstractInterpret(state, "q3"); }
 void BM_LintQ1(benchmark::State& state) { BM_LintSuite(state, "q1"); }
@@ -154,6 +186,18 @@ void BM_PipelineQ1(benchmark::State& state) {
 void BM_PipelineQ6(benchmark::State& state) {
   BM_PipelineWithDiffer(state, "q6");
 }
+void BM_LivenessFootprint(benchmark::State& state) {
+  BM_LivenessFootprintImpl(state, "q1");
+}
+void BM_LivenessFootprintQ3(benchmark::State& state) {
+  BM_LivenessFootprintImpl(state, "q3");
+}
+void BM_MemoryReorder(benchmark::State& state) {
+  BM_MemoryReorderImpl(state, "q1");
+}
+void BM_MemoryReorderQ3(benchmark::State& state) {
+  BM_MemoryReorderImpl(state, "q3");
+}
 
 BENCHMARK(BM_AbsintQ1)->Arg(0)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_AbsintQ3)->Arg(0)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
@@ -164,6 +208,18 @@ BENCHMARK(BM_HbReplayQ1)->Arg(0)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond)
 BENCHMARK(BM_HbReplayQ3)->Arg(0)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_PipelineQ1)->Arg(0)->Arg(8)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PipelineQ6)->Arg(0)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LivenessFootprint)
+    ->Arg(0)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LivenessFootprintQ3)
+    ->Arg(0)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MemoryReorder)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MemoryReorderQ3)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

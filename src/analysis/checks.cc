@@ -319,8 +319,9 @@ class BatLifetimeCheck final : public Check {
  public:
   const char* id() const override { return "bat-lifetime"; }
   const char* description() const override {
-    return "BAT registers are consumed by someone, and no consumer starts "
-           "before its producer finished (with a trace)";
+    return "BAT registers produced by effectful instructions are consumed "
+           "by someone (plan-only; the trace-side producer/consumer "
+           "ordering lives in trace-dependency-violation)";
   }
   unsigned needs() const override { return kNeedsProgram; }
 
@@ -329,11 +330,16 @@ class BatLifetimeCheck final : public Check {
     Emitter emit(id(), out);
     std::vector<int> consumers = ConsumerCounts(p);
 
-    // Plan side: a BAT produced by an effectful instruction that nobody
-    // reads is allocated, charged to the memory accountant, and released
-    // without ever being used. (Pure producers are the dead-instruction
-    // check's territory; unused side results of pure ops are normal MAL —
-    // the interpreter releases them immediately.)
+    // A BAT produced by an effectful instruction that nobody reads is
+    // allocated, charged to the memory accountant, and released without
+    // ever being used. (Pure producers are the dead-instruction check's
+    // territory; unused side results of pure ops are normal MAL — the
+    // interpreter releases them immediately.) The trace-side half this
+    // check used to carry — consumers starting before their producer's
+    // done event — re-reported what the happens-before replay proves
+    // properly; trace-dependency-violation (checks_hb.cc) is the single
+    // source of truth for that now, and the baseline loader aliases old
+    // bat-lifetime fingerprints onto it so recorded baselines stay valid.
     for (const Instruction& ins : p.instructions()) {
       const KernelSignature* sig =
           LookupKernelSignature(ins.module, ins.function);
@@ -347,38 +353,6 @@ class BatLifetimeCheck final : public Check {
                               "released without a reader",
                               VarName(p, r).c_str()),
                     "drop the unused result or add its consumer");
-        }
-      }
-    }
-
-    // Trace side: the dataflow contract says a consumer's start event is
-    // emitted after every producer's done event. A violation means the
-    // scheduler let an instruction read a register its producer had not
-    // finished (or already released) — use-after-free territory.
-    if (ctx.trace == nullptr) return;
-    std::vector<TraceEvent> events = SortedByEventId(*ctx.trace);
-    std::vector<int64_t> first_start(p.size(), -1), first_done(p.size(), -1);
-    for (size_t i = 0; i < events.size(); ++i) {
-      const TraceEvent& e = events[i];
-      if (e.pc < 0 || static_cast<size_t>(e.pc) >= p.size()) continue;
-      auto& slot = e.state == EventState::kStart
-                       ? first_start[static_cast<size_t>(e.pc)]
-                       : first_done[static_cast<size_t>(e.pc)];
-      if (slot < 0) slot = static_cast<int64_t>(i);
-    }
-    std::vector<std::vector<int>> deps = p.BuildDependencies();
-    for (size_t pc = 0; pc < deps.size(); ++pc) {
-      int64_t start = first_start[pc];
-      if (start < 0) continue;
-      for (int producer : deps[pc]) {
-        int64_t done = first_done[static_cast<size_t>(producer)];
-        if (done < 0 || start < done) {
-          emit.Emit(Severity::kError, static_cast<int>(pc), -1,
-                    StrFormat("started before its producer pc=%d finished — "
-                              "the register it reads may already be released",
-                              producer),
-                    "scheduler happens-before violation; check the dataflow "
-                    "dependency edges");
         }
       }
     }
@@ -822,6 +796,10 @@ std::vector<std::unique_ptr<Check>> AllChecks() {
   checks.push_back(MakeGuaranteedEmptyCheck());
   checks.push_back(MakeMissedConstantFoldCheck());
   checks.push_back(MakeOrderKeyPropagationCheck());
+  // Memory-lifetime checks (checks_memory.cc).
+  checks.push_back(MakeMemoryBlowupCheck());
+  checks.push_back(MakeLiveRangeBloatCheck());
+  checks.push_back(MakeFootprintConformanceCheck());
   return checks;
 }
 

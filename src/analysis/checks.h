@@ -16,8 +16,10 @@ namespace stetho::analysis {
 ///   dead-instruction        pure instruction whose results are never read
 ///   kernel-signature        op exists; arity and BAT/scalar shapes match the
 ///                           kernel table (and the ModuleRegistry when given)
-///   bat-lifetime            BAT registers are consumed (plan) and never read
-///                           before their producer finished (plan + trace)
+///   bat-lifetime            BAT registers produced by effectful instructions
+///                           are consumed by someone (plan-only; the trace
+///                           ordering half lives in
+///                           trace-dependency-violation)
 ///   sink-order-key          result sinks carry a well-defined
 ///                           engine::ResultColumn::order key
 ///
@@ -60,6 +62,18 @@ namespace stetho::analysis {
 ///                               MakeConstantFoldingPass would remove
 ///   order-key-propagation       candidate-list slots receive ascending,
 ///                               NULL-free bat[:oid] values
+///
+/// Memory-lifetime checks (analysis/liveness.h liveness + footprint model;
+/// see checks_memory.cc):
+///   memory-blowup               predicted sequential peak exceeds
+///                               STETHO_MEM_BUDGET, or blows up relative to
+///                               the bytes bound from base tables (program)
+///   live-range-bloat            a heavy BAT stays live far past the point
+///                               where its last consumer could legally run
+///                               (program)
+///   footprint-conformance       the static peak bound dominates the
+///                               engine-recorded rss peak and stays within
+///                               2x of it (program + trace)
 
 std::unique_ptr<Check> MakeDefBeforeUseCheck();
 std::unique_ptr<Check> MakeSingleAssignmentCheck();
@@ -80,6 +94,9 @@ std::unique_ptr<Check> MakeCardinalityContradictionCheck();
 std::unique_ptr<Check> MakeGuaranteedEmptyCheck();
 std::unique_ptr<Check> MakeMissedConstantFoldCheck();
 std::unique_ptr<Check> MakeOrderKeyPropagationCheck();
+std::unique_ptr<Check> MakeMemoryBlowupCheck();
+std::unique_ptr<Check> MakeLiveRangeBloatCheck();
+std::unique_ptr<Check> MakeFootprintConformanceCheck();
 
 /// All built-in checks, in the order listed above.
 std::vector<std::unique_ptr<Check>> AllChecks();

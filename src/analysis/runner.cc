@@ -265,8 +265,28 @@ std::vector<Diagnostic> ApplyBaseline(
     const std::vector<std::string>& baseline) {
   if (baseline.empty()) return diagnostics;
   auto suppressed = [&baseline](const Diagnostic& d) {
-    return std::find(baseline.begin(), baseline.end(),
-                     DiagnosticFingerprint(d)) != baseline.end();
+    if (std::find(baseline.begin(), baseline.end(),
+                  DiagnosticFingerprint(d)) != baseline.end()) {
+      return true;
+    }
+    // Legacy alias: the trace-side half of bat-lifetime moved into
+    // trace-dependency-violation (single source of truth for the
+    // happens-before contract). Baselines recorded before the move list
+    // the old fingerprint; map today's finding back onto it so those
+    // files keep suppressing the same schedule anomaly.
+    if (d.check_id == "trace-dependency-violation") {
+      Diagnostic legacy = d;
+      legacy.check_id = "bat-lifetime";
+      legacy.message = StrFormat(
+          "started before its producer pc=%d finished — the register it "
+          "reads may already be released",
+          /*producer=*/0);
+      if (std::find(baseline.begin(), baseline.end(),
+                    DiagnosticFingerprint(legacy)) != baseline.end()) {
+        return true;
+      }
+    }
+    return false;
   };
   diagnostics.erase(
       std::remove_if(diagnostics.begin(), diagnostics.end(), suppressed),

@@ -112,10 +112,19 @@ void TransferPartition(const TransferContext& ctx,
   out.elem = in.elem;
   out.sorted = in.sorted;
   out.nullable = in.nullable;
-  // A piece holds between 0 and all of the input's rows. (The exact split
-  // n*(i+1)/p - n*i/p is deliberately not used: it would prove tiny pieces
-  // empty and drown small-table plans in guaranteed-empty warnings.)
+  // A piece holds between 0 and ceil(n / pieces) of the input's rows: the
+  // kernel slices [n*i/p, n*(i+1)/p), and no such slice exceeds the ceiling.
+  // The lower bound stays 0 (the exact split n*(i+1)/p - n*i/p is
+  // deliberately not used: it would prove tiny pieces empty and drown
+  // small-table plans in guaranteed-empty warnings). The ceiling matters for
+  // the memory model: without it every piece is bounded by the FULL input,
+  // and mat.pack's sum inflates downstream cardinalities by the piece count.
   out.card = Interval{0, in.card.hi};
+  int64_t pieces = 0;
+  if (ConstInt(ctx, 1, &pieces) && pieces > 0 &&
+      in.card.hi != Interval::kUnbounded) {
+    out.card.hi = (in.card.hi + pieces - 1) / pieces;
+  }
 }
 
 void TransferAppend(const TransferContext& ctx,

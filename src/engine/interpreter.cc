@@ -17,6 +17,28 @@
 namespace stetho::engine {
 namespace {
 
+/// Process-wide mirror of the per-query live-byte accountant: every
+/// AddLiveBytes delta also lands here (one relaxed add, always on), so the
+/// metrics page shows the engine's current column memory across all
+/// concurrent queries. Drains back to the accountant's own zero when every
+/// query releases its registers.
+obs::Gauge* EngineLiveBytesGauge() {
+  static obs::Gauge* gauge = obs::Registry::Default()->GetOrCreateGauge(
+      "stetho_engine_live_bytes",
+      "Live column bytes currently held by executing queries "
+      "(Column::MemoryBytes accounting)");
+  return gauge;
+}
+
+/// Peak of the accountant for the most recently finished query — the number
+/// footprint-conformance checks against the static bound.
+obs::Gauge* EnginePeakRssGauge() {
+  static obs::Gauge* gauge = obs::Registry::Default()->GetOrCreateGauge(
+      "stetho_engine_peak_rss_bytes",
+      "Live-byte peak recorded by the last completed query execution");
+  return gauge;
+}
+
 /// All mutable state shared by the dataflow tasks of one query execution —
 /// the per-query "epoch" the shared WorkerPool knows nothing about. Execute
 /// owns it on the stack and blocks until the job signals done, so tasks may
@@ -77,6 +99,7 @@ struct RunState {
       : var_consumers(num_vars), indegree(num_ins), completed(num_ins) {}
 
   void AddLiveBytes(int64_t delta) {
+    EngineLiveBytesGauge()->Add(delta);
     int64_t now = live_bytes.fetch_add(delta, std::memory_order_relaxed) + delta;
     int64_t peak = peak_bytes.load(std::memory_order_relaxed);
     while (now > peak &&
@@ -448,6 +471,12 @@ Result<QueryResult> Interpreter::ExecuteInternal(
   result.stats = std::move(state.stats);
   result.total_usec = clock->NowMicros() - run_start;
   result.peak_rss_bytes = state.peak_bytes.load(std::memory_order_relaxed);
+  EnginePeakRssGauge()->Set(result.peak_rss_bytes);
+  // Whatever the query still holds (result columns about to be handed to the
+  // caller) leaves the engine with it — drain the process-wide mirror so it
+  // converges to zero when no query is executing.
+  EngineLiveBytesGauge()->Add(
+      -state.live_bytes.load(std::memory_order_relaxed));
   return result;
 }
 

@@ -19,8 +19,10 @@ class Scanner {
   void SkipSpace() {
     while (pos_ < text_.size()) {
       char c = text_[pos_];
-      if (c == '#') {  // comment to end of line
+      if (c == '#') {  // comment to end of line (kept for pragma recovery)
+        size_t start = pos_ + 1;
         while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        comments_.push_back(text_.substr(start, pos_ - start));
       } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
       } else {
@@ -162,6 +164,9 @@ class Scanner {
 
   size_t pos() const { return pos_; }
 
+  /// Every comment body encountered so far, in source order.
+  const std::vector<std::string>& comments() const { return comments_; }
+
  private:
   static bool IsIdentChar(char c) {
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
@@ -169,7 +174,29 @@ class Scanner {
 
   const std::string& text_;
   size_t pos_ = 0;
+  std::vector<std::string> comments_;
 };
+
+/// Re-attaches cardinality intervals serialized by Program::ToString as
+/// "# card <var> <lo>..<hi>" pragma comments. Runs after the full listing is
+/// parsed so pragmas may precede the statements that define their variables.
+/// Malformed pragmas and unknown variables are ignored — comments remain
+/// free-form text, never a parse error.
+void ApplyCardinalityPragmas(const std::vector<std::string>& comments,
+                             Program* program) {
+  for (const std::string& comment : comments) {
+    std::vector<std::string> tokens = SplitAndTrim(comment, ' ');
+    if (tokens.size() != 3 || tokens[0] != "card") continue;
+    int var = program->FindVariable(tokens[1]);
+    if (var < 0) continue;
+    size_t dots = tokens[2].find("..");
+    if (dots == std::string::npos) continue;
+    auto lo = ParseInt64(tokens[2].substr(0, dots));
+    auto hi = ParseInt64(tokens[2].substr(dots + 2));
+    if (!lo.ok() || !hi.ok()) continue;
+    program->AnnotateCardinality(var, lo.value(), hi.value());
+  }
+}
 
 /// Resolves `name` in the program's variable table, creating an untyped
 /// variable if unseen (tolerant mode for hand-written listings).
@@ -309,6 +336,7 @@ Result<Program> ParseProgramImpl(const std::string& text, bool validate) {
         scan.Consume('.');
       }
       if (validate) STETHO_RETURN_IF_ERROR(program.Validate());
+      ApplyCardinalityPragmas(scan.comments(), &program);
       return program;
     }
     STETHO_RETURN_IF_ERROR(ParseStatement(&scan, &program));

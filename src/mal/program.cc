@@ -1,5 +1,7 @@
 #include "mal/program.h"
 
+#include <algorithm>
+
 #include <unordered_map>
 
 #include "common/string_util.h"
@@ -59,6 +61,11 @@ std::vector<std::vector<int>> Program::BuildDependencies() const {
     std::vector<int>& d = deps[static_cast<size_t>(ins.pc)];
     for (const Argument& arg : ins.args) {
       if (arg.kind != Argument::Kind::kVar) continue;
+      // Out-of-range references are a Validate() error; the lint path walks
+      // such malformed programs to diagnose them, so skip rather than index.
+      if (arg.var < 0 || static_cast<size_t>(arg.var) >= writer.size()) {
+        continue;
+      }
       int w = writer[static_cast<size_t>(arg.var)];
       if (w >= 0) {
         bool seen = false;
@@ -71,7 +78,10 @@ std::vector<std::vector<int>> Program::BuildDependencies() const {
         if (!seen) d.push_back(w);
       }
     }
-    for (int r : ins.results) writer[static_cast<size_t>(r)] = ins.pc;
+    for (int r : ins.results) {
+      if (r < 0 || static_cast<size_t>(r) >= writer.size()) continue;
+      writer[static_cast<size_t>(r)] = ins.pc;
+    }
   }
   return deps;
 }
@@ -108,6 +118,25 @@ std::string Program::InstructionToString(const Instruction& ins) const {
 
 std::string Program::ToString() const {
   std::string out = "function " + function_name_ + "():void;\n";
+  // Cardinality annotations travel as structured pragma comments so that a
+  // listing written to disk keeps the bounds the SQL compiler attached (the
+  // memory-footprint model is unusable without them). The parser recognizes
+  // exactly this shape and re-attaches the interval; any other comment stays
+  // free-form. Statement text itself is untouched, so the dot-label contract
+  // (statement text == node label) is unaffected.
+  // Name order, not id order: a parse re-assigns ids by first mention, so
+  // only a name-keyed order makes print -> parse -> print a fixpoint.
+  std::vector<const Variable*> annotated;
+  for (const Variable& v : variables_) {
+    if (v.has_cardinality()) annotated.push_back(&v);
+  }
+  std::sort(annotated.begin(), annotated.end(),
+            [](const Variable* a, const Variable* b) { return a->name < b->name; });
+  for (const Variable* v : annotated) {
+    out += StrFormat("# card %s %lld..%lld\n", v->name.c_str(),
+                     static_cast<long long>(v->card_lo),
+                     static_cast<long long>(v->card_hi));
+  }
   for (const Instruction& ins : instructions_) {
     out += "    ";
     out += InstructionToString(ins);

@@ -127,6 +127,7 @@ Pipeline Pipeline::Default(int mitosis_pieces) {
   if (mitosis_pieces > 1) {
     pipeline.Add(MakeMitosisPass(mitosis_pieces));
   }
+  pipeline.Add(MakeMemoryReorderPass());
   pipeline.Add(MakeDataflowMarkerPass());
   return pipeline;
 }

@@ -41,7 +41,8 @@ class Pipeline {
 
   /// MonetDB-like default pipeline: constant folding, common subexpression
   /// elimination, dead code elimination, mitosis (with `mitosis_pieces`
-  /// partitions when > 1), and the dataflow marker.
+  /// partitions when > 1), memory-aware reordering, and the dataflow
+  /// marker.
   static Pipeline Default(int mitosis_pieces = 0);
 
  private:
@@ -65,6 +66,14 @@ std::unique_ptr<Pass> MakeDeadCodePass();
 /// Enables multi-core dataflow execution and inflates plan graphs to the
 /// >1000-node scale of the paper's Fig. 2.
 std::unique_ptr<Pass> MakeMitosisPass(int pieces);
+
+/// Topologically reorders instructions to shrink the sequential live-byte
+/// peak predicted by analysis/liveness.h (greedy list scheduling that
+/// consumes heavy intermediates as early as legal). Keeps the relative
+/// order of effectful instructions, must pass Program::Validate() and the
+/// pass-equivalence differ, and restores the original order (reporting
+/// "did not fire") unless the predicted peak strictly shrinks.
+std::unique_ptr<Pass> MakeMemoryReorderPass();
 
 /// Prepends the language.dataflow() marker instruction (an administrative
 /// node; the paper's §6 mentions pruning such nodes as future work).

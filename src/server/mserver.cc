@@ -1,7 +1,10 @@
 #include "server/mserver.h"
 
+#include <algorithm>
+#include <chrono>
 #include <thread>
 
+#include "analysis/liveness.h"
 #include "common/string_util.h"
 #include "dot/writer.h"
 #include "engine/worker_pool.h"
@@ -9,6 +12,49 @@
 #include "obs/span.h"
 
 namespace stetho::server {
+namespace {
+
+obs::Counter* AdmissionCounter(const char* outcome, const char* help) {
+  return obs::Registry::Default()->GetOrCreateCounter(
+      std::string("stetho_admission_") + outcome + "_total", help);
+}
+
+obs::Counter* AdmittedCounter() {
+  static obs::Counter* c = AdmissionCounter(
+      "admitted", "Queries admitted by the memory-budget gate");
+  return c;
+}
+obs::Counter* QueuedCounter() {
+  static obs::Counter* c = AdmissionCounter(
+      "queued", "Queries that waited for engine memory headroom");
+  return c;
+}
+obs::Counter* RejectedCounter() {
+  static obs::Counter* c = AdmissionCounter(
+      "rejected", "Queries rejected because their predicted peak exceeds "
+                  "the memory budget");
+  return c;
+}
+
+obs::Gauge* PredictedPeakGauge() {
+  static obs::Gauge* g = obs::Registry::Default()->GetOrCreateGauge(
+      "stetho_mem_predicted_peak_bytes",
+      "Static peak-footprint prediction for the most recently admitted "
+      "or rejected query");
+  return g;
+}
+
+/// The interpreter's process-wide live-byte mirror (same name, same
+/// registry instance as the one engine/interpreter.cc maintains).
+obs::Gauge* EngineLiveBytesGauge() {
+  static obs::Gauge* g = obs::Registry::Default()->GetOrCreateGauge(
+      "stetho_engine_live_bytes",
+      "Live column bytes currently held by executing queries "
+      "(Column::MemoryBytes accounting)");
+  return g;
+}
+
+}  // namespace
 
 Mserver::Mserver(storage::Catalog catalog, const MserverOptions& options)
     : catalog_(std::move(catalog)),
@@ -60,6 +106,11 @@ Result<QueryOutcome> Mserver::ExecuteSql(const std::string& sql) {
     STETHO_ASSIGN_OR_RETURN(outcome.optimizer_passes, pipeline.Run(&program));
   }
 
+  {
+    obs::Span admit_span(tracer, "admit", "phase");
+    STETHO_RETURN_IF_ERROR(AdmitForMemory(program));
+  }
+
   // The server generates the dot file before execution begins and pushes it
   // over every attached stream.
   dot::DotWriterOptions dot_options;
@@ -107,6 +158,65 @@ void Mserver::DetachStreams() {
 
 std::string Mserver::MetricsText() const {
   return obs::Registry::Default()->ExpositionText();
+}
+
+Status Mserver::AdmitForMemory(const mal::Program& program) const {
+  int64_t budget = options_.mem_budget_bytes > 0
+                       ? options_.mem_budget_bytes
+                       : analysis::EnvMemBudgetBytes();
+  if (budget <= 0) return Status::OK();  // no budget configured: admit all
+
+  analysis::MemoryReport report = analysis::AnalyzeMemory(program);
+  int dop = options_.force_sequential ? 1
+            : options_.dop > 0
+                ? options_.dop
+                : std::max(1, static_cast<int>(
+                                  std::thread::hardware_concurrency()));
+  int64_t predicted = analysis::ParallelPeakBound(program, report, dop);
+  if (!report.bounded || predicted == analysis::kUnboundedBytes) {
+    // The model cannot bound the plan (missing cardinality annotations);
+    // refusing service on an unbounded estimate would reject every such
+    // plan forever, so admit and let execution be the judge.
+    AdmittedCounter()->Increment();
+    return Status::OK();
+  }
+  PredictedPeakGauge()->Set(predicted);
+
+  if (predicted > budget) {
+    RejectedCounter()->Increment();
+    return Status::ResourceExhausted(
+        StrFormat("query rejected by memory admission: predicted peak %s "
+                  "(dop %d) exceeds the budget of %s",
+                  analysis::FormatBytes(predicted).c_str(), dop,
+                  analysis::FormatBytes(budget).c_str()));
+  }
+
+  // Fits the budget in isolation; check headroom against what running
+  // queries currently hold, waiting for them to drain if necessary.
+  obs::Gauge* live = EngineLiveBytesGauge();
+  if (predicted <= budget - live->value()) {
+    AdmittedCounter()->Increment();
+    return Status::OK();
+  }
+  QueuedCounter()->Increment();
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(options_.admission_wait_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicted <= budget - live->value()) {
+      AdmittedCounter()->Increment();
+      return Status::OK();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  RejectedCounter()->Increment();
+  return Status::ResourceExhausted(
+      StrFormat("query rejected by memory admission after queueing %d ms: "
+                "predicted peak %s plus %s already live exceeds the budget "
+                "of %s",
+                options_.admission_wait_ms,
+                analysis::FormatBytes(predicted).c_str(),
+                analysis::FormatBytes(live->value()).c_str(),
+                analysis::FormatBytes(budget).c_str()));
 }
 
 Status Mserver::SetProfilerFilter(const std::string& serialized) {

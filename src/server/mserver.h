@@ -28,6 +28,17 @@ struct MserverOptions {
   /// Force sequential interpretation (reproduces the paper's "sequential
   /// execution where multithreaded execution was expected" anomaly).
   bool force_sequential = false;
+  /// Memory budget for admission control, in bytes. 0 falls back to the
+  /// STETHO_MEM_BUDGET environment variable; if that is unset too,
+  /// admission is a no-op (every query admits). With a budget, the server
+  /// predicts each optimized plan's peak footprint (the static parallel
+  /// bound from analysis/liveness.h at the server's dop): a prediction
+  /// above the budget is rejected with ResourceExhausted; one that fits
+  /// the budget but not the engine's current headroom queues until
+  /// running queries release memory (or `admission_wait_ms` elapses).
+  int64_t mem_budget_bytes = 0;
+  /// How long a queued query waits for headroom before giving up.
+  int admission_wait_ms = 200;
   /// Time source (nullptr = process steady clock).
   Clock* clock = nullptr;
 };
@@ -89,6 +100,12 @@ class Mserver {
   Clock* clock() const { return clock_; }
 
  private:
+  /// Budgeted admission (called between optimize and execute): predicts the
+  /// plan's peak footprint and admits, queues, or rejects against the
+  /// configured budget. Exports stetho_admission_{admitted,queued,rejected}_total
+  /// and stetho_mem_predicted_peak_bytes.
+  Status AdmitForMemory(const mal::Program& program) const;
+
   storage::Catalog catalog_;
   MserverOptions options_;
   Clock* clock_;

@@ -196,6 +196,13 @@ Value Column::GetValue(size_t i) const {
   }
 }
 
+void Column::ShrinkToFit() {
+  ints_.shrink_to_fit();
+  doubles_.shrink_to_fit();
+  strings_.shrink_to_fit();
+  nulls_.shrink_to_fit();
+}
+
 size_t Column::MemoryBytes() const {
   size_t bytes = ints_.capacity() * sizeof(int64_t) +
                  doubles_.capacity() * sizeof(double) +

@@ -54,6 +54,13 @@ class Column {
   /// Reserves capacity for n elements, including the null mask.
   void Reserve(size_t n);
 
+  /// Trims backing-array slack (capacity beyond size) left over from
+  /// loads whose row-count estimate missed: after this, MemoryBytes()
+  /// reflects the rows actually stored. Bulk loaders call it once the
+  /// final size is known; the static footprint model
+  /// (analysis/liveness.h) relies on catalog columns being trimmed.
+  void ShrinkToFit();
+
   /// --- Element access ---
   bool IsNull(size_t i) const {
     return !nulls_.empty() && nulls_[i] != 0;

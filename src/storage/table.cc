@@ -58,6 +58,10 @@ void Table::Reserve(size_t rows) {
   for (const ColumnPtr& col : columns_) col->Reserve(rows);
 }
 
+void Table::ShrinkToFit() {
+  for (const ColumnPtr& col : columns_) col->ShrinkToFit();
+}
+
 size_t Table::MemoryBytes() const {
   size_t bytes = 0;
   for (const ColumnPtr& col : columns_) bytes += col->MemoryBytes();

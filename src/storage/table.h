@@ -63,6 +63,10 @@ class Table {
   /// masks) so bulk loads with known row counts never reallocate.
   void Reserve(size_t rows);
 
+  /// Trims every column's backing-array slack once loading is done (see
+  /// Column::ShrinkToFit).
+  void ShrinkToFit();
+
   /// Total approximate memory footprint of all columns.
   size_t MemoryBytes() const;
 

@@ -286,6 +286,16 @@ Result<Catalog> GenerateTpch(const TpchConfig& config) {
   STETHO_RETURN_IF_ERROR(catalog.AddTable(orders));
   STETHO_RETURN_IF_ERROR(catalog.AddTable(lineitem));
 
+  // Row counts with a random component (order line counts, partsupp
+  // fan-out) can overshoot the Reserve estimates and double the backing
+  // arrays. Trim the slack so the catalog's MemoryBytes reflects the rows
+  // actually generated — the engine's live-byte accountant charges shared
+  // catalog columns at sql.bind, and the static footprint model assumes
+  // the capacity of a loaded column matches its size.
+  for (const std::string& name : catalog.TableNames()) {
+    catalog.GetTable(name).value()->ShrinkToFit();
+  }
+
   return catalog;
 }
 

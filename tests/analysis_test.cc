@@ -301,11 +301,14 @@ TEST(BatLifetimeTest, FlagsConsumerStartingBeforeProducerDone) {
   CheckContext ctx = PlanContext(p);
   ctx.trace = &trace;
 
+  // bat-lifetime is plan-only: the trace-side producer/consumer ordering
+  // moved to trace-dependency-violation (hb.h), which still catches it.
   auto diags = RunOne(analysis::MakeBatLifetimeCheck(), ctx);
-  ASSERT_EQ(diags.size(), 1u);
-  EXPECT_EQ(diags[0].severity, Severity::kError);
-  EXPECT_EQ(diags[0].pc, 1);
-  EXPECT_NE(diags[0].message.find("producer pc=0"), std::string::npos);
+  EXPECT_TRUE(diags.empty());
+  auto hb = RunOne(analysis::MakeTraceDependencyViolationCheck(), ctx);
+  ASSERT_FALSE(hb.empty());
+  EXPECT_EQ(hb[0].severity, Severity::kError);
+  EXPECT_EQ(hb[0].pc, 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -508,7 +511,7 @@ TEST(RunnerTest, SkipsChecksWithMissingInputs) {
 }
 
 TEST(RunnerTest, DefaultSuiteHasAllChecks) {
-  EXPECT_EQ(Runner::Default().size(), 19u);
+  EXPECT_EQ(Runner::Default().size(), 22u);
 }
 
 TEST(RunnerTest, SortsErrorsFirstThenByPc) {
@@ -780,8 +783,14 @@ TEST_F(SeedPipelineTest, ExecutedQueryTraceLintsClean) {
     ctx.trace = &events;
     ctx.registry = engine::ModuleRegistry::Default();
     auto diags = Runner::Default().Run(ctx);
-    EXPECT_TRUE(diags.empty())
-        << query << "\n" << analysis::FormatDiagnostics(diags);
+    // Selective plans may earn the informational "bound is >2x the
+    // recorded peak" conformance note; anything at warning or above (or
+    // any other note) is a real regression.
+    for (const Diagnostic& d : diags) {
+      EXPECT_TRUE(d.severity == Severity::kNote &&
+                  d.check_id == "footprint-conformance")
+          << query << "\n" << analysis::FormatDiagnostics(diags);
+    }
   }
 }
 

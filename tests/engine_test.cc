@@ -6,6 +6,7 @@
 #include "engine/interpreter.h"
 #include "engine/kernel.h"
 #include "mal/program.h"
+#include "obs/metrics.h"
 #include "profiler/profiler.h"
 #include "profiler/sink.h"
 #include "storage/table.h"
@@ -487,6 +488,28 @@ TEST(InterpreterTest, MemoryAccountingTracksPeak) {
   auto r = RunPlan(p, &cat);
   ASSERT_TRUE(r.ok());
   EXPECT_GT(r.value().peak_rss_bytes, 0);
+}
+
+TEST(InterpreterTest, ExportsLiveAndPeakBytesMetrics) {
+  obs::Gauge* live = obs::Registry::Default()->GetOrCreateGauge(
+      "stetho_engine_live_bytes",
+      "Live column bytes currently held by executing queries "
+      "(Column::MemoryBytes accounting)");
+  obs::Gauge* peak = obs::Registry::Default()->GetOrCreateGauge(
+      "stetho_engine_peak_rss_bytes",
+      "Live-byte peak recorded by the last completed query execution");
+  // Metrics are process-global: delta-assert around the run instead of
+  // expecting absolute values.
+  int64_t live_before = live->value();
+  Catalog cat = MakeCatalog();
+  Program p = PaperQuery();
+  auto r = RunPlan(p, &cat);
+  ASSERT_TRUE(r.ok());
+  // Every byte the query charged was drained again on completion.
+  EXPECT_EQ(live->value(), live_before);
+  // The peak gauge mirrors the last query's accountant peak.
+  EXPECT_EQ(peak->value(), r.value().peak_rss_bytes);
+  EXPECT_GT(peak->value(), 0);
 }
 
 TEST(InterpreterTest, DebugSleepVirtualClock) {

@@ -216,6 +216,42 @@ TEST(ParserTest, SkipsComments) {
   EXPECT_EQ(parsed.value().size(), 1u);
 }
 
+TEST(ParserTest, CardinalityPragmasRoundTrip) {
+  Program p;
+  int mvc = p.AddVariable(MalType::Scalar(DataType::kInt64));
+  int tid = p.AddVariable(MalType::Bat(DataType::kOid));
+  p.Add("sql", "mvc", {mvc}, {});
+  p.Add("sql", "tid", {tid},
+        {Argument::Var(mvc), Argument::Const(Value::String("sys")),
+         Argument::Const(Value::String("lineitem"))});
+  p.AnnotateCardinality(tid, 0, 60175);
+
+  std::string text = p.ToString();
+  EXPECT_NE(text.find("# card X_1 0..60175"), std::string::npos) << text;
+  auto parsed = ParseProgram(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  int rt = parsed.value().FindVariable("X_1");
+  ASSERT_GE(rt, 0);
+  const Variable& v = parsed.value().variable(rt);
+  EXPECT_TRUE(v.has_cardinality());
+  EXPECT_EQ(v.card_lo, 0);
+  EXPECT_EQ(v.card_hi, 60175);
+  // Printing the re-parsed plan reproduces the original byte-for-byte.
+  EXPECT_EQ(parsed.value().ToString(), text);
+}
+
+TEST(ParserTest, MalformedCardPragmaIsJustAComment) {
+  std::string text =
+      "function user.main():void;\n"
+      "# card nope\n"
+      "# card X_0 banana..7\n"
+      "    X_0:lng := sql.mvc();\n"
+      "end user.main;\n";
+  auto parsed = ParseProgram(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed.value().variable(0).has_cardinality());
+}
+
 TEST(ParserTest, RejectsMissingHeader) {
   EXPECT_FALSE(ParseProgram("X_0 := sql.mvc();").ok());
 }

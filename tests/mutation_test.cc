@@ -382,15 +382,86 @@ const Mutation kMutations[] = {
          t->push_back(done);
        });
      }},
-    {"trace-consumer-before-producer-done", "bat-lifetime",
+    {"trace-consumer-before-producer-done", "trace-dependency-violation",
      [] {
        return WithTrace([](std::vector<TraceEvent>* t) {
          // Reorder so bat.mirror (pc=1) starts before densebat (pc=0) is
-         // done, keeping the clock monotonic so only the lifetime check can
-         // object.
+         // done, keeping the clock monotonic so only the happens-before
+         // replay can object.
          std::swap((*t)[1], (*t)[2]);
          std::swap((*t)[1].event, (*t)[2].event);
          std::swap((*t)[1].time_us, (*t)[2].time_us);
+       });
+     }},
+
+    // --- memory lifetime ---
+    {"dropped-bat-consumer", "bat-lifetime",
+     [] {
+       // An effectful producer's BAT result with no reader: allocated,
+       // charged to the accountant, and released untouched. (Kernels
+       // without a signature are conservatively effectful.)
+       mal::Program p = CleanPlan();
+       int u = p.AddVariable(BatLng());
+       p.Add("user", "generate", {u}, {Argument::Const(Value::Int(8))});
+       return Plan(std::move(p));
+     }},
+    {"exact-materialization-blowup", "memory-blowup",
+     [] {
+       // The base table is annotated at 64 rows but the plan provably
+       // materializes a million-row BAT — an exact cardinality more than
+       // 32x the input bytes (the "inflated cardinality" corruption).
+       mal::Program p;
+       int m = p.AddVariable(Lng());
+       p.Add("sql", "mvc", {m}, {});
+       int t = p.AddVariable(BatOid());
+       p.Add("sql", "tid", {t},
+             {Argument::Var(m), Argument::Const(Value::String("sys")),
+              Argument::Const(Value::String("tiny"))});
+       p.AnnotateCardinality(t, 64, 64);
+       int big = p.AddVariable(BatOid());
+       p.Add("bat", "densebat", {big},
+             {Argument::Const(Value::Int(1000000))});
+       int n0 = p.AddVariable(Lng());
+       p.Add("aggr", "count", {n0}, {Argument::Var(t)});
+       int n1 = p.AddVariable(Lng());
+       p.Add("aggr", "count", {n1}, {Argument::Var(big)});
+       p.Add("io", "print", {}, {Argument::Var(n0), Argument::Var(n1)});
+       return Plan(std::move(p));
+     }},
+    {"heavy-bat-held-across-peak", "live-range-bloat",
+     [] {
+       // A ~900 KiB BAT whose only consumer is textually reordered past
+       // the plan's memory peak: dataflow would let it die at pc 1, but
+       // program order holds it across the peak ten instructions later.
+       mal::Program p;
+       int a = p.AddVariable(BatOid());
+       p.Add("bat", "densebat", {a}, {Argument::Const(Value::Int(100000))});
+       std::vector<Argument> printed;
+       for (int i = 0; i < 4; ++i) {  // filler work between def and use
+         int d = p.AddVariable(BatOid());
+         p.Add("bat", "densebat", {d}, {Argument::Const(Value::Int(32))});
+         int n = p.AddVariable(Lng());
+         p.Add("aggr", "count", {n}, {Argument::Var(d)});
+         printed.push_back(Argument::Var(n));
+       }
+       int big = p.AddVariable(BatOid());  // the peak: ~3.4 MiB live here
+       p.Add("bat", "densebat", {big}, {Argument::Const(Value::Int(400000))});
+       int nb = p.AddVariable(Lng());
+       p.Add("aggr", "count", {nb}, {Argument::Var(big)});
+       int na = p.AddVariable(Lng());
+       p.Add("aggr", "count", {na}, {Argument::Var(a)});  // held until here
+       printed.push_back(Argument::Var(nb));
+       printed.push_back(Argument::Var(na));
+       p.Add("io", "print", {}, std::move(printed));
+       return Plan(std::move(p));
+     }},
+    {"recorded-rss-above-static-bound", "footprint-conformance",
+     [] {
+       // The engine accountant reports a live-byte peak the static model
+       // cannot explain (an undercounted width looks exactly like this):
+       // the bound must dominate every schedule, so this is an error.
+       return WithTrace([](std::vector<TraceEvent>* t) {
+         (*t)[4].rss_bytes = int64_t{1} << 30;
        });
      }},
 };

@@ -585,7 +585,8 @@ TEST(InstrumentationTest, ServerEmitsPhaseSpansAndOptimizerMetrics) {
   tracer->Clear();
   // Each phase scope closes before the next opens, so record order is the
   // pipeline order.
-  EXPECT_EQ(phases, (std::vector<std::string>{"parse", "optimize", "execute"}));
+  EXPECT_EQ(phases, (std::vector<std::string>{"parse", "optimize", "admit",
+                                              "execute"}));
   EXPECT_GT(registry->CounterValue("stetho_opt_passes_fired_total").value(),
             fired_before);
   EXPECT_TRUE(registry->FindHistogram("stetho_opt_pass_usec").ok());

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <string>
+#include <thread>
+
 #include "net/channel.h"
 #include "profiler/sink.h"
 #include "server/mserver.h"
@@ -124,6 +128,90 @@ TEST(MserverTest, ForceSequentialUsesOneThread) {
   for (const auto& stat : r.value().result.stats) {
     EXPECT_EQ(stat.thread, 0);
   }
+}
+
+// --- budgeted admission (memory gate between optimize and execute) ---
+
+obs::Counter* AdmissionCounterByName(const char* outcome) {
+  return obs::Registry::Default()->GetOrCreateCounter(
+      std::string("stetho_admission_") + outcome + "_total", "");
+}
+
+TEST(MserverAdmissionTest, TinyBudgetRejectsWithPredictedPeak) {
+  MserverOptions options;
+  options.mem_budget_bytes = 1024;  // far below any real plan's peak
+  Mserver server(TinyCatalog(), options);
+  obs::Counter* rejected = AdmissionCounterByName("rejected");
+  int64_t rejected_before = rejected->value();
+  auto r = server.ExecuteSql(tpch::GetQuery("q1").value().sql);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("predicted peak"), std::string::npos);
+  EXPECT_NE(r.status().message().find("budget"), std::string::npos);
+  EXPECT_EQ(rejected->value(), rejected_before + 1);
+}
+
+TEST(MserverAdmissionTest, GenerousBudgetAdmitsAndExportsPrediction) {
+  MserverOptions options;
+  options.mem_budget_bytes = int64_t{1} << 40;
+  Mserver server(TinyCatalog(), options);
+  obs::Counter* admitted = AdmissionCounterByName("admitted");
+  obs::Gauge* predicted = obs::Registry::Default()->GetOrCreateGauge(
+      "stetho_mem_predicted_peak_bytes", "");
+  int64_t admitted_before = admitted->value();
+  auto r = server.ExecuteSql(tpch::GetQuery("q1").value().sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(admitted->value(), admitted_before + 1);
+  // The exported prediction is a genuine upper bound for this very run.
+  EXPECT_GE(predicted->value(), r.value().result.peak_rss_bytes);
+}
+
+TEST(MserverAdmissionTest, QueuesUntilEngineMemoryDrains) {
+  MserverOptions options;
+  options.mem_budget_bytes = int64_t{1} << 40;
+  options.admission_wait_ms = 2000;
+  Mserver server(TinyCatalog(), options);
+  obs::Counter* queued = AdmissionCounterByName("queued");
+  obs::Counter* admitted = AdmissionCounterByName("admitted");
+  int64_t queued_before = queued->value();
+  int64_t admitted_before = admitted->value();
+  // Simulate another query holding the whole budget, releasing it shortly:
+  // the gauge is the interpreter's live-byte mirror, so a raw Add looks
+  // exactly like in-flight registers (restored below).
+  obs::Gauge* live = obs::Registry::Default()->GetOrCreateGauge(
+      "stetho_engine_live_bytes",
+      "Live column bytes currently held by executing queries "
+      "(Column::MemoryBytes accounting)");
+  live->Add(options.mem_budget_bytes);
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    live->Add(-options.mem_budget_bytes);
+  });
+  auto r = server.ExecuteSql(tpch::GetQuery("q6").value().sql);
+  releaser.join();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(queued->value(), queued_before + 1);
+  EXPECT_EQ(admitted->value(), admitted_before + 1);
+}
+
+TEST(MserverAdmissionTest, QueueTimeoutRejects) {
+  MserverOptions options;
+  options.mem_budget_bytes = int64_t{1} << 40;
+  options.admission_wait_ms = 20;
+  Mserver server(TinyCatalog(), options);
+  obs::Counter* rejected = AdmissionCounterByName("rejected");
+  int64_t rejected_before = rejected->value();
+  obs::Gauge* live = obs::Registry::Default()->GetOrCreateGauge(
+      "stetho_engine_live_bytes",
+      "Live column bytes currently held by executing queries "
+      "(Column::MemoryBytes accounting)");
+  live->Add(options.mem_budget_bytes);  // headroom never appears
+  auto r = server.ExecuteSql(tpch::GetQuery("q6").value().sql);
+  live->Add(-options.mem_budget_bytes);  // restore the global gauge
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("queueing"), std::string::npos);
+  EXPECT_EQ(rejected->value(), rejected_before + 1);
 }
 
 TEST(MserverTest, CompileErrorsSurface) {

@@ -20,6 +20,9 @@
 //   --list-checks      print the check catalog and exit
 //   --schedule         also print the happens-before schedule report
 //                      (makespan, critical path, slack; needs plan + trace)
+//   --memory           also print the static memory profile (per-pc live
+//                      bytes, sequential peak, parallel bound, heaviest
+//                      live ranges; needs a plan — a trace refines the dop)
 //   --fail-on=SEV      exit 1 when any finding is at or above SEV
 //                      (note|warning|error; default error)
 //   --baseline FILE    suppress findings whose fingerprint is listed in FILE
@@ -30,6 +33,7 @@
 // Exit status: 0 clean (below the --fail-on threshold), 1 findings at or
 // above the threshold, 2 usage or input failure.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,6 +43,7 @@
 #include <vector>
 
 #include "analysis/hb.h"
+#include "analysis/liveness.h"
 #include "analysis/runner.h"
 #include "common/string_util.h"
 #include "dot/parser.h"
@@ -54,6 +59,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: mal_lint [--json|--sarif] [--list-checks] [--schedule] "
+               "[--memory] "
                "[--fail-on=<note|warning|error>] [--baseline <file>] "
                "[--write-baseline] [--plan|--dot|--trace|--spans] <file>...\n"
                "       kind is inferred from the extension (.dot, .trace, "
@@ -92,6 +98,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool sarif = false;
   bool schedule = false;
+  bool memory = false;
   bool write_baseline = false;
   analysis::Severity fail_on = analysis::Severity::kError;
   std::vector<std::string> baseline;
@@ -106,6 +113,8 @@ int main(int argc, char** argv) {
       sarif = true;
     } else if (std::strcmp(arg, "--schedule") == 0) {
       schedule = true;
+    } else if (std::strcmp(arg, "--memory") == 0) {
+      memory = true;
     } else if (std::strcmp(arg, "--write-baseline") == 0) {
       write_baseline = true;
     } else if (std::strncmp(arg, "--fail-on=", 10) == 0) {
@@ -268,6 +277,29 @@ int main(int argc, char** argv) {
         analysis::AnalyzeSchedule(program.value(), trace.value());
     std::fputs(
         analysis::FormatScheduleReport(report, program.value()).c_str(),
+        stdout);
+  }
+  if (memory) {
+    if (!program.has_value()) {
+      std::fprintf(stderr, "--memory needs a plan input\n");
+      return 2;
+    }
+    // With a trace, profile at the dop the engine actually used (distinct
+    // admission slots); otherwise report the sequential picture.
+    int dop = 1;
+    if (trace.has_value()) {
+      std::vector<int> threads;
+      for (const profiler::TraceEvent& e : trace.value()) {
+        threads.push_back(e.thread);
+      }
+      std::sort(threads.begin(), threads.end());
+      threads.erase(std::unique(threads.begin(), threads.end()),
+                    threads.end());
+      dop = std::max<int>(1, static_cast<int>(threads.size()));
+    }
+    analysis::MemoryReport report = analysis::AnalyzeMemory(program.value());
+    std::fputs(
+        analysis::FormatMemoryReport(program.value(), report, dop).c_str(),
         stdout);
   }
   return analysis::AnyAtOrAbove(diagnostics, fail_on) ? 1 : 0;
