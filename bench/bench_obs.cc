@@ -8,10 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "analysis/progress.h"
 #include "bench_util.h"
+#include "net/pipe_health.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "profiler/event.h"
 
 namespace {
 
@@ -153,6 +156,111 @@ void BM_RegistryGetOrCreateHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RegistryGetOrCreateHit);
+
+// --- Pipeline-health accounting (the telemetry receive path) --------------
+
+/// The common case the listener thread pays per trace line: in-order
+/// delivery, no clock read (obs off), one mutex + integer bookkeeping.
+void BM_StreamHealthObserveInOrder(benchmark::State& state) {
+  net::StreamHealth health;
+  profiler::TraceEvent e;
+  e.state = profiler::EventState::kDone;
+  int64_t seq = 0;
+  for (auto _ : state) {
+    e.event = seq;
+    e.time_us = seq++;
+    health.Observe(e, /*ingest_us=*/-1);
+  }
+  benchmark::DoNotOptimize(health.Snapshot().observed);
+}
+BENCHMARK(BM_StreamHealthObserveInOrder);
+
+/// A steadily lossy wire: every 16th sequence number never arrives, so the
+/// pending-gap set churns (insert, age past the reorder window, settle
+/// into lost) — the accountant's worst sustained case.
+void BM_StreamHealthObserveLossy(benchmark::State& state) {
+  net::StreamHealth health;
+  profiler::TraceEvent e;
+  e.state = profiler::EventState::kDone;
+  int64_t seq = 0;
+  for (auto _ : state) {
+    if ((seq & 15) == 0) ++seq;  // the hole
+    e.event = seq;
+    e.time_us = seq++;
+    health.Observe(e, /*ingest_us=*/-1);
+  }
+  benchmark::DoNotOptimize(health.Snapshot().lost);
+}
+BENCHMARK(BM_StreamHealthObserveLossy);
+
+// --- Progress estimation --------------------------------------------------
+
+/// One absint + liveness sweep plus the critical-path DP — the cost
+/// ProgressModelCache amortizes to once per plan shape.
+void BM_ProgressModelBuild(benchmark::State& state) {
+  server::MserverOptions options;
+  options.mitosis_pieces = 16;
+  auto server = bench::MakeServer(options, /*scale_factor=*/0.02);
+  auto plan = server->Explain(tpch::GetQuery("q1").value().sql);
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::ProgressModel::Build(plan.value()));
+  }
+  state.counters["plan_size"] = static_cast<double>(plan.value().size());
+}
+BENCHMARK(BM_ProgressModelBuild);
+
+/// Full per-query accounting: a fresh estimator fed one done-event per
+/// instruction (the interpreter hook's steady cost, including the gauge
+/// publish). Items = instructions.
+void BM_ProgressEstimatorQuery(benchmark::State& state) {
+  server::MserverOptions options;
+  options.mitosis_pieces = 16;
+  auto server = bench::MakeServer(options, /*scale_factor=*/0.02);
+  auto plan = server->Explain(tpch::GetQuery("q1").value().sql);
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
+  }
+  auto model = analysis::ProgressModel::Build(plan.value());
+  for (auto _ : state) {
+    analysis::ProgressEstimator estimator(model);
+    int64_t now = 0;
+    for (size_t pc = 0; pc < model->plan_size(); ++pc) {
+      estimator.OnInstructionDone(static_cast<int>(pc), 5, now += 10);
+    }
+    benchmark::DoNotOptimize(estimator.ratio());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(model->plan_size()));
+}
+BENCHMARK(BM_ProgressEstimatorQuery);
+
+/// The ETA query at mid-flight: remaining-critical-path DP over the plan,
+/// what every scoreboard line and --watch round pays.
+void BM_ProgressEtaHalfway(benchmark::State& state) {
+  server::MserverOptions options;
+  options.mitosis_pieces = 16;
+  auto server = bench::MakeServer(options, /*scale_factor=*/0.02);
+  auto plan = server->Explain(tpch::GetQuery("q1").value().sql);
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
+  }
+  auto model = analysis::ProgressModel::Build(plan.value());
+  analysis::ProgressEstimator estimator(model);
+  int64_t now = 0;
+  for (size_t pc = 0; pc < model->plan_size() / 2; ++pc) {
+    estimator.OnInstructionDone(static_cast<int>(pc), 5, now += 10);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.EtaUsec());
+  }
+}
+BENCHMARK(BM_ProgressEtaHalfway);
 
 }  // namespace
 

@@ -784,6 +784,8 @@ std::vector<std::unique_ptr<Check>> AllChecks() {
   checks.push_back(MakeDotContractCheck());
   checks.push_back(MakeTraceConformanceCheck());
   checks.push_back(MakeTraceSpanConformanceCheck());
+  // Pipeline-delivery check (checks_pipe.cc).
+  checks.push_back(MakeTraceSequenceGapCheck());
   // Happens-before schedule checks (checks_hb.cc).
   checks.push_back(MakeTraceDependencyViolationCheck());
   checks.push_back(MakeTraceWriteRaceCheck());

@@ -31,6 +31,11 @@ namespace stetho::analysis {
 ///   trace-span-conformance  every profiler start/done pc pair is covered by
 ///                           exactly one kernel span in an exported platform
 ///                           trace, with matching thread id (trace + spans)
+///   trace-sequence-gap      event sequence numbers are contiguous (holes =
+///                           transport loss, warning), unique (repeats =
+///                           duplicates, error), and monotone in file order
+///                           (regressions = reordered delivery, note); the
+///                           offline twin of net::StreamHealth (trace)
 ///
 /// Happens-before schedule checks (analysis/hb.h replay of the trace
 /// against the SSA def/use DAG; see checks_hb.cc):
@@ -84,6 +89,7 @@ std::unique_ptr<Check> MakeSinkOrderKeyCheck();
 std::unique_ptr<Check> MakeDotContractCheck();
 std::unique_ptr<Check> MakeTraceConformanceCheck();
 std::unique_ptr<Check> MakeTraceSpanConformanceCheck();
+std::unique_ptr<Check> MakeTraceSequenceGapCheck();
 std::unique_ptr<Check> MakeTraceDependencyViolationCheck();
 std::unique_ptr<Check> MakeTraceWriteRaceCheck();
 std::unique_ptr<Check> MakeSpanInterleavingCheck();

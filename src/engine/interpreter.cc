@@ -205,6 +205,9 @@ Status RunInstruction(RunState* state, int pc, int thread_id) {
   if (prof != nullptr) {
     prof->EmitDone(pc, thread_id, t1 - t0, stat.rss_after_bytes, stmt);
   }
+  if (state->options->progress != nullptr) {
+    state->options->progress->OnInstructionDone(pc, t1 - t0, t1);
+  }
 
   // Kernel-family metrics and the kernel span both reuse t0/t1 — tracing an
   // instruction adds no clock read beyond what the stats above already paid.

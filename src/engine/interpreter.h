@@ -16,6 +16,19 @@ namespace stetho::engine {
 
 class WorkerPool;
 
+/// Observer of per-instruction completion, fed by the interpreter from both
+/// the dataflow and the sequential execution paths. Implementations must be
+/// thread-safe (dataflow workers call concurrently) and cheap — the call
+/// reuses the clock reads RunInstruction already pays for its stats, so a
+/// listener adds no timing overhead of its own. The live consumer is
+/// analysis::ProgressEstimator (the server's per-query progress scoreboard).
+class ProgressListener {
+ public:
+  virtual ~ProgressListener() = default;
+  /// `pc` finished after `usec` microseconds, at clock time `now_us`.
+  virtual void OnInstructionDone(int pc, int64_t usec, int64_t now_us) = 0;
+};
+
 /// Execution configuration for one query.
 struct ExecOptions {
   /// Degree of parallelism: at most this many instructions of the query are
@@ -42,6 +55,9 @@ struct ExecOptions {
   /// Flight recorder dumped when the query aborts with an error;
   /// nullptr = obs::FlightRecorder::Default(). No-op while disabled.
   obs::FlightRecorder* recorder = nullptr;
+  /// Optional per-instruction completion observer (live progress/ETA);
+  /// nullptr = none. Must outlive Execute().
+  ProgressListener* progress = nullptr;
 };
 
 /// Post-mortem per-instruction record kept by the interpreter (independent

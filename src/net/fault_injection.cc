@@ -1,0 +1,84 @@
+#include "net/fault_injection.h"
+
+#include <utility>
+
+namespace stetho::net {
+
+FaultInjectingSender::FaultInjectingSender(
+    std::shared_ptr<DatagramSender> inner, const FaultOptions& options)
+    : inner_(std::move(inner)), options_(options), rng_(options.seed) {}
+
+FaultInjectingSender::~FaultInjectingSender() { (void)Flush(); }
+
+Status FaultInjectingSender::Send(const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sent_;
+
+  if (options_.spare_control_lines && !payload.empty() && payload[0] == '%') {
+    // Control plane: deliver any held event first so framing stays ordered
+    // (%EOF after the events it closes), then the control line itself.
+    if (held_.has_value()) {
+      Status st = inner_->Send(*held_);
+      held_.reset();
+      if (!st.ok()) return st;
+    }
+    return inner_->Send(payload);
+  }
+
+  if (held_.has_value()) {
+    // Complete the pending swap: this datagram jumps the queue, the held
+    // one lands after it. The jumper skips its own fault draw — one fault
+    // at a time is what makes the injected counts decompose exactly.
+    STETHO_RETURN_IF_ERROR(inner_->Send(payload));
+    Status st = inner_->Send(*held_);
+    held_.reset();
+    ++reordered_;
+    return st;
+  }
+
+  const double roll = rng_.NextDouble();
+  if (roll < options_.drop_p) {
+    ++dropped_;
+    return Status::OK();  // best-effort transport: a drop is not an error
+  }
+  if (roll < options_.drop_p + options_.dup_p) {
+    STETHO_RETURN_IF_ERROR(inner_->Send(payload));
+    ++duplicated_;
+    return inner_->Send(payload);
+  }
+  if (roll < options_.drop_p + options_.dup_p + options_.reorder_p) {
+    held_ = payload;
+    return Status::OK();
+  }
+  return inner_->Send(payload);
+}
+
+Status FaultInjectingSender::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!held_.has_value()) return Status::OK();
+  Status st = inner_->Send(*held_);
+  held_.reset();
+  return st;
+}
+
+int64_t FaultInjectingSender::injected_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+int64_t FaultInjectingSender::injected_duplicated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duplicated_;
+}
+
+int64_t FaultInjectingSender::injected_reordered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reordered_;
+}
+
+int64_t FaultInjectingSender::sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sent_;
+}
+
+}  // namespace stetho::net

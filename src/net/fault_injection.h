@@ -1,0 +1,76 @@
+#ifndef STETHO_NET_FAULT_INJECTION_H_
+#define STETHO_NET_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "net/datagram.h"
+
+namespace stetho::net {
+
+/// Fault plan for a FaultInjectingSender. Probabilities are per datagram
+/// and mutually exclusive (drop is drawn first, then duplicate, then
+/// reorder), so the injected counters decompose exactly — what the tests
+/// of the receiving gap accountant need.
+struct FaultOptions {
+  double drop_p = 0.0;     ///< datagram silently discarded
+  double dup_p = 0.0;      ///< datagram delivered twice back to back
+  double reorder_p = 0.0;  ///< datagram held and swapped with its successor
+  uint64_t seed = 1;       ///< SplitMix64 seed; same seed = same fault plan
+  /// When true (default), '%'-prefixed stream-framing lines (dot content,
+  /// %EOF) pass through unfaulted — the paper's control plane is tiny next
+  /// to the event stream, and sparing it lets tests isolate event-loss
+  /// behavior from lost-plan behavior.
+  bool spare_control_lines = true;
+};
+
+/// DatagramSender decorator that injects seeded, reproducible transport
+/// faults — the "bad network day" the pipeline-health accounting exists
+/// to measure. Wraps any real transport (UDP, in-process channel).
+///
+/// Reorder mechanics: a datagram drawing the reorder fault is held back;
+/// the next datagram (which bypasses its own fault draw — one fault at a
+/// time keeps the counts exact) is sent first and the held one follows,
+/// completing one swap = one reordered datagram. A held datagram is
+/// flushed, in order and uncounted, before any spared control line and at
+/// destruction, so framing order and end-of-stream survive.
+///
+/// Thread-safe (sends serialize on one mutex, like the UDP sender).
+class FaultInjectingSender : public DatagramSender {
+ public:
+  FaultInjectingSender(std::shared_ptr<DatagramSender> inner,
+                       const FaultOptions& options);
+  ~FaultInjectingSender() override;
+
+  Status Send(const std::string& payload) override;
+
+  /// Sends any held-back datagram now (in order; not a reorder).
+  Status Flush();
+
+  /// Exact injected-fault counts, for asserting the receiver's accounting.
+  int64_t injected_dropped() const;
+  int64_t injected_duplicated() const;
+  int64_t injected_reordered() const;
+  /// Datagrams offered to Send(), including spared control lines.
+  int64_t sent() const;
+
+ private:
+  std::shared_ptr<DatagramSender> inner_;
+  const FaultOptions options_;
+
+  mutable std::mutex mu_;
+  SplitMix64 rng_;
+  std::optional<std::string> held_;
+  int64_t sent_ = 0;
+  int64_t dropped_ = 0;
+  int64_t duplicated_ = 0;
+  int64_t reordered_ = 0;
+};
+
+}  // namespace stetho::net
+
+#endif  // STETHO_NET_FAULT_INJECTION_H_

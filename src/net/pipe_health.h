@@ -1,0 +1,115 @@
+#ifndef STETHO_NET_PIPE_HEALTH_H_
+#define STETHO_NET_PIPE_HEALTH_H_
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "profiler/event.h"
+
+namespace stetho::net {
+
+/// Sentinel for "no emit→ingest clock-offset estimate yet".
+inline constexpr int64_t kNoClockOffset = 0x7fffffffffffffff;
+
+/// Point-in-time picture of one stream's end-to-end delivery health, built
+/// from the profiler's per-event global sequence numbers
+/// (profiler::TraceEvent::event). All counts are monotone over the life of
+/// the accountant: once a sequence number is declared lost it stays lost
+/// even if the datagram later materializes (it is then counted reordered,
+/// not resurrected — renderers acted on its absence already).
+struct PipeHealthSummary {
+  int64_t observed = 0;     ///< distinct sequence numbers seen
+  int64_t duplicated = 0;   ///< arrivals of an already-seen sequence number
+  int64_t reordered = 0;    ///< late arrivals that filled (or trailed) a gap
+  int64_t lost = 0;         ///< gaps aged past the reorder window / finalized
+  int64_t pending = 0;      ///< open gaps still inside the reorder window
+  int64_t min_seq = -1;     ///< smallest sequence number seen (-1 = none)
+  int64_t max_seq = -1;     ///< largest sequence number seen
+  /// Estimated emit→ingest clock offset in microseconds: the minimum
+  /// (ingest − emit) delta over all timestamped arrivals, i.e. the offset
+  /// assuming at least one datagram experienced ~zero queueing delay.
+  /// kNoClockOffset until a timestamped event arrives.
+  int64_t clock_offset_us = kNoClockOffset;
+  int64_t last_latency_us = 0;  ///< offset-corrected delay of the newest event
+  int64_t max_latency_us = 0;   ///< worst offset-corrected delay seen
+  int64_t newest_emit_us = 0;   ///< largest TraceEvent::time_us seen
+
+  /// Sequence numbers the emitter produced over the observed span.
+  int64_t expected() const {
+    return max_seq >= min_seq && min_seq >= 0 ? max_seq - min_seq + 1 : 0;
+  }
+  /// (lost + still-pending) / expected; 0 when nothing arrived yet.
+  double loss_ratio() const {
+    int64_t n = expected();
+    return n > 0 ? static_cast<double>(lost + pending) / static_cast<double>(n)
+                 : 0.0;
+  }
+  /// One status line: "pipe: 380 ok, 19 lost (4.8%), 2 reord, 0 dup, ...".
+  std::string ToString() const;
+};
+
+/// Per-stream gap/reorder/duplicate accountant over the profiler's global
+/// event sequence. The emitter's contract (profiler::Profiler::EmitImpl)
+/// is that delivered events carry a contiguous sequence, so any hole the
+/// receiver observes is transport loss, any backwards arrival a reorder,
+/// and any repeat a duplicate.
+///
+/// Algorithm: arrivals above the high-water mark open one pending gap per
+/// skipped sequence number; an arrival that fills a pending gap counts as
+/// a reorder; an arrival at an already-seen number counts as a duplicate.
+/// A pending gap more than `reorder_window` sequence numbers behind the
+/// high-water mark is declared lost (monotone — see PipeHealthSummary);
+/// Finalize() closes the remaining gaps at end of stream.
+///
+/// Process-wide mirrors: every transition bumps
+/// stetho_pipe_{lost,reordered,duplicated}_total, and timestamped arrivals
+/// feed stetho_pipe_latency_usec / ObserveStaleness() feeds
+/// stetho_pipe_staleness_usec. Thread-safe; one mutex, O(log gaps) per
+/// event.
+class StreamHealth {
+ public:
+  struct Options {
+    /// How many sequence numbers behind the high-water mark a hole may
+    /// trail before it is declared lost instead of merely late (clamped
+    /// to >= 1).
+    int64_t reorder_window = 256;
+    /// Hard cap on tracked open gaps; the oldest spill into `lost` (a
+    /// burst of loss should not grow memory without bound).
+    size_t max_pending = 4096;
+  };
+
+  StreamHealth() : StreamHealth(Options{}) {}
+  explicit StreamHealth(Options options);
+
+  /// Accounts one arrival. `ingest_us` is the receiver clock at ingest and
+  /// feeds the offset/latency estimate; pass a negative value when the
+  /// receiver did not read a clock (loss accounting still runs — the obs
+  /// kill-switch philosophy: counting is free, clocks are opt-in).
+  void Observe(const profiler::TraceEvent& event, int64_t ingest_us = -1);
+
+  /// Records how stale the rendered picture is at `now_us` (receiver
+  /// clock): now − offset − newest emit, into stetho_pipe_staleness_usec.
+  /// No-op until the offset is known.
+  void ObserveStaleness(int64_t now_us);
+
+  /// End of stream: every still-open gap becomes a loss. Idempotent;
+  /// further arrivals (late stragglers) count as reorders.
+  void Finalize();
+
+  PipeHealthSummary Snapshot() const;
+
+ private:
+  void AgeOutLocked();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::set<int64_t> pending_;  // open gaps, ascending
+  PipeHealthSummary sum_;
+  bool any_ = false;
+};
+
+}  // namespace stetho::net
+
+#endif  // STETHO_NET_PIPE_HEALTH_H_

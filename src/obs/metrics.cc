@@ -169,6 +169,58 @@ Result<const Histogram*> Registry::FindHistogram(const std::string& name) const 
   return static_cast<const Histogram*>(it->second.get());
 }
 
+namespace {
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool IsLowercase(const std::string& s) {
+  for (char c : s) {
+    if (c >= 'A' && c <= 'Z') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> Registry::AuditMetricNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> violations;
+  auto check_common = [&](const std::string& name, const char* kind) {
+    if (!IsLowercase(name)) {
+      violations.push_back(std::string(kind) + " '" + name +
+                           "' must be lowercase");
+    }
+  };
+  for (const auto& [name, counter] : counters_) {
+    check_common(name, "counter");
+    if (!EndsWith(name, "_total")) {
+      violations.push_back("counter '" + name + "' must end in _total");
+    }
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    check_common(name, "gauge");
+    for (const char* reserved : {"_total", "_count", "_sum", "_bucket"}) {
+      if (EndsWith(name, reserved)) {
+        violations.push_back("gauge '" + name + "' must not end in the "
+                             "reserved suffix " + reserved);
+      }
+    }
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    check_common(name, "histogram");
+    if (!EndsWith(name, "_usec") && !EndsWith(name, "_bytes") &&
+        !EndsWith(name, "_seconds") && !EndsWith(name, "_ratio")) {
+      violations.push_back("histogram '" + name +
+                           "' must end in a unit suffix "
+                           "(_usec, _bytes, _seconds, _ratio)");
+    }
+  }
+  return violations;
+}
+
 std::string Registry::ExpositionText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;

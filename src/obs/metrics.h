@@ -159,6 +159,16 @@ class Registry {
   Result<int64_t> GaugeValue(const std::string& name) const;
   Result<const Histogram*> FindHistogram(const std::string& name) const;
 
+  /// Prometheus naming-convention audit over every registered metric.
+  /// Returns one human-readable violation per offending metric (empty =
+  /// clean), enforcing: counters end in `_total`; histograms end in a unit
+  /// suffix (`_usec`, `_bytes`, `_seconds`, or `_ratio`); gauges do not end
+  /// in the suffixes Prometheus reserves for counter/histogram series
+  /// (`_total`, `_count`, `_sum`, `_bucket`); and all names are lowercase.
+  /// obs_test runs this against the default registry so a misnamed metric
+  /// fails CI naming its creator.
+  std::vector<std::string> AuditMetricNames() const;
+
   /// Prometheus-style text exposition, deterministically sorted by name.
   std::string ExpositionText() const;
 

@@ -25,7 +25,13 @@ const char* EventStateName(EventState state);
 /// thread, state, elapsed microseconds, resident memory, and the MAL
 /// statement text.
 struct TraceEvent {
-  int64_t event = 0;       ///< global sequence number ("event" attribute)
+  int64_t event = 0;       ///< global sequence number ("event" attribute).
+                           ///< Delivered events are numbered contiguously
+                           ///< per Profiler (filtered events consume no
+                           ///< number), so a receiver-side hole means
+                           ///< transport loss — the net::StreamHealth
+                           ///< accounting and the trace-sequence-gap lint
+                           ///< check both build on this.
   int64_t time_us = 0;     ///< server clock at emission, microseconds
   int pc = 0;              ///< program counter: index into the MAL plan
   int thread = 0;          ///< query-local admission slot in [0, dop). The

@@ -57,6 +57,19 @@ EventFilter Profiler::GetFilter() const { return Snapshot()->filter; }
 /// entry; `stmt` carries the statement text by view and is copied into the
 /// event only once it is known to be delivered.
 void Profiler::EmitImpl(TraceEvent& event, std::string_view stmt) {
+  // Grab the current dispatch snapshot (one shared_ptr copy under the
+  // lock); fan-out happens outside it so slow sinks (file IO, UDP) never
+  // serialize worker threads against each other more than necessary.
+  std::shared_ptr<const Dispatch> dispatch = Snapshot();
+  // The filter runs BEFORE stamping: delivered events carry a contiguous
+  // sequence (any hole a receiver observes is transport loss — the
+  // net::StreamHealth contract), so suppressed events must not consume
+  // sequence numbers. The filter reads none of the stamped fields.
+  if (!dispatch->filter.Matches(event, stmt)) {
+    filtered_.fetch_add(1, std::memory_order_relaxed);
+    FilteredCounter()->Increment();
+    return;
+  }
   {
     // Stamp sequence number and timestamp together: the trace contract
     // (analysis' trace-conformance check) demands timestamps be monotone in
@@ -65,16 +78,6 @@ void Profiler::EmitImpl(TraceEvent& event, std::string_view stmt) {
     std::lock_guard<std::mutex> lock(stamp_mu_);
     event.event = next_event_.fetch_add(1, std::memory_order_relaxed);
     event.time_us = clock_->NowMicros();
-  }
-
-  // Grab the current dispatch snapshot (one shared_ptr copy under the
-  // lock); fan-out happens outside it so slow sinks (file IO, UDP) never
-  // serialize worker threads against each other more than necessary.
-  std::shared_ptr<const Dispatch> dispatch = Snapshot();
-  if (!dispatch->filter.Matches(event, stmt)) {
-    filtered_.fetch_add(1, std::memory_order_relaxed);
-    FilteredCounter()->Increment();
-    return;
   }
   emitted_.fetch_add(1, std::memory_order_relaxed);
   EmittedCounter()->Increment();

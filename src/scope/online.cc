@@ -27,6 +27,7 @@ Result<OnlineReport> OnlineMonitor::MonitorQuery(const std::string& sql) {
   topt.trace_path = options_.trace_path;
   topt.filter = options_.filter;
   topt.buffer_capacity = options_.buffer_capacity;
+  topt.clock = options_.clock;
   // Incremental §4.2.1 analysis: the listener feeds every accepted event
   // into the tracker as it arrives, so each analysis round applies only the
   // newly settled verdicts instead of re-deriving the full set from a
@@ -35,15 +36,35 @@ Result<OnlineReport> OnlineMonitor::MonitorQuery(const std::string& sql) {
   std::mutex tracker_mu;
   PairSequenceTracker tracker;
 
+  // Live progress/ETA: the plan's work model comes from EXPLAIN (the
+  // pipeline is deterministic, so the shape matches what ExecuteSql will
+  // run) and the received done-events fill it in. A failed compile is
+  // surfaced by the query thread below; the monitor then just has no
+  // estimator to feed.
+  std::shared_ptr<analysis::ProgressEstimator> estimator;
+  if (auto plan = server_->Explain(sql); plan.ok()) {
+    estimator = std::make_shared<analysis::ProgressEstimator>(
+        analysis::ProgressModelCache::Default()->GetOrBuild(plan.value()));
+  }
+
   TextualStethoscope textual(topt);
   textual.SetEventCallback(
       [&](const std::string& /*server*/, const TraceEvent& event) {
+        if (estimator != nullptr) estimator->ObserveEvent(event);
         std::lock_guard<std::mutex> lock(tracker_mu);
         tracker.Observe(event);
       });
 
   STETHO_RETURN_IF_ERROR(textual.AddServer("server0", std::move(receiver)));
-  server_->AttachStream(std::shared_ptr<net::DatagramSender>(std::move(sender)));
+  std::shared_ptr<net::DatagramSender> wire(std::move(sender));
+  std::shared_ptr<net::FaultInjectingSender> injector;
+  if (options_.fault.drop_p > 0 || options_.fault.dup_p > 0 ||
+      options_.fault.reorder_p > 0) {
+    injector =
+        std::make_shared<net::FaultInjectingSender>(wire, options_.fault);
+    wire = injector;
+  }
+  server_->AttachStream(wire);
 
   // Launch the query in its own thread (paper §4.2: "The query whose
   // execution plan needs to be analyzed is launched next in a separate
@@ -123,8 +144,24 @@ Result<OnlineReport> OnlineMonitor::MonitorQuery(const std::string& sql) {
   std::map<int, viz::Color> applied;
   auto analyze_once = [&] {
     std::vector<TraceEvent> buffer = textual.BufferSnapshot();
-    report.progress_series.push_back(
-        EstimateProgress(buffer, report.graph_nodes));
+    if (estimator != nullptr) {
+      report.progress_series.push_back(estimator->ratio());
+      report.eta_series_usec.push_back(estimator->EtaUsec());
+    } else {
+      report.progress_series.push_back(
+          EstimateProgress(buffer, report.graph_nodes));
+      report.eta_series_usec.push_back(-1);
+    }
+    textual.ObserveStaleness();
+    if (options_.status_line) {
+      std::string line =
+          estimator != nullptr
+              ? estimator->ScoreboardLine(query_name)
+              : StrFormat("%s  %5.1f%%", query_name.c_str(),
+                          100.0 * report.progress_series.back());
+      options_.status_line(line + "  | " +
+                           textual.HealthFor("server0").ToString());
+    }
     std::vector<ColorDecision> decisions;
     {
       std::lock_guard<std::mutex> lock(tracker_mu);
@@ -147,16 +184,36 @@ Result<OnlineReport> OnlineMonitor::MonitorQuery(const std::string& sql) {
     ++report.analysis_rounds;
   };
 
+  // The %EOF marker normally ends the loop; on a faulty wire it may never
+  // arrive, so once the query thread has returned and the receive side has
+  // drained (no new events across a few rounds), the monitor concludes on
+  // what it has instead of hanging — degraded, not stuck.
+  int64_t last_received = -1;
+  int stable_rounds = 0;
   while (!textual.QueryFinished(query_name)) {
     analyze_once();
+    if (query_done.load(std::memory_order_acquire)) {
+      const int64_t rec = textual.events_received();
+      stable_rounds = rec == last_received ? stable_rounds + 1 : 0;
+      last_received = rec;
+      if (stable_rounds >= 3) break;
+    }
     clock->SleepMicros(options_.analysis_period_us);
   }
   query_thread.join();
+  // The query is complete: pin progress at 1.0 whatever the wire delivered.
+  if (estimator != nullptr && query_status.ok()) estimator->MarkFinished();
   analyze_once();  // final sweep over the complete buffer
   scene_->dispatcher()->Drain();
   server_->DetachStreams();
-  textual.Stop();
+  textual.Stop();  // joins listeners and finalizes the health accounting
   STETHO_RETURN_IF_ERROR(textual.Flush());
+  report.pipe_health = textual.HealthFor("server0");
+  if (injector != nullptr) {
+    report.injected_dropped = injector->injected_dropped();
+    report.injected_duplicated = injector->injected_duplicated();
+    report.injected_reordered = injector->injected_reordered();
+  }
 
   if (!query_status.ok()) return query_status;
 
@@ -175,7 +232,9 @@ Result<OnlineReport> OnlineMonitor::MonitorQuery(const std::string& sql) {
           : static_cast<int>(std::thread::hardware_concurrency()));
   report.operators = AnalyzeOperators(report.events);
   report.final_progress =
-      EstimateProgress(report.events, report.outcome.plan.size());
+      estimator != nullptr
+          ? estimator->ratio()
+          : EstimateProgress(report.events, report.outcome.plan.size());
   return report;
 }
 

@@ -1,12 +1,16 @@
 #ifndef STETHO_SCOPE_ONLINE_H_
 #define STETHO_SCOPE_ONLINE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/progress.h"
 #include "common/clock.h"
 #include "common/status.h"
+#include "net/fault_injection.h"
+#include "net/pipe_health.h"
 #include "scope/analysis.h"
 #include "scope/coloring.h"
 #include "scope/replayer.h"
@@ -37,6 +41,14 @@ struct OnlineOptions {
   size_t buffer_capacity = 8192;
   double viewport_width = 1280;
   double viewport_height = 800;
+  /// Transport faults injected between server and monitor (seeded; see
+  /// net::FaultInjectingSender). All-zero probabilities = clean wire. The
+  /// injector's exact counts land in OnlineReport::injected_* so tests can
+  /// hold the receiver's accounting to them.
+  net::FaultOptions fault;
+  /// Called once per analysis round with a one-line live status (progress,
+  /// ETA, pipe health) — the `stethoscope --watch` hook. May be empty.
+  std::function<void(const std::string&)> status_line;
 };
 
 /// Result of monitoring one query online.
@@ -51,11 +63,22 @@ struct OnlineReport {
   size_t color_updates = 0;                ///< node color changes posted
   /// Progress estimate captured at every analysis round — the data behind
   /// the demo's "monitor the progress of query plan execution" window.
+  /// Model-weighted (analysis::ProgressEstimator) and clamped monotone;
+  /// ends at exactly 1.0 even when a lossy wire ate done-events.
   std::vector<double> progress_series;
+  /// ETA captured alongside each progress sample (-1 until estimable).
+  std::vector<int64_t> eta_series_usec;
   UtilizationReport utilization;
   ParallelismDiagnosis parallelism;
   std::vector<OperatorStats> operators;
   double final_progress = 0;
+  /// Delivery health of the monitored stream (sequence-gap accounting),
+  /// finalized — pending gaps have settled into `lost`.
+  net::PipeHealthSummary pipe_health;
+  /// Exact injected-fault counts when OnlineOptions::fault was active.
+  int64_t injected_dropped = 0;
+  int64_t injected_duplicated = 0;
+  int64_t injected_reordered = 0;
 };
 
 /// Online mode (paper §4.2): multi-threaded pipeline wiring a running

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "net/trace_stream.h"
+#include "obs/metrics.h"
 
 namespace stetho::scope {
 
@@ -33,8 +34,13 @@ Status TextualStethoscope::AddServer(
   if (!running_.load()) return Status::Aborted("stethoscope stopped");
   net::DatagramReceiver* raw = receiver.get();
   std::lock_guard<std::mutex> lock(mu_);
+  auto& health = health_[name];
+  if (health == nullptr) {
+    health = std::make_unique<net::StreamHealth>(options_.health);
+  }
   receivers_.push_back(std::move(receiver));
-  threads_.emplace_back(&TextualStethoscope::ListenLoop, this, name, raw);
+  threads_.emplace_back(&TextualStethoscope::ListenLoop, this, name, raw,
+                        health.get());
   return Status::OK();
 }
 
@@ -51,6 +57,9 @@ void TextualStethoscope::Stop() {
   for (std::thread& t : threads) {
     if (t.joinable()) t.join();
   }
+  // The streams are gone: any sequence number still missing is lost.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, health] : health_) health->Finalize();
 }
 
 void TextualStethoscope::SetEventCallback(
@@ -97,6 +106,42 @@ Status TextualStethoscope::Flush() {
   return Status::OK();
 }
 
+net::PipeHealthSummary TextualStethoscope::HealthFor(
+    const std::string& server) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = health_.find(server);
+  return it != health_.end() ? it->second->Snapshot()
+                             : net::PipeHealthSummary{};
+}
+
+net::PipeHealthSummary TextualStethoscope::Health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  net::PipeHealthSummary total;
+  for (const auto& [name, health] : health_) {
+    net::PipeHealthSummary s = health->Snapshot();
+    total.observed += s.observed;
+    total.duplicated += s.duplicated;
+    total.reordered += s.reordered;
+    total.lost += s.lost;
+    total.pending += s.pending;
+    total.clock_offset_us = std::min(total.clock_offset_us, s.clock_offset_us);
+    total.last_latency_us = std::max(total.last_latency_us, s.last_latency_us);
+    total.max_latency_us = std::max(total.max_latency_us, s.max_latency_us);
+    total.newest_emit_us = std::max(total.newest_emit_us, s.newest_emit_us);
+  }
+  return total;
+}
+
+void TextualStethoscope::ObserveStaleness() {
+  if (!obs::Active()) return;
+  Clock* clock = options_.clock != nullptr
+                     ? options_.clock
+                     : static_cast<Clock*>(SteadyClock::Default());
+  const int64_t now = clock->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, health] : health_) health->ObserveStaleness(now);
+}
+
 namespace {
 
 /// A stream-framing (control) line — never a trace event.
@@ -110,7 +155,8 @@ bool IsControlLine(const std::string& line) {
 }  // namespace
 
 void TextualStethoscope::ListenLoop(std::string server,
-                                    net::DatagramReceiver* receiver) {
+                                    net::DatagramReceiver* receiver,
+                                    net::StreamHealth* health) {
   std::vector<std::string> batch;
   std::string payload;
   const size_t max_batch =
@@ -134,17 +180,28 @@ void TextualStethoscope::ListenLoop(std::string server,
       if (!more.value()) break;
       batch.push_back(std::move(payload));
     }
-    HandleBatch(server, batch);
+    HandleBatch(server, batch, health);
     if (closed) return;
   }
 }
 
 void TextualStethoscope::HandleBatch(const std::string& server,
-                                     const std::vector<std::string>& lines) {
+                                     const std::vector<std::string>& lines,
+                                     net::StreamHealth* health) {
   std::function<void(const std::string&, const TraceEvent&)> cb;
   {
     std::lock_guard<std::mutex> lock(mu_);
     cb = callback_;
+  }
+  // One ingest timestamp per batch feeds the emit→ingest latency estimate.
+  // The clock read is gated on the obs kill switch (counting gaps is free,
+  // timing them is opt-in); a negative ingest skips the latency path.
+  int64_t ingest_us = -1;
+  if (obs::Active()) {
+    Clock* clock = options_.clock != nullptr
+                       ? options_.clock
+                       : static_cast<Clock*>(SteadyClock::Default());
+    ingest_us = clock->NowMicros();
   }
 
   std::vector<TraceEvent> events;  // current contiguous run of accepted events
@@ -178,6 +235,10 @@ void TextualStethoscope::HandleBatch(const std::string& server,
       flush_events();
       std::lock_guard<std::mutex> lock(mu_);
       while (i < lines.size() && IsControlLine(lines[i])) {
+        // %EOF closes the query: sequence numbers still missing will never
+        // arrive (delivery is ordered behind the marker), so the open gaps
+        // settle into `lost` now instead of waiting for Stop().
+        if (StartsWith(lines[i], StreamFraming::kEof)) health->Finalize();
         HandleControlLocked(server, lines[i]);
         ++i;
       }
@@ -190,6 +251,10 @@ void TextualStethoscope::HandleBatch(const std::string& server,
       continue;
     }
     ++received;
+    // Health accounting runs before the client-side filter: the wire
+    // delivered the event, so suppressing it locally must not read as
+    // transport loss.
+    health->Observe(event.value(), ingest_us);
     if (!options_.filter.Matches(event.value())) {
       ++filtered;
       continue;

@@ -10,8 +10,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "net/datagram.h"
+#include "net/pipe_health.h"
 #include "profiler/filter.h"
 #include "profiler/sink.h"
 
@@ -34,6 +36,12 @@ struct TextualOptions {
   /// are drained (zero timeout) and processed as one batch — one sink lock
   /// acquisition per batch instead of per event.
   int max_batch = 256;
+  /// Receiver time source for the stream-health latency/staleness estimates
+  /// (nullptr = steady clock). Only read while obs::Active() — the
+  /// loss/reorder/duplicate accounting itself never reads a clock.
+  Clock* clock = nullptr;
+  /// Stream-health accountant tuning (one accountant per connected server).
+  net::StreamHealth::Options health;
 };
 
 /// The textual Stethoscope (paper §3.2): connects to one or more MonetDB
@@ -85,16 +93,30 @@ class TextualStethoscope {
   int64_t events_filtered() const { return filtered_.load(); }
   int64_t malformed_lines() const { return malformed_.load(); }
 
+  /// Delivery health of one server's stream, accounted from the per-event
+  /// global sequence numbers (pre-filter, so client-side filtering never
+  /// reads as loss). Zero-valued summary for unknown servers.
+  net::PipeHealthSummary HealthFor(const std::string& server) const;
+  /// All streams combined (counts summed; offset/latency from the worst
+  /// stream; sequence span unset — spans are per-stream quantities).
+  net::PipeHealthSummary Health() const;
+  /// Feeds stetho_pipe_staleness_usec with the current age of the rendered
+  /// picture on every stream. Call once per analysis/render round; no-op
+  /// unless obs::Active().
+  void ObserveStaleness();
+
   /// Flushes the trace file (if any).
   Status Flush();
 
  private:
-  void ListenLoop(std::string server, net::DatagramReceiver* receiver);
+  void ListenLoop(std::string server, net::DatagramReceiver* receiver,
+                  net::StreamHealth* health);
   /// Processes a batch of received lines in order: trace-event runs are
   /// parsed outside any lock and pushed through the sinks batch-wise;
   /// each contiguous run of framing lines takes one mu_ acquisition.
   void HandleBatch(const std::string& server,
-                   const std::vector<std::string>& lines);
+                   const std::vector<std::string>& lines,
+                   net::StreamHealth* health);
   /// Applies one framing (control) line; caller holds mu_.
   void HandleControlLocked(const std::string& server, const std::string& line);
 
@@ -110,6 +132,10 @@ class TextualStethoscope {
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<net::DatagramReceiver>> receivers_;
   std::vector<std::thread> threads_;
+  /// Per-server stream-health accountants; entries are created in
+  /// AddServer and never removed, and StreamHealth is internally
+  /// synchronized, so listener threads use the raw pointer lock-free.
+  std::map<std::string, std::unique_ptr<net::StreamHealth>> health_;
   std::map<std::string, std::string> dot_partial_;   // query -> accumulating
   std::map<std::string, std::string> dot_complete_;  // query -> full dot
   std::vector<std::string> finished_;

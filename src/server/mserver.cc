@@ -123,16 +123,32 @@ Result<QueryOutcome> Mserver::ExecuteSql(const std::string& sql) {
     }
   }
 
+  // Progress scoreboard: price the plan with the cached work model and let
+  // the interpreter feed completions. The estimator outlives the query in
+  // the scoreboard ring so ProgressText() can show recent history.
+  auto estimator = std::make_shared<analysis::ProgressEstimator>(
+      analysis::ProgressModelCache::Default()->GetOrBuild(program));
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    progress_.emplace_back(outcome.name, estimator);
+    constexpr size_t kScoreboardHistory = 8;
+    if (progress_.size() > kScoreboardHistory) {
+      progress_.erase(progress_.begin());
+    }
+  }
+
   engine::Interpreter interp(&catalog_);
   engine::ExecOptions exec;
   exec.num_threads = options_.dop;
   exec.use_dataflow = !options_.force_sequential;
   exec.clock = clock_;
   exec.profiler = &profiler_;
+  exec.progress = estimator.get();
   {
     obs::Span execute_span(tracer, "execute", "phase");
     STETHO_ASSIGN_OR_RETURN(outcome.result, interp.Execute(program, exec));
   }
+  estimator->MarkFinished();
   outcome.plan = std::move(program);
 
   {
@@ -158,6 +174,17 @@ void Mserver::DetachStreams() {
 
 std::string Mserver::MetricsText() const {
   return obs::Registry::Default()->ExpositionText();
+}
+
+std::string Mserver::ProgressText() const {
+  std::lock_guard<std::mutex> lock(progress_mu_);
+  if (progress_.empty()) return "no queries tracked\n";
+  std::string out;
+  for (const auto& [name, estimator] : progress_) {
+    out += estimator->ScoreboardLine(name);
+    out += '\n';
+  }
+  return out;
 }
 
 Status Mserver::AdmitForMemory(const mal::Program& program) const {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/progress.h"
 #include "common/clock.h"
 #include "common/status.h"
 #include "engine/interpreter.h"
@@ -95,6 +96,14 @@ class Mserver {
   /// Stethoscope polls the event stream.
   std::string MetricsText() const;
 
+  /// Live query-progress scoreboard next to MetricsText(): one line per
+  /// tracked query (running and recently finished, newest last) with the
+  /// model-weighted completion ratio and remaining-critical-path ETA from
+  /// analysis::ProgressEstimator. The estimator is fed in-process through
+  /// engine::ExecOptions::progress, so the scoreboard works with no
+  /// profiler sink attached.
+  std::string ProgressText() const;
+
   storage::Catalog* catalog() { return &catalog_; }
   const MserverOptions& options() const { return options_; }
   Clock* clock() const { return clock_; }
@@ -114,6 +123,14 @@ class Mserver {
 
   std::mutex stream_mu_;
   std::vector<std::shared_ptr<net::DatagramSender>> streams_;
+
+  /// Progress scoreboard: the last few queries' estimators, newest last.
+  /// Estimators are shared_ptr because a query thread updates its
+  /// estimator while ProgressText() reads it.
+  mutable std::mutex progress_mu_;
+  std::vector<std::pair<std::string,
+                        std::shared_ptr<analysis::ProgressEstimator>>>
+      progress_;
 };
 
 }  // namespace stetho::server

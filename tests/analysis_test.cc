@@ -511,7 +511,7 @@ TEST(RunnerTest, SkipsChecksWithMissingInputs) {
 }
 
 TEST(RunnerTest, DefaultSuiteHasAllChecks) {
-  EXPECT_EQ(Runner::Default().size(), 22u);
+  EXPECT_EQ(Runner::Default().size(), 23u);
 }
 
 TEST(RunnerTest, SortsErrorsFirstThenByPc) {
@@ -914,6 +914,93 @@ TEST(FailOnTest, ThresholdMatchesSeverityOrdering) {
   EXPECT_TRUE(analysis::AnyAtOrAbove(diags, Severity::kWarning));
   EXPECT_FALSE(analysis::AnyAtOrAbove(diags, Severity::kError));
   EXPECT_FALSE(analysis::AnyAtOrAbove({}, Severity::kNote));
+}
+
+
+// ---------------------------------------------------------------------------
+// trace-sequence-gap
+// ---------------------------------------------------------------------------
+
+std::vector<TraceEvent> SeqTrace(const std::vector<int64_t>& seqs) {
+  std::vector<TraceEvent> trace;
+  for (int64_t seq : seqs) {
+    TraceEvent e;
+    e.event = seq;
+    e.time_us = 100 + seq;
+    e.pc = 0;
+    e.state = EventState::kDone;
+    trace.push_back(e);
+  }
+  return trace;
+}
+
+TEST(TraceSequenceGapTest, CleanContiguousTraceHasNoFindings) {
+  mal::Program p = CleanPlan();
+  auto trace = SeqTrace({0, 1, 2, 3, 4, 5});
+  CheckContext ctx = PlanContext(p);
+  ctx.trace = &trace;
+  EXPECT_TRUE(
+      RunOne(analysis::MakeTraceSequenceGapCheck(), ctx).empty());
+}
+
+TEST(TraceSequenceGapTest, MissingSequenceNumbersWarn) {
+  mal::Program p = CleanPlan();
+  auto trace = SeqTrace({0, 1, 4, 5});  // 2 and 3 lost in transit
+  CheckContext ctx = PlanContext(p);
+  ctx.trace = &trace;
+  auto diags = RunOne(analysis::MakeTraceSequenceGapCheck(), ctx);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+  EXPECT_EQ(diags[0].check_id, "trace-sequence-gap");
+  EXPECT_NE(diags[0].message.find("2 of 6"), std::string::npos)
+      << diags[0].message;
+}
+
+TEST(TraceSequenceGapTest, DuplicatedSequenceNumbersError) {
+  mal::Program p = CleanPlan();
+  auto trace = SeqTrace({0, 1, 1, 2});
+  CheckContext ctx = PlanContext(p);
+  ctx.trace = &trace;
+  auto diags = RunOne(analysis::MakeTraceSequenceGapCheck(), ctx);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_NE(diags[0].message.find("appears 2 times"), std::string::npos);
+}
+
+TEST(TraceSequenceGapTest, FileOrderRegressionIsANote) {
+  mal::Program p = CleanPlan();
+  auto trace = SeqTrace({0, 2, 1, 3});  // complete but recorded out of order
+  CheckContext ctx = PlanContext(p);
+  ctx.trace = &trace;
+  auto diags = RunOne(analysis::MakeTraceSequenceGapCheck(), ctx);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kNote);
+  EXPECT_NE(diags[0].message.find("out of emission order"),
+            std::string::npos);
+}
+
+TEST(TraceSequenceGapTest, TornTraceCapsDetailedDuplicates) {
+  mal::Program p = CleanPlan();
+  std::vector<int64_t> seqs;
+  for (int64_t q = 0; q < 12; ++q) {
+    seqs.push_back(q);
+    seqs.push_back(q);  // every number duplicated: 12 > kMaxDetailed
+  }
+  auto trace = SeqTrace(seqs);
+  CheckContext ctx = PlanContext(p);
+  ctx.trace = &trace;
+  auto diags = RunOne(analysis::MakeTraceSequenceGapCheck(), ctx);
+  // 8 detailed + 1 summary, all errors.
+  ASSERT_EQ(diags.size(), 9u);
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.severity, Severity::kError);
+  }
+}
+
+TEST(TraceSequenceGapTest, SkippedWithoutATrace) {
+  mal::Program p = CleanPlan();
+  EXPECT_TRUE(
+      RunOne(analysis::MakeTraceSequenceGapCheck(), PlanContext(p)).empty());
 }
 
 }  // namespace

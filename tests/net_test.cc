@@ -4,6 +4,8 @@
 
 #include "common/clock.h"
 #include "net/channel.h"
+#include "net/fault_injection.h"
+#include "net/pipe_health.h"
 #include "net/trace_stream.h"
 #include "net/udp.h"
 #include "profiler/profiler.h"
@@ -170,6 +172,237 @@ TEST(TraceStreamTest, DatagramSinkForwardsEvents) {
   auto event = profiler::ParseTraceLine(payload);
   ASSERT_TRUE(event.ok()) << event.status().ToString();
   EXPECT_EQ(event.value().pc, 3);
+}
+
+
+// --- stream health (sequence-gap accounting) ---
+
+profiler::TraceEvent SeqEvent(int64_t seq) {
+  profiler::TraceEvent e;
+  e.event = seq;
+  e.time_us = 1000 + seq;
+  e.pc = static_cast<int>(seq / 2);
+  e.state = profiler::EventState::kDone;
+  return e;
+}
+
+TEST(StreamHealthTest, CleanStreamHasNoFindings) {
+  StreamHealth health;
+  for (int64_t i = 0; i < 100; ++i) health.Observe(SeqEvent(i));
+  health.Finalize();
+  PipeHealthSummary s = health.Snapshot();
+  EXPECT_EQ(s.observed, 100);
+  EXPECT_EQ(s.lost, 0);
+  EXPECT_EQ(s.reordered, 0);
+  EXPECT_EQ(s.duplicated, 0);
+  EXPECT_EQ(s.expected(), 100);
+  EXPECT_DOUBLE_EQ(s.loss_ratio(), 0.0);
+}
+
+TEST(StreamHealthTest, OpenGapSettlesIntoLostOnFinalize) {
+  StreamHealth health;
+  for (int64_t seq : {0, 1, 3, 4}) health.Observe(SeqEvent(seq));
+  EXPECT_EQ(health.Snapshot().pending, 1);  // seq 2 may still be in flight
+  EXPECT_EQ(health.Snapshot().lost, 0);
+  health.Finalize();
+  PipeHealthSummary s = health.Snapshot();
+  EXPECT_EQ(s.lost, 1);
+  EXPECT_EQ(s.pending, 0);
+  EXPECT_DOUBLE_EQ(s.loss_ratio(), 0.2);
+}
+
+TEST(StreamHealthTest, LateArrivalFillingGapIsReorder) {
+  StreamHealth health;
+  for (int64_t seq : {0, 2, 1, 3}) health.Observe(SeqEvent(seq));
+  health.Finalize();
+  PipeHealthSummary s = health.Snapshot();
+  EXPECT_EQ(s.observed, 4);
+  EXPECT_EQ(s.reordered, 1);
+  EXPECT_EQ(s.lost, 0);
+  EXPECT_EQ(s.duplicated, 0);
+}
+
+TEST(StreamHealthTest, RepeatDeliveryIsDuplicate) {
+  StreamHealth health;
+  for (int64_t seq : {0, 1, 1, 2}) health.Observe(SeqEvent(seq));
+  PipeHealthSummary s = health.Snapshot();
+  EXPECT_EQ(s.observed, 3);
+  EXPECT_EQ(s.duplicated, 1);
+  EXPECT_EQ(s.reordered, 0);
+}
+
+TEST(StreamHealthTest, StragglerBelowFirstArrivalCountsReordered) {
+  StreamHealth health;
+  health.Observe(SeqEvent(5));
+  health.Observe(SeqEvent(3));  // arrived after 5: reordered, opens gap 4
+  PipeHealthSummary s = health.Snapshot();
+  EXPECT_EQ(s.min_seq, 3);
+  EXPECT_EQ(s.max_seq, 5);
+  EXPECT_EQ(s.reordered, 1);
+  EXPECT_EQ(s.pending, 1);
+}
+
+TEST(StreamHealthTest, GapAgesIntoLossPastReorderWindow) {
+  StreamHealth::Options options;
+  options.reorder_window = 4;
+  StreamHealth health(options);
+  health.Observe(SeqEvent(0));
+  health.Observe(SeqEvent(10));  // opens gaps 1..9
+  PipeHealthSummary s = health.Snapshot();
+  // Gaps trailing the high-water mark (10) by more than 4 are lost:
+  // 1..5; 6..9 may still be late stragglers.
+  EXPECT_EQ(s.lost, 5);
+  EXPECT_EQ(s.pending, 4);
+  // A straggler for an aged-out gap counts duplicated-side (monotone loss),
+  // one inside the window still redeems as a reorder.
+  health.Observe(SeqEvent(7));
+  s = health.Snapshot();
+  EXPECT_EQ(s.reordered, 1);
+  EXPECT_EQ(s.lost, 5);
+}
+
+TEST(StreamHealthTest, ClockOffsetAndLatencyEstimates) {
+  StreamHealth health;
+  // Emit times 1000+seq; receiver clock runs 500us ahead plus queueing.
+  health.Observe(SeqEvent(0), /*ingest_us=*/1000 + 500 + 40);
+  health.Observe(SeqEvent(1), /*ingest_us=*/1001 + 500);  // zero-delay arrival
+  health.Observe(SeqEvent(2), /*ingest_us=*/1002 + 500 + 120);
+  PipeHealthSummary s = health.Snapshot();
+  // The minimum delta (event 1, delta 500) is the offset estimate...
+  EXPECT_EQ(s.clock_offset_us, 500);
+  // ...so event 2's offset-corrected latency is its 120us queueing delay.
+  EXPECT_EQ(s.last_latency_us, 120);
+  EXPECT_GE(s.max_latency_us, 120);
+}
+
+TEST(StreamHealthTest, SummaryToStringMentionsLoss) {
+  StreamHealth health;
+  for (int64_t seq : {0, 3}) health.Observe(SeqEvent(seq));
+  health.Finalize();
+  std::string text = health.Snapshot().ToString();
+  EXPECT_NE(text.find("2 lost"), std::string::npos) << text;
+}
+
+// --- fault injection ---
+
+TEST(FaultInjectionTest, CleanPassthroughWithZeroProbabilities) {
+  auto [sender, receiver] = Channel::CreatePair();
+  FaultOptions fault;  // all-zero
+  FaultInjectingSender faulty(std::shared_ptr<DatagramSender>(std::move(sender)),
+                              fault);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(faulty.Send("msg" + std::to_string(i)).ok());
+  }
+  std::string payload;
+  for (int i = 0; i < 50; ++i) {
+    auto got = receiver->Receive(&payload, 100);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got.value());
+    EXPECT_EQ(payload, "msg" + std::to_string(i));
+  }
+  EXPECT_EQ(faulty.injected_dropped(), 0);
+  EXPECT_EQ(faulty.injected_duplicated(), 0);
+  EXPECT_EQ(faulty.injected_reordered(), 0);
+}
+
+TEST(FaultInjectionTest, ControlLinesAreSpared) {
+  auto [sender, receiver] = Channel::CreatePair();
+  FaultOptions fault;
+  fault.drop_p = 1.0;  // drop everything faultable
+  FaultInjectingSender faulty(std::shared_ptr<DatagramSender>(std::move(sender)),
+                              fault);
+  ASSERT_TRUE(faulty.Send("%DOT-BEGIN q").ok());
+  ASSERT_TRUE(faulty.Send("[ 0, 1, 0, 0, \"start\", 0, 0, \"x\" ]").ok());
+  ASSERT_TRUE(faulty.Send("%EOF q").ok());
+  std::string payload;
+  ASSERT_TRUE(receiver->Receive(&payload, 100).value());
+  EXPECT_EQ(payload, "%DOT-BEGIN q");
+  ASSERT_TRUE(receiver->Receive(&payload, 100).value());
+  EXPECT_EQ(payload, "%EOF q");
+  EXPECT_FALSE(receiver->Receive(&payload, 10).value());
+  EXPECT_EQ(faulty.injected_dropped(), 1);
+}
+
+TEST(FaultInjectionTest, SameSeedSameFaultPlan) {
+  for (int run = 0; run < 2; ++run) {
+    auto [sender, receiver] = Channel::CreatePair();
+    FaultOptions fault;
+    fault.drop_p = 0.1;
+    fault.dup_p = 0.05;
+    fault.reorder_p = 0.05;
+    fault.seed = 7;
+    FaultInjectingSender faulty(
+        std::shared_ptr<DatagramSender>(std::move(sender)), fault);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(faulty.Send(std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(faulty.Flush().ok());
+    static int64_t first_dropped = -1;
+    static int64_t first_dup = -1;
+    static int64_t first_reord = -1;
+    if (run == 0) {
+      first_dropped = faulty.injected_dropped();
+      first_dup = faulty.injected_duplicated();
+      first_reord = faulty.injected_reordered();
+      EXPECT_GT(first_dropped, 0);
+    } else {
+      EXPECT_EQ(faulty.injected_dropped(), first_dropped);
+      EXPECT_EQ(faulty.injected_duplicated(), first_dup);
+      EXPECT_EQ(faulty.injected_reordered(), first_reord);
+    }
+  }
+}
+
+/// The satellite contract: the receiving gap accountant reports EXACTLY the
+/// injected loss/reorder/duplicate counts. The seed is chosen so the first
+/// and last sequence numbers are delivered (asserted below) — losses at the
+/// span edges are invisible to any sequence-based accountant.
+TEST(FaultInjectionTest, GapAccountantMatchesInjectedCountsExactly) {
+  auto [sender, receiver] = Channel::CreatePair();
+  FaultOptions fault;
+  fault.drop_p = 0.05;
+  fault.dup_p = 0.03;
+  fault.reorder_p = 0.04;
+  fault.seed = 42;
+  auto faulty = std::make_shared<FaultInjectingSender>(
+      std::shared_ptr<DatagramSender>(std::move(sender)), fault);
+
+  const int64_t kEvents = 500;
+  for (int64_t i = 0; i < kEvents; ++i) {
+    ASSERT_TRUE(faulty->Send(profiler::FormatTraceLine(SeqEvent(i))).ok());
+  }
+  ASSERT_TRUE(faulty->Send("%EOF q").ok());  // flushes any held datagram
+
+  StreamHealth health;
+  std::string payload;
+  bool saw_first = false;
+  bool saw_last = false;
+  while (true) {
+    auto got = receiver->Receive(&payload, 10);
+    ASSERT_TRUE(got.ok());
+    if (!got.value()) break;
+    if (!payload.empty() && payload[0] == '%') continue;
+    auto event = profiler::ParseTraceLine(payload);
+    ASSERT_TRUE(event.ok()) << payload;
+    saw_first = saw_first || event.value().event == 0;
+    saw_last = saw_last || event.value().event == kEvents - 1;
+    health.Observe(event.value());
+  }
+  health.Finalize();
+
+  ASSERT_TRUE(saw_first) << "seed delivers seq 0; pick another seed";
+  ASSERT_TRUE(saw_last) << "seed delivers the last seq; pick another seed";
+  PipeHealthSummary s = health.Snapshot();
+  EXPECT_GT(faulty->injected_dropped(), 0);
+  EXPECT_GT(faulty->injected_duplicated(), 0);
+  EXPECT_GT(faulty->injected_reordered(), 0);
+  EXPECT_EQ(s.lost, faulty->injected_dropped());
+  EXPECT_EQ(s.duplicated, faulty->injected_duplicated());
+  EXPECT_EQ(s.reordered, faulty->injected_reordered());
+  EXPECT_EQ(s.observed, kEvents - faulty->injected_dropped());
+  EXPECT_NEAR(s.loss_ratio(),
+              static_cast<double>(faulty->injected_dropped()) / kEvents,
+              0.001);
 }
 
 }  // namespace

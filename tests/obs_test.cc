@@ -14,6 +14,7 @@
 #include "engine/interpreter.h"
 #include "mal/program.h"
 #include "net/channel.h"
+#include "net/pipe_health.h"
 #include "net/trace_stream.h"
 #include "net/udp.h"
 #include "obs/flight_recorder.h"
@@ -725,6 +726,67 @@ TEST(ObsStressTest, ConcurrentQueriesShareDefaultRegistry) {
   SetEnabled(false);
   EXPECT_EQ(registry->CounterValue("stetho_kernel_sql_calls_total").value(),
             before + 2 * kQueries);
+}
+
+
+// --- metric-naming audit (satellite of the pipeline-health issue) ---
+
+TEST(MetricsAuditTest, FlagsEveryNamingRuleViolation) {
+  Registry reg;
+  reg.GetOrCreateCounter("stetho_events", "counter missing _total");
+  reg.GetOrCreateGauge("stetho_depth_total", "gauge posing as a counter");
+  reg.GetOrCreateHistogram("stetho_delay", "histogram without a unit suffix",
+                           Histogram::DefaultLatencyBounds());
+  reg.GetOrCreateCounter("stetho_Bad_case_total", "uppercase letters");
+  std::vector<std::string> violations = reg.AuditMetricNames();
+  ASSERT_EQ(violations.size(), 4u);
+  std::string all;
+  for (const std::string& v : violations) all += v + "\n";
+  EXPECT_NE(all.find("stetho_events"), std::string::npos) << all;
+  EXPECT_NE(all.find("stetho_depth_total"), std::string::npos) << all;
+  EXPECT_NE(all.find("stetho_delay"), std::string::npos) << all;
+  EXPECT_NE(all.find("stetho_Bad_case_total"), std::string::npos) << all;
+}
+
+TEST(MetricsAuditTest, AcceptsConformingNames) {
+  Registry reg;
+  reg.GetOrCreateCounter("stetho_pipe_lost_total", "ok");
+  reg.GetOrCreateGauge("stetho_query_progress_ratio", "ok");
+  reg.GetOrCreateHistogram("stetho_pipe_latency_usec", "ok",
+                           Histogram::DefaultLatencyBounds());
+  reg.GetOrCreateHistogram("stetho_batch_bytes", "ok",
+                           Histogram::DefaultLatencyBounds());
+  EXPECT_TRUE(reg.AuditMetricNames().empty());
+}
+
+/// The audit that matters: every metric the platform actually registers
+/// conforms. ctest runs each case in its own process, so the test first
+/// drives a query through the instrumented stack (server, pool, kernels,
+/// optimizer, profiler, pipe health, progress) to populate the default
+/// registry with the real stetho_* catalog.
+TEST(MetricsAuditTest, DefaultRegistryCatalogIsClean) {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.001;
+  auto cat = tpch::GenerateTpch(config);
+  ASSERT_TRUE(cat.ok());
+  server::MserverOptions options;
+  options.dop = 2;
+  server::Mserver server(std::move(cat).value(), options);
+  ASSERT_TRUE(server.ExecuteSql("select count(*) from nation").ok());
+  net::StreamHealth health;
+  profiler::TraceEvent e;
+  e.event = 0;
+  e.state = profiler::EventState::kDone;
+  health.Observe(e, /*ingest_us=*/1);
+  health.ObserveStaleness(2);
+  health.Finalize();
+  (void)server.MetricsText();
+
+  std::vector<std::string> violations =
+      Registry::Default()->AuditMetricNames();
+  std::string all;
+  for (const std::string& v : violations) all += v + "\n";
+  EXPECT_TRUE(violations.empty()) << all;
 }
 
 }  // namespace

@@ -994,6 +994,60 @@ TEST(OnlineMonitorTest, EndToEndColorsAndReports) {
   ASSERT_NE(monitor.scene(), nullptr);
 }
 
+/// Tentpole acceptance: 5% injected datagram loss on the demo query. The
+/// monitor must not hang (the %EOF is spared, and even a lost one only
+/// costs three idle analysis rounds), the receiver's gap accounting must
+/// match the injector's exact counts, and progress still ends pinned at
+/// 1.0 because the query itself completed.
+TEST(OnlineMonitorTest, LossyWireIsAccountedAndStillCompletes) {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.001;
+  auto cat = tpch::GenerateTpch(config);
+  ASSERT_TRUE(cat.ok());
+  server::MserverOptions soptions;
+  soptions.dop = 4;
+  soptions.mitosis_pieces = 4;
+  server::Mserver server(std::move(cat.value()), soptions);
+
+  OnlineOptions options;
+  options.render_interval_us = 0;
+  options.analysis_period_us = 2000;
+  options.fault.drop_p = 0.05;
+  options.fault.seed = 11;
+  OnlineMonitor monitor(&server, options);
+  auto report = monitor.MonitorQuery(
+      "select sum(l_extendedprice * l_discount) as revenue from lineitem "
+      "where l_shipdate >= 19940101 and l_shipdate < 19950101");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const OnlineReport& r = report.value();
+  ASSERT_GT(r.injected_dropped, 0);
+  EXPECT_EQ(r.injected_duplicated, 0);
+  EXPECT_EQ(r.injected_reordered, 0);
+
+  // The health summary is finalized (no gap still "pending") and its loss
+  // ratio sits within one percentage point of the injected truth. Losses
+  // at the sequence-span edges are invisible to a gap accountant, hence a
+  // band rather than equality on the ratio; the count itself can only
+  // undershoot.
+  EXPECT_EQ(r.pipe_health.pending, 0);
+  EXPECT_GT(r.pipe_health.lost, 0);
+  EXPECT_LE(r.pipe_health.lost, r.injected_dropped);
+  const double injected_ratio =
+      static_cast<double>(r.injected_dropped) /
+      static_cast<double>(r.injected_dropped + r.events_received);
+  EXPECT_NEAR(r.pipe_health.loss_ratio(), injected_ratio, 0.01);
+
+  // Progress: monotone throughout, pinned at exactly 1.0 once the query
+  // finished — lost done-events must not leave the bar stuck short.
+  ASSERT_FALSE(r.progress_series.empty());
+  for (size_t i = 1; i < r.progress_series.size(); ++i) {
+    EXPECT_GE(r.progress_series[i], r.progress_series[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(r.progress_series.back(), 1.0);
+  EXPECT_DOUBLE_EQ(r.final_progress, 1.0);
+  EXPECT_EQ(r.outcome.result.columns.size(), 1u);
+}
+
 TEST(OnlineMonitorTest, DetectsSequentialAnomaly) {
   tpch::TpchConfig config;
   config.scale_factor = 0.001;

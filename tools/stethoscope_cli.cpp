@@ -18,6 +18,13 @@
 //   --metrics          print the metrics registry (Prometheus text) on exit
 //   --trace-json <f>   record platform spans; write Chrome trace JSON to <f>
 //                      (load in Perfetto / chrome://tracing)
+//   --watch            (monitor) print a live status line per analysis round
+//                      (progress %%, ETA, pipe health) and the final stream
+//                      health + server progress scoreboard
+//   --drop <p>         (monitor) inject seeded datagram loss with
+//                      probability p on the server->monitor stream — a bad
+//                      network day on demand, for watching the pipeline
+//                      health accounting react
 //
 // A SQL argument that names a built-in query ("q1", "paper"...) is expanded
 // to its text.
@@ -59,6 +66,8 @@ struct CliOptions {
   bool sequential = false;
   bool metrics = false;
   std::string trace_json;  // empty = span recording off
+  bool watch = false;
+  double drop_p = 0;  // monitor-stream fault injection
 };
 
 int Fail(const Status& st) {
@@ -71,7 +80,7 @@ int Usage() {
                "usage: stethoscope [flags] <explain|run|record|replay|"
                "monitor|queries> [args]\n"
                "flags: --sf N  --dop N  --mitosis N  --seed N  --sequential\n"
-               "       --metrics  --trace-json FILE\n");
+               "       --metrics  --trace-json FILE  --watch  --drop P\n");
   return 2;
 }
 
@@ -254,6 +263,13 @@ int CmdMonitor(const CliOptions& cli, const std::string& sql) {
   if (!server) return 1;
   scope::OnlineOptions online;
   online.render_interval_us = 1000;
+  online.fault.drop_p = cli.drop_p;
+  if (cli.watch) {
+    online.status_line = [](const std::string& line) {
+      std::printf("%s\n", line.c_str());
+      std::fflush(stdout);
+    };
+  }
   scope::OnlineMonitor monitor(server.get(), online);
   auto report = monitor.MonitorQuery(ResolveSql(sql));
   if (!report.ok()) return Fail(report.status());
@@ -262,7 +278,16 @@ int CmdMonitor(const CliOptions& cli, const std::string& sql) {
               "analysis rounds: %zu\n",
               r.graph_nodes, static_cast<long long>(r.events_received),
               r.color_updates, r.analysis_rounds);
+  std::printf("%s\n", r.pipe_health.ToString().c_str());
+  if (r.injected_dropped > 0) {
+    std::printf("(injected: %lld dropped)\n",
+                static_cast<long long>(r.injected_dropped));
+  }
   std::printf("%s\n", r.parallelism.summary.c_str());
+  if (cli.watch) {
+    std::printf("-- progress scoreboard --\n%s",
+                server->ProgressText().c_str());
+  }
   std::printf("%s", server::FormatResultTable(r.outcome.result).c_str());
   PrintAnalyses(r.events);
   return 0;
@@ -298,6 +323,12 @@ int main(int argc, char** argv) {
       cli.sequential = true;
     } else if (flag == "--metrics") {
       cli.metrics = true;
+    } else if (flag == "--watch") {
+      cli.watch = true;
+    } else if (flag == "--drop") {
+      const char* v = next();
+      if (!v) return Usage();
+      cli.drop_p = std::atof(v);
     } else if (flag == "--trace-json") {
       const char* v = next();
       if (!v) return Usage();
@@ -307,7 +338,7 @@ int main(int argc, char** argv) {
     }
   }
   if (i >= argc) return Usage();
-  if (cli.metrics || !cli.trace_json.empty()) {
+  if (cli.metrics || cli.watch || !cli.trace_json.empty()) {
     // Opt in to the paid observability paths (latency histograms, pass
     // timing) and to flight-recorder dumps on query aborts.
     obs::SetEnabled(true);
