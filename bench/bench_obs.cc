@@ -8,11 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "analysis/perfdiff.h"
 #include "analysis/progress.h"
 #include "bench_util.h"
 #include "net/pipe_health.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/profile_store.h"
 #include "obs/span.h"
 #include "profiler/event.h"
 
@@ -230,7 +232,7 @@ void BM_ProgressEstimatorQuery(benchmark::State& state) {
     analysis::ProgressEstimator estimator(model);
     int64_t now = 0;
     for (size_t pc = 0; pc < model->plan_size(); ++pc) {
-      estimator.OnInstructionDone(static_cast<int>(pc), 5, now += 10);
+      estimator.OnInstructionDone(static_cast<int>(pc), 5, now += 10, 0);
     }
     benchmark::DoNotOptimize(estimator.ratio());
   }
@@ -254,13 +256,57 @@ void BM_ProgressEtaHalfway(benchmark::State& state) {
   analysis::ProgressEstimator estimator(model);
   int64_t now = 0;
   for (size_t pc = 0; pc < model->plan_size() / 2; ++pc) {
-    estimator.OnInstructionDone(static_cast<int>(pc), 5, now += 10);
+    estimator.OnInstructionDone(static_cast<int>(pc), 5, now += 10, 0);
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(estimator.EtaUsec());
   }
 }
 BENCHMARK(BM_ProgressEtaHalfway);
+
+/// A C4-sized observation for the profile-store micro benches (194-pc
+/// plan shape, deterministic synthetic durations).
+obs::QueryObservation MakeObservation(uint64_t shape_hash) {
+  obs::QueryObservation observation;
+  observation.shape_hash = shape_hash;
+  observation.plan_size = 194;
+  observation.total_usec = 20000;
+  for (int pc = 0; pc < 194; ++pc) {
+    obs::PcSample sample;
+    sample.pc = pc;
+    sample.usec = 5 + (pc % 7) * 100;
+    sample.bytes = int64_t{1} << (pc % 20);
+    sample.concurrency = 1 + pc % 4;
+    observation.pcs.push_back(sample);
+  }
+  return observation;
+}
+
+/// Folding one completed query into the store — the per-query cost the
+/// server pays after MarkFinished (in-memory store; the journal append is
+/// I/O-bound and measured by the end-to-end configurations above).
+void BM_ProfileFold(benchmark::State& state) {
+  obs::ProfileStore store;
+  obs::QueryObservation observation = MakeObservation(0x9e3779b97f4a7c15ULL);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Fold(observation));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(observation.pcs.size()));
+}
+BENCHMARK(BM_ProfileFold);
+
+/// Baseline lookup — the per-round cost of the online monitor's straggler
+/// sweep and the slow-query gate (deep-copy snapshot of a 194-pc profile).
+void BM_ProfileLookup(benchmark::State& state) {
+  obs::ProfileStore store;
+  obs::QueryObservation observation = MakeObservation(0x9e3779b97f4a7c15ULL);
+  for (int i = 0; i < 8; ++i) (void)store.Fold(observation);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Lookup(observation.shape_hash));
+  }
+}
+BENCHMARK(BM_ProfileLookup);
 
 }  // namespace
 

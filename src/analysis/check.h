@@ -7,6 +7,7 @@
 #include "dot/graph.h"
 #include "engine/kernel.h"
 #include "mal/program.h"
+#include "obs/profile_store.h"
 #include "obs/span.h"
 #include "profiler/event.h"
 
@@ -26,6 +27,10 @@ struct CheckContext {
   /// lets checks cross-validate the profiler's event stream against the
   /// platform's own self-observation.
   const std::vector<obs::SpanRecord>* spans = nullptr;
+  /// Cross-run performance baselines (per-pc robust statistics keyed by
+  /// plan-shape hash); lets checks compare a recorded trace against the
+  /// committed profile of past runs of the same plan shape.
+  const obs::ProfileStore* profile = nullptr;
   /// True when the optimizer pipeline lints between passes. Checks may relax
   /// severities for states that are routine mid-rewrite (e.g. dead code a
   /// later pass removes) but hazards in a final plan.
@@ -39,6 +44,7 @@ enum CheckInputs : unsigned {
   kNeedsTrace = 1u << 2,
   kNeedsRegistry = 1u << 3,
   kNeedsSpans = 1u << 4,
+  kNeedsProfile = 1u << 5,
 };
 
 /// One pluggable static-analysis rule over plans, plan graphs, and traces.

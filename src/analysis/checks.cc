@@ -802,6 +802,8 @@ std::vector<std::unique_ptr<Check>> AllChecks() {
   checks.push_back(MakeMemoryBlowupCheck());
   checks.push_back(MakeLiveRangeBloatCheck());
   checks.push_back(MakeFootprintConformanceCheck());
+  // Cross-run performance checks (checks_perf.cc).
+  checks.push_back(MakeTracePerfRegressionCheck());
   return checks;
 }
 

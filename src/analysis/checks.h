@@ -79,6 +79,16 @@ namespace stetho::analysis {
 ///   footprint-conformance       the static peak bound dominates the
 ///                               engine-recorded rss peak and stays within
 ///                               2x of it (program + trace)
+///
+/// Cross-run performance checks (analysis/perfdiff.h alignment against an
+/// obs::ProfileStore baseline; see checks_perf.cc):
+///   trace-perf-regression       a recorded trace's per-pc durations (and
+///                               end-to-end makespan) regress against the
+///                               stored baseline profile of the same plan
+///                               shape: >= 2x median is an error, >= 1.5x a
+///                               warning, both gated on the delta clearing
+///                               max(4*MAD, 10us); a missing baseline for
+///                               the shape is a note (trace + profile)
 
 std::unique_ptr<Check> MakeDefBeforeUseCheck();
 std::unique_ptr<Check> MakeSingleAssignmentCheck();
@@ -103,6 +113,7 @@ std::unique_ptr<Check> MakeOrderKeyPropagationCheck();
 std::unique_ptr<Check> MakeMemoryBlowupCheck();
 std::unique_ptr<Check> MakeLiveRangeBloatCheck();
 std::unique_ptr<Check> MakeFootprintConformanceCheck();
+std::unique_ptr<Check> MakeTracePerfRegressionCheck();
 
 /// All built-in checks, in the order listed above.
 std::vector<std::unique_ptr<Check>> AllChecks();

@@ -1,0 +1,285 @@
+#include "analysis/perfdiff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "analysis/hb.h"
+#include "common/string_util.h"
+
+namespace stetho::analysis {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void MixString(uint64_t* h, const std::string& s) {
+  for (char c : s) {
+    *h ^= static_cast<unsigned char>(c);
+    *h *= kFnvPrime;
+  }
+  *h ^= '\n';
+  *h *= kFnvPrime;
+}
+
+/// Per-pc digest of one trace: first start/done pair plus statement text.
+struct PcDigest {
+  int64_t start_us = -1;
+  int64_t done_us = -1;
+  int64_t usec = -1;  ///< first done event's duration; -1 = never completed
+  int64_t rss_bytes = 0;
+  std::string stmt;
+};
+
+std::map<int, PcDigest> DigestTrace(
+    const std::vector<profiler::TraceEvent>& trace) {
+  std::map<int, PcDigest> digests;
+  for (const profiler::TraceEvent& event : trace) {
+    if (event.pc < 0) continue;
+    PcDigest& digest = digests[event.pc];
+    if (digest.stmt.empty() && !event.stmt.empty()) digest.stmt = event.stmt;
+    if (event.state == profiler::EventState::kStart) {
+      if (digest.start_us < 0) digest.start_us = event.time_us;
+    } else if (event.state == profiler::EventState::kDone) {
+      if (digest.done_us < 0) {
+        digest.done_us = event.time_us;
+        digest.usec = std::max<int64_t>(0, event.usec);
+        digest.rss_bytes = event.rss_bytes;
+      }
+    }
+  }
+  return digests;
+}
+
+int64_t Makespan(const std::map<int, PcDigest>& digests) {
+  int64_t first = -1;
+  int64_t last = -1;
+  for (const auto& [pc, digest] : digests) {
+    if (digest.start_us >= 0 && (first < 0 || digest.start_us < first)) {
+      first = digest.start_us;
+    }
+    if (digest.done_us >= 0 && digest.done_us > last) last = digest.done_us;
+  }
+  return first >= 0 && last >= first ? last - first : 0;
+}
+
+std::string Truncate(const std::string& s, size_t max) {
+  if (s.size() <= max) return s;
+  return s.substr(0, max - 3) + "...";
+}
+
+}  // namespace
+
+uint64_t PlanShapeHash(const mal::Program& program) {
+  uint64_t h = kFnvOffset;
+  for (const mal::Instruction& ins : program.instructions()) {
+    MixString(&h, program.InstructionToString(ins));
+  }
+  return h;
+}
+
+uint64_t TraceShapeHash(const std::vector<profiler::TraceEvent>& trace) {
+  std::map<int, std::string> stmts;  // pc-ascending
+  for (const profiler::TraceEvent& event : trace) {
+    if (event.pc < 0 || event.stmt.empty()) continue;
+    stmts.emplace(event.pc, event.stmt);  // first text per pc wins
+  }
+  uint64_t h = kFnvOffset;
+  for (const auto& [pc, stmt] : stmts) MixString(&h, stmt);
+  return h;
+}
+
+obs::QueryObservation ObservationFromTrace(
+    const std::vector<profiler::TraceEvent>& trace) {
+  obs::QueryObservation observation;
+  observation.shape_hash = TraceShapeHash(trace);
+
+  std::map<int, PcDigest> digests = DigestTrace(trace);
+  observation.total_usec = Makespan(digests);
+  if (!digests.empty()) {
+    observation.plan_size =
+        static_cast<size_t>(digests.rbegin()->first) + 1;
+  }
+
+  // Observed concurrency: sweep the first start/done interval of every pc
+  // in time order and record, at each start, how many intervals are open
+  // (the starting one included). Ties break start-before-done so two
+  // instructions meeting at one timestamp count as overlapped — the
+  // generous reading a skew detector wants.
+  struct Edge {
+    int64_t time_us;
+    int kind;  // 0 = start, 1 = done
+    int pc;
+  };
+  std::vector<Edge> edges;
+  for (const auto& [pc, digest] : digests) {
+    if (digest.start_us < 0) continue;
+    edges.push_back({digest.start_us, 0, pc});
+    if (digest.done_us >= digest.start_us) {
+      edges.push_back({digest.done_us, 1, pc});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.time_us != b.time_us) return a.time_us < b.time_us;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.pc < b.pc;
+  });
+  std::map<int, int> concurrency;
+  int open = 0;
+  for (const Edge& edge : edges) {
+    if (edge.kind == 0) {
+      ++open;
+      concurrency[edge.pc] = open;
+    } else {
+      open = std::max(0, open - 1);
+    }
+  }
+
+  for (const auto& [pc, digest] : digests) {
+    if (digest.usec < 0) continue;  // never completed: nothing to fold
+    obs::PcSample sample;
+    sample.pc = pc;
+    sample.usec = digest.usec;
+    sample.bytes = std::max<int64_t>(0, digest.rss_bytes);
+    auto it = concurrency.find(pc);
+    sample.concurrency = it != concurrency.end() ? it->second : 1;
+    observation.pcs.push_back(sample);
+  }
+  return observation;
+}
+
+TraceDiff DiffTraces(const std::vector<profiler::TraceEvent>& a,
+                     const std::vector<profiler::TraceEvent>& b,
+                     const mal::Program* plan) {
+  TraceDiff diff;
+  diff.a_hash = TraceShapeHash(a);
+  diff.b_hash = TraceShapeHash(b);
+  diff.shapes_match = diff.a_hash == diff.b_hash;
+
+  std::map<int, PcDigest> da = DigestTrace(a);
+  std::map<int, PcDigest> db = DigestTrace(b);
+  diff.a_makespan_usec = Makespan(da);
+  diff.b_makespan_usec = Makespan(db);
+
+  std::vector<bool> critical_a;
+  std::vector<bool> critical_b;
+  if (plan != nullptr) {
+    ScheduleReport ra = AnalyzeSchedule(*plan, a);
+    ScheduleReport rb = AnalyzeSchedule(*plan, b);
+    diff.a_critical_usec = ra.critical_path_usec;
+    diff.b_critical_usec = rb.critical_path_usec;
+    critical_a.assign(plan->size(), false);
+    critical_b.assign(plan->size(), false);
+    for (const CriticalPathStep& step : ra.critical_path) {
+      if (step.pc >= 0 && static_cast<size_t>(step.pc) < critical_a.size()) {
+        critical_a[static_cast<size_t>(step.pc)] = true;
+      }
+    }
+    for (const CriticalPathStep& step : rb.critical_path) {
+      if (step.pc >= 0 && static_cast<size_t>(step.pc) < critical_b.size()) {
+        critical_b[static_cast<size_t>(step.pc)] = true;
+      }
+    }
+  }
+
+  for (const auto& [pc, digest_a] : da) {
+    auto it = db.find(pc);
+    if (it == db.end() || it->second.usec < 0 || digest_a.usec < 0) {
+      if (digest_a.usec >= 0 && (it == db.end() || it->second.usec < 0)) {
+        diff.only_a.push_back(pc);
+      }
+      continue;
+    }
+    const PcDigest& digest_b = it->second;
+    PcDelta delta;
+    delta.pc = pc;
+    delta.stmt = !digest_b.stmt.empty() ? digest_b.stmt : digest_a.stmt;
+    delta.a_usec = digest_a.usec;
+    delta.b_usec = digest_b.usec;
+    delta.delta_usec = digest_b.usec - digest_a.usec;
+    delta.ratio = static_cast<double>(digest_b.usec) /
+                  static_cast<double>(std::max<int64_t>(1, digest_a.usec));
+    if (static_cast<size_t>(pc) < critical_a.size()) {
+      delta.critical_a = critical_a[static_cast<size_t>(pc)];
+      delta.critical_b = critical_b[static_cast<size_t>(pc)];
+    }
+    diff.deltas.push_back(std::move(delta));
+  }
+  for (const auto& [pc, digest_b] : db) {
+    if (digest_b.usec < 0) continue;
+    auto it = da.find(pc);
+    if (it == da.end() || it->second.usec < 0) diff.only_b.push_back(pc);
+  }
+  std::sort(diff.deltas.begin(), diff.deltas.end(),
+            [](const PcDelta& x, const PcDelta& y) {
+              const int64_t ax = std::abs(x.delta_usec);
+              const int64_t ay = std::abs(y.delta_usec);
+              if (ax != ay) return ax > ay;
+              return x.pc < y.pc;
+            });
+  return diff;
+}
+
+std::string FormatTraceDiff(const TraceDiff& diff) {
+  std::string out = "== trace diff ==\n";
+  if (diff.shapes_match) {
+    out += StrFormat("plan shape: match (%016llx)\n",
+                     static_cast<unsigned long long>(diff.a_hash));
+  } else {
+    out += StrFormat(
+        "plan shape: MISMATCH (a=%016llx b=%016llx) — per-pc alignment is "
+        "best-effort\n",
+        static_cast<unsigned long long>(diff.a_hash),
+        static_cast<unsigned long long>(diff.b_hash));
+  }
+  const int64_t makespan_delta = diff.b_makespan_usec - diff.a_makespan_usec;
+  out += StrFormat(
+      "makespan: %lldus -> %lldus  (%+lldus, %.2fx)\n",
+      static_cast<long long>(diff.a_makespan_usec),
+      static_cast<long long>(diff.b_makespan_usec),
+      static_cast<long long>(makespan_delta),
+      static_cast<double>(diff.b_makespan_usec) /
+          static_cast<double>(std::max<int64_t>(1, diff.a_makespan_usec)));
+  if (diff.a_critical_usec >= 0 && diff.b_critical_usec >= 0) {
+    out += StrFormat(
+        "critical path: %lldus -> %lldus  (%+lldus, %.2fx)\n",
+        static_cast<long long>(diff.a_critical_usec),
+        static_cast<long long>(diff.b_critical_usec),
+        static_cast<long long>(diff.b_critical_usec - diff.a_critical_usec),
+        static_cast<double>(diff.b_critical_usec) /
+            static_cast<double>(std::max<int64_t>(1, diff.a_critical_usec)));
+  }
+  constexpr size_t kTop = 16;
+  out += StrFormat("matched pcs: %zu (top %zu by |delta|)\n",
+                   diff.deltas.size(), std::min(kTop, diff.deltas.size()));
+  for (size_t i = 0; i < diff.deltas.size() && i < kTop; ++i) {
+    const PcDelta& d = diff.deltas[i];
+    out += StrFormat("  pc %-4d %8lldus -> %8lldus  (%+lldus, %.2fx)",
+                     d.pc, static_cast<long long>(d.a_usec),
+                     static_cast<long long>(d.b_usec),
+                     static_cast<long long>(d.delta_usec), d.ratio);
+    if (d.critical_a || d.critical_b) {
+      out += StrFormat(" [critical:%s%s]", d.critical_a ? "a" : "",
+                       d.critical_b ? "b" : "");
+    }
+    if (!d.stmt.empty()) out += "  " + Truncate(d.stmt, 56);
+    out += '\n';
+  }
+  auto list_pcs = [&out](const char* label, const std::vector<int>& pcs) {
+    out += label;
+    if (pcs.empty()) {
+      out += " none\n";
+      return;
+    }
+    for (size_t i = 0; i < pcs.size() && i < 32; ++i) {
+      out += StrFormat(" %d", pcs[i]);
+    }
+    if (pcs.size() > 32) out += StrFormat(" ... (%zu total)", pcs.size());
+    out += '\n';
+  };
+  list_pcs("pcs only in a:", diff.only_a);
+  list_pcs("pcs only in b:", diff.only_b);
+  return out;
+}
+
+}  // namespace stetho::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/liveness.h"
+#include "analysis/perfdiff.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
 
@@ -63,25 +64,6 @@ double KernelCostFactor(const mal::Instruction& ins) {
   }
   if (ins.module == "aggr") return 0.2;
   return 1.0;
-}
-
-/// FNV-1a over the rendered instructions (the function-name header is
-/// deliberately excluded: "user.s0" and "user.s17" with identical bodies
-/// are one plan shape).
-uint64_t PlanShapeHash(const mal::Program& program) {
-  uint64_t h = 1469598103934665603ULL;
-  auto mix = [&h](const std::string& s) {
-    for (char c : s) {
-      h ^= static_cast<unsigned char>(c);
-      h *= 1099511628211ULL;
-    }
-    h ^= '\n';
-    h *= 1099511628211ULL;
-  };
-  for (const mal::Instruction& ins : program.instructions()) {
-    mix(program.InstructionToString(ins));
-  }
-  return h;
 }
 
 /// "815us" / "1.2ms" / "3.4s" — scoreboard-sized durations.
@@ -159,6 +141,8 @@ double ProgressModel::RemainingCriticalWeight(
 
 std::shared_ptr<const ProgressModel> ProgressModelCache::GetOrBuild(
     const mal::Program& program) {
+  // The same function-name-blind content hash the profile store keys
+  // baselines by (analysis/perfdiff.h).
   const uint64_t key = PlanShapeHash(program);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -204,7 +188,11 @@ ProgressModelCache* ProgressModelCache::Default() {
 
 ProgressEstimator::ProgressEstimator(
     std::shared_ptr<const ProgressModel> model)
-    : model_(std::move(model)), done_(model_->plan_size(), false) {}
+    : model_(std::move(model)),
+      done_(model_->plan_size(), false),
+      pc_usec_(model_->plan_size(), -1),
+      pc_end_us_(model_->plan_size(), 0),
+      pc_rss_(model_->plan_size(), 0) {}
 
 double ProgressEstimator::RatioLocked() const {
   if (finished_) return 1.0;
@@ -216,7 +204,7 @@ double ProgressEstimator::RatioLocked() const {
 }
 
 void ProgressEstimator::OnInstructionDone(int pc, int64_t usec,
-                                          int64_t now_us) {
+                                          int64_t now_us, int64_t rss_bytes) {
   double published;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -225,6 +213,9 @@ void ProgressEstimator::OnInstructionDone(int pc, int64_t usec,
       return;  // duplicate delivery or foreign pc: already accounted
     }
     done_[static_cast<size_t>(pc)] = true;
+    pc_usec_[static_cast<size_t>(pc)] = std::max<int64_t>(0, usec);
+    pc_end_us_[static_cast<size_t>(pc)] = now_us;
+    pc_rss_[static_cast<size_t>(pc)] = std::max<int64_t>(0, rss_bytes);
     ++done_count_;
     done_weight_ += model_->weight(pc);
     busy_usec_ += static_cast<double>(std::max<int64_t>(0, usec));
@@ -237,7 +228,7 @@ void ProgressEstimator::OnInstructionDone(int pc, int64_t usec,
 
 void ProgressEstimator::ObserveEvent(const profiler::TraceEvent& event) {
   if (event.state != profiler::EventState::kDone) return;
-  OnInstructionDone(event.pc, event.usec, event.time_us);
+  OnInstructionDone(event.pc, event.usec, event.time_us, event.rss_bytes);
 }
 
 void ProgressEstimator::MarkFinished() {
@@ -286,6 +277,65 @@ int64_t ProgressEstimator::EtaUsec() const {
   const double by_path =
       model_->RemainingCriticalWeight(done_) * usec_per_weight;
   return static_cast<int64_t>(std::max(by_rate, by_path));
+}
+
+obs::QueryObservation ProgressEstimator::ToObservation(
+    uint64_t shape_hash) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs::QueryObservation observation;
+  observation.shape_hash = shape_hash;
+  observation.plan_size = done_.size();
+  observation.total_usec =
+      first_us_ >= 0 ? std::max<int64_t>(0, newest_us_ - first_us_) : 0;
+
+  // Observed concurrency by interval sweep: each completed pc occupied
+  // (end - usec, end]; at every interval start count how many intervals are
+  // open (the starting one included). Ties break start-before-done so
+  // back-to-back completions at one timestamp read as overlapped.
+  struct Edge {
+    int64_t time_us;
+    int kind;  // 0 = start, 1 = done
+    int pc;
+  };
+  std::vector<Edge> edges;
+  for (size_t pc = 0; pc < done_.size(); ++pc) {
+    if (pc_usec_[pc] < 0) continue;
+    const int64_t end = pc_end_us_[pc];
+    edges.push_back({end - pc_usec_[pc], 0, static_cast<int>(pc)});
+    edges.push_back({end, 1, static_cast<int>(pc)});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.time_us != b.time_us) return a.time_us < b.time_us;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.pc < b.pc;
+  });
+  std::vector<int> concurrency(done_.size(), 1);
+  int open = 0;
+  for (const Edge& edge : edges) {
+    if (edge.kind == 0) {
+      ++open;
+      concurrency[static_cast<size_t>(edge.pc)] = open;
+    } else {
+      open = std::max(0, open - 1);
+    }
+  }
+
+  for (size_t pc = 0; pc < done_.size(); ++pc) {
+    if (pc_usec_[pc] < 0) continue;
+    obs::PcSample sample;
+    sample.pc = static_cast<int>(pc);
+    sample.usec = pc_usec_[pc];
+    sample.bytes = pc_rss_[pc];
+    sample.concurrency = concurrency[pc];
+    observation.pcs.push_back(sample);
+  }
+  return observation;
+}
+
+int64_t ProgressEstimator::PcUsec(int pc) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pc < 0 || pc >= static_cast<int>(pc_usec_.size())) return -1;
+  return pc_usec_[static_cast<size_t>(pc)];
 }
 
 std::string ProgressEstimator::ScoreboardLine(const std::string& name) const {

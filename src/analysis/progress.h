@@ -11,6 +11,7 @@
 
 #include "engine/interpreter.h"
 #include "mal/program.h"
+#include "obs/profile_store.h"
 #include "profiler/event.h"
 
 namespace stetho::analysis {
@@ -102,7 +103,8 @@ class ProgressEstimator : public engine::ProgressListener {
 
   /// engine::ProgressListener — fed by the interpreter with the clock
   /// reads it already pays for its stats.
-  void OnInstructionDone(int pc, int64_t usec, int64_t now_us) override;
+  void OnInstructionDone(int pc, int64_t usec, int64_t now_us,
+                         int64_t rss_bytes) override;
 
   /// Receiver-side feed: accounts a trace event (done-state events only;
   /// start events and out-of-range pcs are ignored).
@@ -130,12 +132,25 @@ class ProgressEstimator : public engine::ProgressListener {
   /// One scoreboard line: "s0  42.3%  131/260 done  eta 1.2ms  ...".
   std::string ScoreboardLine(const std::string& name) const;
 
+  /// Everything this run contributed, packaged for the profile store:
+  /// per-pc duration/bytes plus observed concurrency (a sweep over the
+  /// recorded completion intervals). total_usec is the observed event-time
+  /// span; callers who know the true end-to-end time should overwrite it.
+  /// The estimator keeps accepting events afterwards — this is a snapshot.
+  obs::QueryObservation ToObservation(uint64_t shape_hash) const;
+
+  /// Duration of `pc`'s completion (-1 = not yet observed).
+  int64_t PcUsec(int pc) const;
+
  private:
   double RatioLocked() const;
 
   const std::shared_ptr<const ProgressModel> model_;
   mutable std::mutex mu_;
   std::vector<bool> done_;
+  std::vector<int64_t> pc_usec_;    // per-pc durations; -1 = unseen
+  std::vector<int64_t> pc_end_us_;  // per-pc completion event time
+  std::vector<int64_t> pc_rss_;     // per-pc live bytes at completion
   int done_count_ = 0;
   double done_weight_ = 0;
   double busy_usec_ = 0;     // sum of observed instruction durations

@@ -16,6 +16,7 @@ bool NeedsSatisfied(unsigned needs, const CheckContext& ctx) {
   if ((needs & kNeedsTrace) != 0 && ctx.trace == nullptr) return false;
   if ((needs & kNeedsRegistry) != 0 && ctx.registry == nullptr) return false;
   if ((needs & kNeedsSpans) != 0 && ctx.spans == nullptr) return false;
+  if ((needs & kNeedsProfile) != 0 && ctx.profile == nullptr) return false;
   return true;
 }
 

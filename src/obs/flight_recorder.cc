@@ -1,5 +1,7 @@
 #include "obs/flight_recorder.h"
 
+#include <cstdlib>
+
 #include "common/string_util.h"
 
 namespace stetho::obs {
@@ -54,9 +56,23 @@ std::string FlightRecorder::Render(const std::string& reason) const {
 }
 
 void FlightRecorder::Dump(const std::string& reason) {
-  dumps_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t ordinal = dumps_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::string rendered = Render(reason);
   std::lock_guard<std::mutex> lock(mu_);
+  if (!out_dir_.empty()) {
+    // One bundle file per dump, named by ordinal so repeated incidents
+    // never overwrite each other and names stay clock-independent.
+    const std::string path =
+        StrFormat("%s/flight_%04lld.txt", out_dir_.c_str(),
+                  static_cast<long long>(ordinal));
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fputs(rendered.c_str(), f);
+      std::fclose(f);
+      return;
+    }
+    // Unwritable directory: fall through to the stream output so the black
+    // box is never lost silently.
+  }
   std::FILE* f = out_ != nullptr ? out_ : stderr;
   std::fputs(rendered.c_str(), f);
   std::fflush(f);
@@ -77,9 +93,42 @@ Status FlightRecorder::SetOutputFile(const std::string& path) {
   return Status::OK();
 }
 
+Status FlightRecorder::SetOutputDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_dir_ = dir;
+  return Status::OK();
+}
+
+std::string FlightRecorder::NextBundlePath() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_dir_.empty()) return "";
+  return StrFormat("%s/flight_%04lld.txt", out_dir_.c_str(),
+                   static_cast<long long>(
+                       dumps_.load(std::memory_order_relaxed) + 1));
+}
+
+size_t FlightRingFromEnv(size_t fallback) {
+  const char* raw = std::getenv("STETHO_FLIGHT_RING");
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || v <= 0) return fallback;
+  return static_cast<size_t>(v);
+}
+
 FlightRecorder* FlightRecorder::Default() {
-  static FlightRecorder recorder(Registry::Default(), Tracer::Default());
-  return &recorder;
+  static FlightRecorder* recorder = [] {
+    const size_t ring = FlightRingFromEnv(64);
+    auto* r = new FlightRecorder(Registry::Default(), Tracer::Default(),
+                                 /*max_notes=*/ring,
+                                 /*max_spans=*/48);
+    if (const char* dir = std::getenv("STETHO_FLIGHT_DIR");
+        dir != nullptr && dir[0] != '\0') {
+      (void)r->SetOutputDir(dir);
+    }
+    return r;
+  }();
+  return recorder;
 }
 
 }  // namespace stetho::obs

@@ -56,11 +56,23 @@ class FlightRecorder {
   /// Redirects dumps to `path` (truncates); "" restores stderr.
   Status SetOutputFile(const std::string& path);
 
+  /// Writes each dump as its own bundle file `<dir>/flight_NNNN.txt` where
+  /// NNNN is the dump ordinal — deterministic (no timestamps in the name,
+  /// so VirtualClock-driven tests produce stable paths). "" restores the
+  /// stderr/SetOutputFile behavior. The directory must exist.
+  Status SetOutputDir(const std::string& dir);
+
   int64_t dump_count() const {
     return dumps_.load(std::memory_order_relaxed);
   }
 
+  /// Bundle path the next Dump() will write, or "" when no directory is
+  /// configured (lets callers report where the black box landed).
+  std::string NextBundlePath() const;
+
   /// Process-wide recorder over Registry::Default() / Tracer::Default().
+  /// Ring size honors STETHO_FLIGHT_RING (notes kept; default 64) and
+  /// STETHO_FLIGHT_DIR preconfigures SetOutputDir, both read once.
   static FlightRecorder* Default();
 
  private:
@@ -76,10 +88,15 @@ class FlightRecorder {
   std::atomic<bool> enabled_{false};
   std::atomic<int64_t> dumps_{0};
 
-  mutable std::mutex mu_;  // guards notes_ and out_
+  mutable std::mutex mu_;  // guards notes_, out_, and out_dir_
   std::deque<NoteEntry> notes_;
   std::FILE* out_ = nullptr;  // nullptr = stderr
+  std::string out_dir_;       // "" = single-stream output
 };
+
+/// STETHO_FLIGHT_RING parsed as a positive note-ring size; `fallback` when
+/// unset or malformed. Exposed for tests (Default() reads the env once).
+size_t FlightRingFromEnv(size_t fallback);
 
 }  // namespace stetho::obs
 

@@ -37,6 +37,27 @@ const std::vector<int64_t>& Histogram::DefaultLatencyBounds() {
   return bounds;
 }
 
+double Histogram::QuantileEstimate(double q) const {
+  const int64_t total = count();
+  if (total <= 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    const double in_bucket = static_cast<double>(bucket_count(i));
+    if (cumulative + in_bucket < target || in_bucket <= 0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i == bounds_.size()) break;  // +Inf bucket: clamp to the last bound
+    const double lo = i == 0 ? 0 : static_cast<double>(bounds_[i - 1]);
+    const double hi = static_cast<double>(bounds_[i]);
+    const double frac = (target - cumulative) / in_bucket;
+    return lo + frac * (hi - lo);
+  }
+  return static_cast<double>(bounds_.back());
+}
+
 Result<Counter*> Registry::RegisterCounter(const std::string& name,
                                            const std::string& help) {
   if (!ValidName(name)) {
@@ -267,6 +288,23 @@ std::string Registry::ExpositionText() const {
                        static_cast<long long>(m.count()));
       ++h;
     }
+  }
+  return out;
+}
+
+std::string Registry::HistogramSummaryText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, metric] : histograms_) {
+    if (metric->count() == 0) continue;
+    const double mean =
+        static_cast<double>(metric->sum()) /
+        static_cast<double>(metric->count());
+    out += StrFormat("%s p50=%.0f p95=%.0f p99=%.0f count=%lld mean=%.1f\n",
+                     name.c_str(), metric->QuantileEstimate(0.50),
+                     metric->QuantileEstimate(0.95),
+                     metric->QuantileEstimate(0.99),
+                     static_cast<long long>(metric->count()), mean);
   }
   return out;
 }

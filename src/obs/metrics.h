@@ -91,6 +91,13 @@ class Histogram {
 
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
   int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Estimated quantile (q in [0,1]) by linear interpolation inside the
+  /// fixed buckets; observations in the +Inf bucket clamp to the last
+  /// bound. 0 when empty. Approximate by construction — good enough for
+  /// the p50/p95/p99 summary lines, not a substitute for the raw buckets.
+  double QuantileEstimate(double q) const;
+
   const std::vector<int64_t>& bounds() const { return bounds_; }
   /// Count in bucket `i` (non-cumulative); `i == bounds().size()` is +Inf.
   int64_t bucket_count(size_t i) const {
@@ -171,6 +178,11 @@ class Registry {
 
   /// Prometheus-style text exposition, deterministically sorted by name.
   std::string ExpositionText() const;
+
+  /// One "name p50=… p95=… p99=… count=… mean=…" line per non-empty
+  /// histogram, sorted by name — the human-sized footer MetricsText() and
+  /// `stethoscope --watch` append to the raw exposition.
+  std::string HistogramSummaryText() const;
 
   /// Point-in-time snapshot of every metric, sorted by name.
   std::vector<MetricSample> Snapshot() const;

@@ -1,9 +1,12 @@
 #include "scope/online.h"
 
+#include <algorithm>
 #include <map>
 #include <mutex>
+#include <set>
 #include <thread>
 
+#include "analysis/perfdiff.h"
 #include "common/string_util.h"
 #include "dot/parser.h"
 #include "net/channel.h"
@@ -42,15 +45,33 @@ Result<OnlineReport> OnlineMonitor::MonitorQuery(const std::string& sql) {
   // surfaced by the query thread below; the monitor then just has no
   // estimator to feed.
   std::shared_ptr<analysis::ProgressEstimator> estimator;
+  // Straggler comparator: the stored cross-run baseline for this plan's
+  // shape, if the profile store has one. Start times feed the running-
+  // duration check (an instruction can be flagged before it completes).
+  std::shared_ptr<const obs::PlanProfile> baseline;
+  std::mutex straggler_mu;
+  std::map<int, int64_t> start_us;
+  int64_t newest_event_us = 0;
   if (auto plan = server_->Explain(sql); plan.ok()) {
     estimator = std::make_shared<analysis::ProgressEstimator>(
         analysis::ProgressModelCache::Default()->GetOrBuild(plan.value()));
+    obs::ProfileStore* store = options_.profile != nullptr
+                                   ? options_.profile
+                                   : obs::ProfileStore::Default();
+    baseline = store->Lookup(analysis::PlanShapeHash(plan.value()));
   }
 
   TextualStethoscope textual(topt);
   textual.SetEventCallback(
       [&](const std::string& /*server*/, const TraceEvent& event) {
         if (estimator != nullptr) estimator->ObserveEvent(event);
+        if (baseline != nullptr) {
+          std::lock_guard<std::mutex> lock(straggler_mu);
+          newest_event_us = std::max(newest_event_us, event.time_us);
+          if (event.state == profiler::EventState::kStart) {
+            start_us.emplace(event.pc, event.time_us);
+          }
+        }
         std::lock_guard<std::mutex> lock(tracker_mu);
         tracker.Observe(event);
       });
@@ -142,6 +163,57 @@ Result<OnlineReport> OnlineMonitor::MonitorQuery(const std::string& sql) {
   // Monitoring loop: sample the buffer, run the §4.2.1 pair-sequence
   // algorithm, and push color changes through the render-paced EDT.
   std::map<int, viz::Color> applied;
+  std::set<int> straggler_flagged;
+  // Both straggler gates (ratio x absolute delta), mirroring the
+  // trace-perf-regression lint check so live and offline agree.
+  auto is_straggler = [this](int64_t usec, const obs::RobustStat& stat) {
+    if (stat.count() == 0) return false;
+    const double median = stat.Median();
+    const double floor =
+        std::max(options_.straggler_mad_k * stat.Mad(),
+                 static_cast<double>(options_.straggler_min_usec));
+    if (static_cast<double>(usec) - median < floor) return false;
+    return static_cast<double>(usec) >=
+           options_.straggler_ratio * std::max(1.0, median);
+  };
+  auto sweep_stragglers = [&] {
+    if (baseline == nullptr || estimator == nullptr) return;
+    std::map<int, int64_t> starts;
+    int64_t now_us;
+    {
+      std::lock_guard<std::mutex> lock(straggler_mu);
+      starts = start_us;
+      now_us = newest_event_us;
+    }
+    for (size_t pc = 0; pc < baseline->pcs.size(); ++pc) {
+      const int ipc = static_cast<int>(pc);
+      if (straggler_flagged.count(ipc) > 0) continue;
+      const obs::RobustStat& stat = baseline->pcs[pc].usec;
+      const int64_t done_usec = estimator->PcUsec(ipc);
+      const bool completed = done_usec >= 0;
+      int64_t usec = done_usec;
+      if (!completed) {
+        auto it = starts.find(ipc);
+        if (it == starts.end()) continue;  // not started (or start lost)
+        usec = now_us - it->second;
+      }
+      if (!is_straggler(usec, stat)) continue;
+      straggler_flagged.insert(ipc);
+      report.stragglers.push_back({ipc, usec, stat.Median(), completed});
+      // Deviation overlay: the fill stays with the pair-sequence state
+      // machine; the stroke says "slow against history".
+      int glyph = scene_->space()->ShapeFor(NodeForPc(ipc));
+      if (glyph >= 0) {
+        viz::VirtualSpace* space = scene_->space();
+        scene_->dispatcher()->PostRender([space, glyph] {
+          (void)space->MutateGlyph(glyph, [](viz::Glyph* g) {
+            g->stroke = viz::Color::Magenta();
+          });
+        });
+        ++report.straggler_updates;
+      }
+    }
+  };
   auto analyze_once = [&] {
     std::vector<TraceEvent> buffer = textual.BufferSnapshot();
     if (estimator != nullptr) {
@@ -153,12 +225,16 @@ Result<OnlineReport> OnlineMonitor::MonitorQuery(const std::string& sql) {
       report.eta_series_usec.push_back(-1);
     }
     textual.ObserveStaleness();
+    sweep_stragglers();
     if (options_.status_line) {
       std::string line =
           estimator != nullptr
               ? estimator->ScoreboardLine(query_name)
               : StrFormat("%s  %5.1f%%", query_name.c_str(),
                           100.0 * report.progress_series.back());
+      if (baseline != nullptr) {
+        line += StrFormat("  stragglers:%zu", report.stragglers.size());
+      }
       options_.status_line(line + "  | " +
                            textual.HealthFor("server0").ToString());
     }

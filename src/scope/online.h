@@ -49,6 +49,28 @@ struct OnlineOptions {
   /// Called once per analysis round with a one-line live status (progress,
   /// ETA, pipe health) — the `stethoscope --watch` hook. May be empty.
   std::function<void(const std::string&)> status_line;
+  /// Cross-run baseline store for live straggler detection (nullptr = the
+  /// process-wide obs::ProfileStore::Default()). When the monitored plan's
+  /// shape has a stored profile, every analysis round compares each
+  /// instruction's completed — or still-running — duration against the
+  /// baseline and flags stragglers: the glyph gets a magenta deviation
+  /// stroke, the status line appends "stragglers:N", and
+  /// OnlineReport::stragglers records the flags.
+  obs::ProfileStore* profile = nullptr;
+  /// A pc is a straggler when its duration is at least `straggler_ratio` x
+  /// the baseline median AND exceeds it by max(straggler_mad_k x MAD,
+  /// straggler_min_usec). Mirrors the trace-perf-regression lint gates.
+  double straggler_ratio = 1.5;
+  double straggler_mad_k = 4.0;
+  int64_t straggler_min_usec = 10;
+};
+
+/// One instruction flagged by the live straggler comparator.
+struct StragglerFlag {
+  int pc = 0;
+  int64_t usec = 0;          ///< duration at flag time (running or final)
+  double baseline_median = 0;
+  bool completed = false;    ///< false = flagged while still running
 };
 
 /// Result of monitoring one query online.
@@ -79,6 +101,11 @@ struct OnlineReport {
   int64_t injected_dropped = 0;
   int64_t injected_duplicated = 0;
   int64_t injected_reordered = 0;
+  /// Instructions the baseline comparator flagged, in flag order (one entry
+  /// per pc; a flag fired mid-run is not re-reported at completion).
+  std::vector<StragglerFlag> stragglers;
+  /// Magenta deviation-stroke overlays posted to the scene.
+  size_t straggler_updates = 0;
 };
 
 /// Online mode (paper §4.2): multi-threaded pipeline wiring a running

@@ -4,11 +4,15 @@
 #include <chrono>
 #include <thread>
 
+#include <cstdlib>
+
 #include "analysis/liveness.h"
+#include "analysis/perfdiff.h"
 #include "common/string_util.h"
 #include "dot/writer.h"
 #include "engine/worker_pool.h"
 #include "net/trace_stream.h"
+#include "obs/flight_recorder.h"
 #include "obs/span.h"
 
 namespace stetho::server {
@@ -54,6 +58,18 @@ obs::Gauge* EngineLiveBytesGauge() {
   return g;
 }
 
+obs::Counter* SlowQueriesCounter() {
+  static obs::Counter* c = obs::Registry::Default()->GetOrCreateCounter(
+      "stetho_slow_queries_total",
+      "Completed queries whose end-to-end time exceeded the configured "
+      "multiple of their plan shape's profiled median");
+  return c;
+}
+
+/// Events the postmortem ring retains — enough for several C4-scale
+/// queries' start/done pairs without unbounded growth.
+constexpr size_t kPostmortemRingCapacity = 4096;
+
 }  // namespace
 
 Mserver::Mserver(storage::Catalog catalog, const MserverOptions& options)
@@ -62,6 +78,20 @@ Mserver::Mserver(storage::Catalog catalog, const MserverOptions& options)
       clock_(options.clock != nullptr ? options.clock
                                       : static_cast<Clock*>(SteadyClock::Default())),
       profiler_(clock_) {
+  // Slow-query postmortems: resolve the flight directory and, when one is
+  // configured, keep a ring of recent profiler events so a bundle can show
+  // what the engine was doing around the slow run.
+  flight_dir_ = options_.flight_dir;
+  if (flight_dir_.empty()) {
+    const char* env = std::getenv("STETHO_FLIGHT_DIR");
+    if (env != nullptr) flight_dir_ = env;
+  }
+  if (!flight_dir_.empty()) {
+    postmortem_ring_ =
+        std::make_shared<profiler::RingBufferSink>(kPostmortemRingCapacity);
+    profiler_.AddSink(postmortem_ring_);
+  }
+
   // Pre-warm the shared worker pool to the configured dop so the first
   // query never pays thread start-up inside its measured execution window.
   if (!options_.force_sequential) {
@@ -149,6 +179,7 @@ Result<QueryOutcome> Mserver::ExecuteSql(const std::string& sql) {
     STETHO_ASSIGN_OR_RETURN(outcome.result, interp.Execute(program, exec));
   }
   estimator->MarkFinished();
+  RecordQueryProfile(outcome, program, *estimator);
   outcome.plan = std::move(program);
 
   {
@@ -168,12 +199,95 @@ void Mserver::AttachStream(std::shared_ptr<net::DatagramSender> sender) {
 
 void Mserver::DetachStreams() {
   profiler_.ClearSinks();
+  // ClearSinks drops the postmortem ring with the client streams; the
+  // slow-query bundle must keep seeing events.
+  if (postmortem_ring_ != nullptr) profiler_.AddSink(postmortem_ring_);
   std::lock_guard<std::mutex> lock(stream_mu_);
   streams_.clear();
 }
 
 std::string Mserver::MetricsText() const {
-  return obs::Registry::Default()->ExpositionText();
+  std::string out = obs::Registry::Default()->ExpositionText();
+  // Quantile footer as exposition comments: estimated p50/p95/p99 per
+  // populated histogram (scrapers ignore # lines; humans don't).
+  const std::string summary =
+      obs::Registry::Default()->HistogramSummaryText();
+  if (!summary.empty()) {
+    out += "# histogram quantiles (estimated from fixed buckets)\n";
+    size_t pos = 0;
+    while (pos < summary.size()) {
+      size_t eol = summary.find('\n', pos);
+      if (eol == std::string::npos) eol = summary.size();
+      out += "# ";
+      out += summary.substr(pos, eol - pos);
+      out += '\n';
+      pos = eol + 1;
+    }
+  }
+  return out;
+}
+
+obs::ProfileStore* Mserver::profile_store() const {
+  return options_.profile_store != nullptr ? options_.profile_store
+                                           : obs::ProfileStore::Default();
+}
+
+void Mserver::RecordQueryProfile(const QueryOutcome& outcome,
+                                 const mal::Program& program,
+                                 const analysis::ProgressEstimator& estimator) {
+  obs::ProfileStore* store = profile_store();
+  const uint64_t shape_hash = analysis::PlanShapeHash(program);
+  // The slow-query gate judges against what the store knew *before* this
+  // run; folding first would dilute the baseline with the query on trial.
+  std::shared_ptr<const obs::PlanProfile> baseline = store->Lookup(shape_hash);
+
+  obs::QueryObservation observation = estimator.ToObservation(shape_hash);
+  observation.total_usec = outcome.result.total_usec;  // true end-to-end
+  (void)store->Fold(observation);
+
+  if (options_.slow_query_factor <= 0 || baseline == nullptr ||
+      baseline->total_usec.count() == 0) {
+    return;
+  }
+  const double median = baseline->total_usec.Median();
+  if (median < 1.0) return;
+  const double ratio =
+      static_cast<double>(outcome.result.total_usec) / median;
+  if (ratio < options_.slow_query_factor) return;
+  SlowQueriesCounter()->Increment();
+  if (flight_dir_.empty()) return;
+
+  // Postmortem bundle: plan + recent profiler events + the flight
+  // recorder's black box (spans + metrics snapshot). Named by query, not
+  // clock, so test runs under VirtualClock stay deterministic.
+  const std::string path =
+      StrFormat("%s/postmortem_%s.txt", flight_dir_.c_str(),
+                outcome.name.c_str());
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return;  // unwritable dir: the counter still tells
+  std::string bundle = StrFormat(
+      "== slow query postmortem: %s ==\n"
+      "sql: %s\n"
+      "total: %lldus  baseline median: %.0fus over %lld runs  "
+      "(%.2fx >= %.2fx gate)\n\n== plan ==\n",
+      outcome.name.c_str(), outcome.sql.c_str(),
+      static_cast<long long>(outcome.result.total_usec), median,
+      static_cast<long long>(baseline->total_usec.count()), ratio,
+      options_.slow_query_factor);
+  bundle += program.ToString();
+  bundle += "\n== recent trace events (ring snapshot, oldest first) ==\n";
+  if (postmortem_ring_ != nullptr) {
+    for (const profiler::TraceEvent& event : postmortem_ring_->Snapshot()) {
+      bundle += profiler::FormatTraceLine(event);
+      bundle += '\n';
+    }
+  }
+  bundle += "\n== flight recorder ==\n";
+  bundle += obs::FlightRecorder::Default()->Render(
+      StrFormat("slow query %s (%.2fx baseline)", outcome.name.c_str(),
+                ratio));
+  std::fwrite(bundle.data(), 1, bundle.size(), file);
+  std::fclose(file);
 }
 
 std::string Mserver::ProgressText() const {

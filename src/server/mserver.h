@@ -13,8 +13,10 @@
 #include "mal/program.h"
 #include "net/datagram.h"
 #include "obs/metrics.h"
+#include "obs/profile_store.h"
 #include "optimizer/pass.h"
 #include "profiler/profiler.h"
+#include "profiler/sink.h"
 #include "sql/compiler.h"
 #include "storage/table.h"
 
@@ -40,6 +42,23 @@ struct MserverOptions {
   int64_t mem_budget_bytes = 0;
   /// How long a queued query waits for headroom before giving up.
   int admission_wait_ms = 200;
+  /// Cross-run profile store every completed query folds into (per-pc
+  /// robust baselines keyed by plan-shape hash); nullptr = the
+  /// process-wide obs::ProfileStore::Default(), which persists under
+  /// STETHO_PROFILE_DIR when set.
+  obs::ProfileStore* profile_store = nullptr;
+  /// Slow-query gate: a completed query whose end-to-end time exceeds this
+  /// multiple of its shape's profiled median (from runs folded *before*
+  /// this one) is counted in stetho_slow_queries_total and, when a flight
+  /// directory is configured, gets a postmortem bundle (plan + recent
+  /// trace events + flight-recorder spans + metrics snapshot). <= 0
+  /// disables the gate.
+  double slow_query_factor = 3.0;
+  /// Directory receiving slow-query postmortem bundles
+  /// ("" = the STETHO_FLIGHT_DIR environment variable; if that is unset
+  /// too, no bundles are written). Configuring a directory also attaches a
+  /// profiler ring sink so bundles carry the query's recent events.
+  std::string flight_dir;
   /// Time source (nullptr = process steady clock).
   Clock* clock = nullptr;
 };
@@ -93,7 +112,8 @@ class Mserver {
   /// Server-side metrics dump command: the process-wide registry in
   /// Prometheus text exposition format (pool, kernel, optimizer, profiler,
   /// and net counters), for clients that poll server health the way
-  /// Stethoscope polls the event stream.
+  /// Stethoscope polls the event stream. A comment footer carries the
+  /// estimated p50/p95/p99 of every populated histogram.
   std::string MetricsText() const;
 
   /// Live query-progress scoreboard next to MetricsText(): one line per
@@ -109,6 +129,17 @@ class Mserver {
   Clock* clock() const { return clock_; }
 
  private:
+  /// The store completed queries fold into (options override or process
+  /// default).
+  obs::ProfileStore* profile_store() const;
+
+  /// Post-run bookkeeping: folds the finished query into the profile store
+  /// and, when its end-to-end time blows past the pre-fold baseline median
+  /// by options_.slow_query_factor, logs it and emits a postmortem bundle.
+  void RecordQueryProfile(const QueryOutcome& outcome,
+                          const mal::Program& program,
+                          const analysis::ProgressEstimator& estimator);
+
   /// Budgeted admission (called between optimize and execute): predicts the
   /// plan's peak footprint and admits, queues, or rejects against the
   /// configured budget. Exports stetho_admission_{admitted,queued,rejected}_total
@@ -120,6 +151,11 @@ class Mserver {
   Clock* clock_;
   profiler::Profiler profiler_;
   std::atomic<int> next_query_{0};
+
+  /// Resolved postmortem directory ("" = disabled) and the ring of recent
+  /// profiler events bundles snapshot from (attached only when enabled).
+  std::string flight_dir_;
+  std::shared_ptr<profiler::RingBufferSink> postmortem_ring_;
 
   std::mutex stream_mu_;
   std::vector<std::shared_ptr<net::DatagramSender>> streams_;

@@ -34,6 +34,9 @@ struct Color {
   static Color Black() { return {0x00, 0x00, 0x00}; }
   static Color Yellow() { return {0xE8, 0xC0, 0x20}; }
   static Color Orange() { return {0xE8, 0x80, 0x20}; }
+  /// Deviation overlay: straggler glyph strokes in the online monitor —
+  /// distinct from every pair-sequence fill state.
+  static Color Magenta() { return {0xD0, 0x20, 0xD0}; }
 };
 
 }  // namespace stetho::viz

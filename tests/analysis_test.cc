@@ -511,7 +511,7 @@ TEST(RunnerTest, SkipsChecksWithMissingInputs) {
 }
 
 TEST(RunnerTest, DefaultSuiteHasAllChecks) {
-  EXPECT_EQ(Runner::Default().size(), 23u);
+  EXPECT_EQ(Runner::Default().size(), 24u);
 }
 
 TEST(RunnerTest, SortsErrorsFirstThenByPc) {

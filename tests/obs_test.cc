@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
 #include <atomic>
+#include <cstdlib>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -19,6 +22,7 @@
 #include "net/udp.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/profile_store.h"
 #include "obs/span.h"
 #include "obs/trace_export.h"
 #include "optimizer/pass.h"
@@ -731,6 +735,101 @@ TEST(ObsStressTest, ConcurrentQueriesShareDefaultRegistry) {
 
 // --- metric-naming audit (satellite of the pipeline-health issue) ---
 
+TEST(HistogramTest, QuantileEstimateInterpolatesInsideBuckets) {
+  Registry reg;
+  Histogram* h = reg.GetOrCreateHistogram("stetho_qtest_usec", "h",
+                                          {10, 100, 1000});
+  EXPECT_EQ(h->QuantileEstimate(0.5), 0.0);  // empty
+  // 100 observations uniformly inside the (10, 100] bucket.
+  for (int i = 0; i < 100; ++i) h->Observe(55);
+  double p50 = h->QuantileEstimate(0.5);
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LE(p50, 100.0);
+  // Everything in one bucket: p95 lands in the same bucket as p50.
+  EXPECT_LE(h->QuantileEstimate(0.95), 100.0);
+  // An observation past the last bound clamps to it rather than inventing
+  // an upper edge for +Inf.
+  for (int i = 0; i < 1000; ++i) h->Observe(5000);
+  EXPECT_EQ(h->QuantileEstimate(0.99), 1000.0);
+}
+
+TEST(HistogramTest, QuantileEstimateOrdersQuantiles) {
+  Registry reg;
+  Histogram* h = reg.GetOrCreateHistogram(
+      "stetho_qorder_usec", "h", Histogram::DefaultLatencyBounds());
+  for (int64_t v = 1; v <= 2000; ++v) h->Observe(v);
+  const double p50 = h->QuantileEstimate(0.5);
+  const double p95 = h->QuantileEstimate(0.95);
+  const double p99 = h->QuantileEstimate(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // The estimate is bucket-bounded: the true p50 (1000) sits inside the
+  // bucket the estimate falls in.
+  EXPECT_NEAR(p50, 1000.0, 1000.0);
+}
+
+TEST(RegistryTest, HistogramSummaryTextListsNonEmptyHistograms) {
+  Registry reg;
+  Histogram* seen = reg.GetOrCreateHistogram("stetho_summary_seen_usec", "h",
+                                             {10, 100});
+  reg.GetOrCreateHistogram("stetho_summary_empty_usec", "h", {10, 100});
+  for (int i = 0; i < 10; ++i) seen->Observe(42);
+  const std::string summary = reg.HistogramSummaryText();
+  EXPECT_NE(summary.find("stetho_summary_seen_usec"), std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("p50="), std::string::npos) << summary;
+  EXPECT_NE(summary.find("p95="), std::string::npos) << summary;
+  EXPECT_NE(summary.find("p99="), std::string::npos) << summary;
+  EXPECT_NE(summary.find("count=10"), std::string::npos) << summary;
+  // Histograms with no observations stay out of the summary.
+  EXPECT_EQ(summary.find("stetho_summary_empty_usec"), std::string::npos)
+      << summary;
+}
+
+TEST(FlightRecorderTest, BundleDirWritesOrdinalFiles) {
+  const std::string dir = testing::TempDir() + "obs_flight_bundles";
+  mkdir(dir.c_str(), 0755);
+  Registry registry;
+  Tracer tracer;
+  FlightRecorder recorder(&registry, &tracer);
+  recorder.SetEnabled(true);
+  recorder.Note("bundle note");
+  ASSERT_TRUE(recorder.SetOutputDir(dir).ok());
+  EXPECT_EQ(recorder.NextBundlePath(), dir + "/flight_0001.txt");
+
+  recorder.Dump("first failure");
+  recorder.Dump("second failure");
+  EXPECT_EQ(recorder.dump_count(), 2);
+  EXPECT_EQ(recorder.NextBundlePath(), dir + "/flight_0003.txt");
+
+  const std::string first = ReadFile(dir + "/flight_0001.txt");
+  EXPECT_NE(first.find("first failure"), std::string::npos) << first;
+  EXPECT_NE(first.find("bundle note"), std::string::npos) << first;
+  const std::string second = ReadFile(dir + "/flight_0002.txt");
+  EXPECT_NE(second.find("second failure"), std::string::npos) << second;
+
+  // "" restores single-stream output and empties the bundle path.
+  ASSERT_TRUE(recorder.SetOutputDir("").ok());
+  EXPECT_EQ(recorder.NextBundlePath(), "");
+  std::remove((dir + "/flight_0001.txt").c_str());
+  std::remove((dir + "/flight_0002.txt").c_str());
+}
+
+TEST(FlightRecorderTest, FlightRingFromEnvParsesAndFallsBack) {
+  const char* saved = std::getenv("STETHO_FLIGHT_RING");
+  const std::string restore = saved == nullptr ? "" : saved;
+  ::setenv("STETHO_FLIGHT_RING", "128", 1);
+  EXPECT_EQ(FlightRingFromEnv(64), 128u);
+  ::setenv("STETHO_FLIGHT_RING", "not-a-number", 1);
+  EXPECT_EQ(FlightRingFromEnv(64), 64u);
+  ::setenv("STETHO_FLIGHT_RING", "-5", 1);
+  EXPECT_EQ(FlightRingFromEnv(64), 64u);
+  ::unsetenv("STETHO_FLIGHT_RING");
+  EXPECT_EQ(FlightRingFromEnv(64), 64u);
+  if (saved != nullptr) ::setenv("STETHO_FLIGHT_RING", restore.c_str(), 1);
+}
+
 TEST(MetricsAuditTest, FlagsEveryNamingRuleViolation) {
   Registry reg;
   reg.GetOrCreateCounter("stetho_events", "counter missing _total");
@@ -773,6 +872,26 @@ TEST(MetricsAuditTest, DefaultRegistryCatalogIsClean) {
   options.dop = 2;
   server::Mserver server(std::move(cat).value(), options);
   ASSERT_TRUE(server.ExecuteSql("select count(*) from nation").ok());
+  // Register the rest of the profile-store family (loads / evictions /
+  // corrupt-lines fire on load paths the query above does not take).
+  {
+    const std::string path = testing::TempDir() + "obs_audit.profile";
+    std::ofstream out(path);
+    out << "not a profile record\n";
+    out.close();
+    ProfileStoreOptions store_options;
+    store_options.capacity = 1;
+    ProfileStore store(store_options);
+    ASSERT_TRUE(store.LoadFile(path).ok());
+    QueryObservation observation;
+    observation.shape_hash = 0x1;
+    observation.plan_size = 1;
+    observation.pcs.push_back({0, 5, 0, 1});
+    ASSERT_TRUE(store.Fold(observation).ok());
+    observation.shape_hash = 0x2;
+    ASSERT_TRUE(store.Fold(observation).ok());  // evicts shape 0x1
+    std::remove(path.c_str());
+  }
   net::StreamHealth health;
   profiler::TraceEvent e;
   e.event = 0;

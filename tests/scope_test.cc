@@ -6,10 +6,13 @@
 #include <cstdio>
 #include <fstream>
 #include <iterator>
+#include <set>
 #include <thread>
 
+#include "analysis/perfdiff.h"
 #include "common/clock.h"
 #include "common/rng.h"
+#include "obs/profile_store.h"
 #include "dot/parser.h"
 #include "dot/writer.h"
 #include "net/channel.h"
@@ -1046,6 +1049,109 @@ TEST(OnlineMonitorTest, LossyWireIsAccountedAndStillCompletes) {
   EXPECT_DOUBLE_EQ(r.progress_series.back(), 1.0);
   EXPECT_DOUBLE_EQ(r.final_progress, 1.0);
   EXPECT_EQ(r.outcome.result.columns.size(), 1u);
+}
+
+/// Seeds a near-zero baseline for the query's plan shape, so the live
+/// comparator must flag the real run's slower instructions (any pc over
+/// the 10us jitter floor regresses against a 0us median).
+TEST(OnlineMonitorTest, FlagsStragglersAgainstStoredBaseline) {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.001;
+  auto cat = tpch::GenerateTpch(config);
+  ASSERT_TRUE(cat.ok());
+  server::MserverOptions soptions;
+  soptions.dop = 4;
+  soptions.mitosis_pieces = 4;
+  server::Mserver server(std::move(cat.value()), soptions);
+
+  const std::string sql =
+      "select sum(l_extendedprice * l_discount) as revenue from lineitem "
+      "where l_shipdate >= 19940101 and l_shipdate < 19950101";
+  auto plan = server.Explain(sql);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  obs::ProfileStore store;
+  obs::QueryObservation seed;
+  seed.shape_hash = analysis::PlanShapeHash(plan.value());
+  seed.plan_size = plan.value().size();
+  seed.total_usec = 1;
+  for (size_t pc = 0; pc < seed.plan_size; ++pc) {
+    obs::PcSample sample;
+    sample.pc = static_cast<int>(pc);
+    sample.usec = 0;
+    seed.pcs.push_back(sample);
+  }
+  ASSERT_TRUE(store.Fold(seed).ok());
+
+  OnlineOptions options;
+  options.render_interval_us = 0;
+  options.analysis_period_us = 2000;
+  options.profile = &store;
+  std::string last_status;
+  options.status_line = [&last_status](const std::string& line) {
+    last_status = line;
+  };
+  OnlineMonitor monitor(&server, options);
+  auto report = monitor.MonitorQuery(sql);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const OnlineReport& r = report.value();
+  EXPECT_DOUBLE_EQ(r.final_progress, 1.0);
+
+  ASSERT_FALSE(r.stragglers.empty());
+  EXPECT_GT(r.straggler_updates, 0u);
+  std::set<int> flagged_pcs;
+  for (const StragglerFlag& flag : r.stragglers) {
+    EXPECT_GE(flag.pc, 0);
+    EXPECT_LT(flag.pc, static_cast<int>(r.outcome.plan.size()));
+    // Every flag cleared both gates against the near-zero baseline (a 0us
+    // sample sits in the v<=1 log bucket, so its median reads as 1).
+    EXPECT_GE(flag.usec, options.straggler_min_usec);
+    EXPECT_LE(flag.baseline_median, 1.0);
+    // One flag per pc, never re-reported.
+    EXPECT_TRUE(flagged_pcs.insert(flag.pc).second) << flag.pc;
+  }
+  EXPECT_NE(last_status.find("stragglers:"), std::string::npos)
+      << last_status;
+}
+
+/// The zero-false-positive side: against a generous baseline (everything
+/// profiled at 10s) nothing in a millisecond-scale run may flag.
+TEST(OnlineMonitorTest, NoStragglersAgainstGenerousBaseline) {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.001;
+  auto cat = tpch::GenerateTpch(config);
+  ASSERT_TRUE(cat.ok());
+  server::MserverOptions soptions;
+  soptions.dop = 4;
+  server::Mserver server(std::move(cat.value()), soptions);
+
+  const std::string sql =
+      "select l_tax from lineitem where l_partkey = 1";
+  auto plan = server.Explain(sql);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  obs::ProfileStore store;
+  obs::QueryObservation seed;
+  seed.shape_hash = analysis::PlanShapeHash(plan.value());
+  seed.plan_size = plan.value().size();
+  seed.total_usec = 10'000'000;
+  for (size_t pc = 0; pc < seed.plan_size; ++pc) {
+    obs::PcSample sample;
+    sample.pc = static_cast<int>(pc);
+    sample.usec = 10'000'000;
+    seed.pcs.push_back(sample);
+  }
+  ASSERT_TRUE(store.Fold(seed).ok());
+
+  OnlineOptions options;
+  options.render_interval_us = 0;
+  options.analysis_period_us = 2000;
+  options.profile = &store;
+  OnlineMonitor monitor(&server, options);
+  auto report = monitor.MonitorQuery(sql);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().stragglers.empty());
+  EXPECT_EQ(report.value().straggler_updates, 0u);
 }
 
 TEST(OnlineMonitorTest, DetectsSequentialAnomaly) {

@@ -1,10 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
 #include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 
+#include "analysis/perfdiff.h"
 #include "net/channel.h"
+#include "obs/metrics.h"
+#include "obs/profile_store.h"
 #include "profiler/sink.h"
 #include "server/mserver.h"
 #include "server/result_printer.h"
@@ -13,6 +21,14 @@
 
 namespace stetho::server {
 namespace {
+
+/// Current value of the process-global slow-query counter (0 before the
+/// first slow query registers it) — delta-assert against this, the
+/// registry is shared across cases.
+int64_t SlowQueriesValue() {
+  auto value = obs::Registry::Default()->CounterValue("stetho_slow_queries_total");
+  return value.ok() ? value.value() : 0;
+}
 
 storage::Catalog TinyCatalog() {
   tpch::TpchConfig config;
@@ -212,6 +228,104 @@ TEST(MserverAdmissionTest, QueueTimeoutRejects) {
   EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
   EXPECT_NE(r.status().message().find("queueing"), std::string::npos);
   EXPECT_EQ(rejected->value(), rejected_before + 1);
+}
+
+TEST(MserverProfileTest, ExecuteFoldsIntoInjectedStore) {
+  obs::ProfileStore store;
+  MserverOptions options;
+  options.dop = 2;
+  options.profile_store = &store;
+  Mserver server(TinyCatalog(), options);
+
+  const int64_t slow_before = SlowQueriesValue();
+  auto r = server.ExecuteSql("select l_tax from lineitem where l_partkey = 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  const uint64_t shape = analysis::PlanShapeHash(r.value().plan);
+  auto profile = store.Lookup(shape);
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->queries, 1);
+  EXPECT_EQ(profile->plan_size, r.value().plan.size());
+  EXPECT_EQ(profile->pcs.size(), r.value().plan.size());
+  EXPECT_GE(profile->total_usec.max(), 0);
+  // First run of the shape: no pre-fold baseline, so nothing is "slow".
+  EXPECT_EQ(SlowQueriesValue(), slow_before);
+
+  // A second run of the same SQL folds into the same shape despite the
+  // fresh function name.
+  ASSERT_TRUE(
+      server.ExecuteSql("select l_tax from lineitem where l_partkey = 1")
+          .ok());
+  profile = store.Lookup(shape);
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->queries, 2);
+}
+
+TEST(MserverProfileTest, SlowQueryLogsAndEmitsPostmortem) {
+  const std::string dir = testing::TempDir() + "mserver_flight";
+  mkdir(dir.c_str(), 0755);
+
+  obs::ProfileStore store;
+  MserverOptions options;
+  options.dop = 2;
+  options.profile_store = &store;
+  options.slow_query_factor = 3.0;
+  options.flight_dir = dir;
+  Mserver server(TinyCatalog(), options);
+
+  const std::string sql = "select l_tax from lineitem where l_partkey = 1";
+  // Seed a pathologically fast baseline for this shape (median 1us), so
+  // the real run blows past the 3x gate deterministically.
+  auto plan = server.Explain(sql);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  obs::QueryObservation seed;
+  seed.shape_hash = analysis::PlanShapeHash(plan.value());
+  seed.plan_size = plan.value().size();
+  seed.total_usec = 1;
+  ASSERT_TRUE(store.Fold(seed).ok());
+
+  const int64_t slow_before = SlowQueriesValue();
+  auto r = server.ExecuteSql(sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(SlowQueriesValue(), slow_before + 1);
+
+  const std::string path = dir + "/postmortem_" + r.value().name + ".txt";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing " << path;
+  std::string bundle((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_NE(bundle.find("slow query postmortem"), std::string::npos);
+  EXPECT_NE(bundle.find(sql), std::string::npos);
+  EXPECT_NE(bundle.find("== plan =="), std::string::npos);
+  EXPECT_NE(bundle.find("== recent trace events"), std::string::npos);
+  EXPECT_NE(bundle.find("== flight recorder =="), std::string::npos);
+  // The attached ring captured the query's profiler events.
+  EXPECT_NE(bundle.find("\"done\""), std::string::npos) << bundle;
+  std::remove(path.c_str());
+}
+
+TEST(MserverProfileTest, FastQueryWritesNoPostmortem) {
+  const std::string dir = testing::TempDir() + "mserver_flight_quiet";
+  mkdir(dir.c_str(), 0755);
+
+  obs::ProfileStore store;
+  MserverOptions options;
+  options.dop = 2;
+  options.profile_store = &store;
+  options.flight_dir = dir;
+  Mserver server(TinyCatalog(), options);
+
+  const std::string sql = "select l_tax from lineitem where l_partkey = 1";
+  const int64_t slow_before = SlowQueriesValue();
+  // Two comparable runs: the second judges against the first's baseline
+  // and should sit well under 3x.
+  ASSERT_TRUE(server.ExecuteSql(sql).ok());
+  auto r = server.ExecuteSql(sql);
+  ASSERT_TRUE(r.ok());
+  if (SlowQueriesValue() == slow_before) {
+    std::ifstream in(dir + "/postmortem_" + r.value().name + ".txt");
+    EXPECT_FALSE(in.good());
+  }
 }
 
 TEST(MserverTest, CompileErrorsSurface) {

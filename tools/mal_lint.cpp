@@ -29,6 +29,14 @@
 //                      so CI gates on new findings only
 //   --write-baseline   print the baseline for the current findings instead
 //                      of diagnostics (redirect to create/refresh FILE)
+//   --profile FILE     load a cross-run profile store and enable the
+//                      trace-perf-regression check (the trace is compared
+//                      against the stored baseline for its plan shape)
+//   --write-profile FILE
+//                      fold the supplied trace (keyed by the plan when one
+//                      is given, else by the trace's own statement text)
+//                      into FILE and exit — the way committed baseline
+//                      profiles are recorded
 //
 // Exit status: 0 clean (below the --fail-on threshold), 1 findings at or
 // above the threshold, 2 usage or input failure.
@@ -44,6 +52,7 @@
 
 #include "analysis/hb.h"
 #include "analysis/liveness.h"
+#include "analysis/perfdiff.h"
 #include "analysis/runner.h"
 #include "common/string_util.h"
 #include "dot/parser.h"
@@ -61,7 +70,9 @@ int Usage() {
                "usage: mal_lint [--json|--sarif] [--list-checks] [--schedule] "
                "[--memory] "
                "[--fail-on=<note|warning|error>] [--baseline <file>] "
-               "[--write-baseline] [--plan|--dot|--trace|--spans] <file>...\n"
+               "[--write-baseline] [--profile <file>] "
+               "[--write-profile <file>] "
+               "[--plan|--dot|--trace|--spans] <file>...\n"
                "       kind is inferred from the extension (.dot, .trace, "
                ".json for Chrome-trace span exports; anything else is a MAL "
                "plan)\n");
@@ -100,6 +111,8 @@ int main(int argc, char** argv) {
   bool schedule = false;
   bool memory = false;
   bool write_baseline = false;
+  std::string profile_path;
+  std::string write_profile_path;
   analysis::Severity fail_on = analysis::Severity::kError;
   std::vector<std::string> baseline;
   InputKind forced = InputKind::kAuto;
@@ -143,6 +156,18 @@ int main(int argc, char** argv) {
       std::vector<std::string> parsed =
           analysis::ParseBaseline(text.value());
       baseline.insert(baseline.end(), parsed.begin(), parsed.end());
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--profile needs a file argument\n");
+        return Usage();
+      }
+      profile_path = argv[++i];
+    } else if (std::strcmp(arg, "--write-profile") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--write-profile needs a file argument\n");
+        return Usage();
+      }
+      write_profile_path = argv[++i];
     } else if (std::strcmp(arg, "--list-checks") == 0) {
       return ListChecks();
     } else if (std::strcmp(arg, "--plan") == 0) {
@@ -235,6 +260,52 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!write_profile_path.empty()) {
+    // Record mode: fold the trace into the profile file and exit. Keyed by
+    // the plan's shape hash when a plan was given (the contract the server
+    // folds under) so the recorded baseline lines up with live lookups.
+    if (!trace.has_value()) {
+      std::fprintf(stderr, "--write-profile needs a trace input\n");
+      return 2;
+    }
+    obs::QueryObservation observation =
+        analysis::ObservationFromTrace(trace.value());
+    if (program.has_value()) {
+      observation.shape_hash = analysis::PlanShapeHash(program.value());
+    }
+    obs::ProfileStore store;
+    // Merge into an existing profile so repeated recordings accumulate
+    // runs instead of overwriting them (a missing file starts fresh).
+    (void)store.LoadFile(write_profile_path);
+    Status folded = store.Fold(observation);
+    if (!folded.ok()) {
+      std::fprintf(stderr, "--write-profile: %s\n",
+                   folded.ToString().c_str());
+      return 2;
+    }
+    Status saved = store.SaveFile(write_profile_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "--write-profile: %s\n", saved.ToString().c_str());
+      return 2;
+    }
+    std::printf("folded %zu pcs (shape %016llx) into %s\n",
+                observation.pcs.size(),
+                static_cast<unsigned long long>(observation.shape_hash),
+                write_profile_path.c_str());
+    return 0;
+  }
+
+  std::optional<obs::ProfileStore> profile;
+  if (!profile_path.empty()) {
+    profile.emplace();
+    Status loaded = profile->LoadFile(profile_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s: %s\n", profile_path.c_str(),
+                   loaded.ToString().c_str());
+      return 2;
+    }
+  }
+
   analysis::CheckContext ctx;
   if (program.has_value()) {
     ctx.program = &program.value();
@@ -243,6 +314,7 @@ int main(int argc, char** argv) {
   if (graph.has_value()) ctx.graph = &graph.value();
   if (trace.has_value()) ctx.trace = &trace.value();
   if (spans.has_value()) ctx.spans = &spans.value();
+  if (profile.has_value()) ctx.profile = &profile.value();
 
   std::vector<analysis::Diagnostic> diagnostics = analysis::ApplyBaseline(
       analysis::Runner::Default().Run(ctx), baseline);

@@ -7,6 +7,10 @@
 //   stethoscope monitor "<sql>"          online monitoring report
 //   stethoscope session <dot> <trace>    interactive session (commands on
 //                                        stdin; try "help")
+//   stethoscope diff <a.trace> <b.trace> [plan.mal]
+//                                        per-pc performance diff of two
+//                                        recorded traces (plan adds
+//                                        critical-path attribution)
 //   stethoscope queries                  list the built-in query suite
 //
 // Common flags (before the subcommand):
@@ -33,8 +37,10 @@
 #include <cstring>
 #include <fstream>
 
+#include "analysis/perfdiff.h"
 #include "common/string_util.h"
 #include "dot/parser.h"
+#include "mal/parser.h"
 #include "layout/layout_cache.h"
 #include "layout/sugiyama.h"
 #include "layout/svg.h"
@@ -78,7 +84,7 @@ int Fail(const Status& st) {
 int Usage() {
   std::fprintf(stderr,
                "usage: stethoscope [flags] <explain|run|record|replay|"
-               "monitor|queries> [args]\n"
+               "monitor|diff|queries> [args]\n"
                "flags: --sf N  --dop N  --mitosis N  --seed N  --sequential\n"
                "       --metrics  --trace-json FILE  --watch  --drop P\n");
   return 2;
@@ -258,6 +264,34 @@ int CmdSession(const std::string& dot_path, const std::string& trace_path) {
   return 0;
 }
 
+int CmdDiff(const std::string& a_path, const std::string& b_path,
+            const char* plan_path) {
+  auto a = scope::ReadTraceFile(a_path);
+  if (!a.ok()) return Fail(a.status());
+  auto b = scope::ReadTraceFile(b_path);
+  if (!b.ok()) return Fail(b.status());
+  mal::Program plan;
+  bool have_plan = false;
+  if (plan_path != nullptr) {
+    std::ifstream plan_in(plan_path);
+    if (!plan_in) {
+      return Fail(Status::IoError(std::string("cannot read ") + plan_path));
+    }
+    std::string text((std::istreambuf_iterator<char>(plan_in)),
+                     std::istreambuf_iterator<char>());
+    auto parsed = mal::ParseProgram(text);
+    if (!parsed.ok()) return Fail(parsed.status());
+    plan = std::move(parsed).value();
+    have_plan = true;
+  }
+  analysis::TraceDiff diff = analysis::DiffTraces(
+      a.value(), b.value(), have_plan ? &plan : nullptr);
+  std::printf("a: %s (%zu events)\nb: %s (%zu events)\n%s", a_path.c_str(),
+              a.value().size(), b_path.c_str(), b.value().size(),
+              analysis::FormatTraceDiff(diff).c_str());
+  return 0;
+}
+
 int CmdMonitor(const CliOptions& cli, const std::string& sql) {
   auto server = MakeServer(cli);
   if (!server) return 1;
@@ -287,6 +321,21 @@ int CmdMonitor(const CliOptions& cli, const std::string& sql) {
   if (cli.watch) {
     std::printf("-- progress scoreboard --\n%s",
                 server->ProgressText().c_str());
+    // Latency distribution footer: estimated quantiles over every
+    // populated histogram, the same numbers MetricsText() exposes.
+    const std::string summary =
+        obs::Registry::Default()->HistogramSummaryText();
+    if (!summary.empty()) {
+      std::printf("-- histogram quantiles --\n%s", summary.c_str());
+    }
+    if (!r.stragglers.empty()) {
+      std::printf("-- stragglers vs stored baseline --\n");
+      for (const scope::StragglerFlag& s : r.stragglers) {
+        std::printf("  pc %-4d %lldus vs median %.0fus%s\n", s.pc,
+                    static_cast<long long>(s.usec), s.baseline_median,
+                    s.completed ? "" : " (still running when flagged)");
+      }
+    }
   }
   std::printf("%s", server::FormatResultTable(r.outcome.result).c_str());
   PrintAnalyses(r.events);
@@ -359,6 +408,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "replay" && arg(0) && arg(1)) return CmdReplay(arg(0), arg(1));
     if (cmd == "session" && arg(0) && arg(1)) return CmdSession(arg(0), arg(1));
+    if (cmd == "diff" && arg(0) && arg(1)) {
+      return CmdDiff(arg(0), arg(1), arg(2));
+    }
     if (cmd == "monitor" && arg(0)) return CmdMonitor(cli, arg(0));
     return Usage();
   }();
